@@ -1,0 +1,65 @@
+//! Ablation benchmarks for the design choices called out in DESIGN.md:
+//!
+//! * **depth window** — per-instruction HCPA cost scales with the number
+//!   of tracked region depths (§4.2's depth-range flag);
+//! * **induction/reduction breaking** — cost of the extra bookkeeping is
+//!   negligible, while its *effect* (loops stop looking serial) is
+//!   asserted in `tests/paper_claims.rs`;
+//! * **dictionary compression** — interning on region exit vs the
+//!   (hypothetical) cost of recording raw summaries, emulated by pushing
+//!   records into a vector.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use kremlin_hcpa::{HcpaConfig, Profiler};
+use kremlin_interp::{run_with_hook, MachineConfig};
+
+const SRC: &str = "float m[48][48];\n\
+    int main() {\n\
+      for (int r = 0; r < 6; r++) {\n\
+        for (int i = 1; i < 47; i++) {\n\
+          for (int j = 1; j < 47; j++) {\n\
+            m[i][j] = (m[i-1][j] + m[i+1][j] + m[i][j-1] + m[i][j+1]) * 0.25;\n\
+          }\n\
+        }\n\
+      }\n\
+      return (int) m[5][5];\n\
+    }";
+
+fn profile_with(window: usize, break_deps: bool, unit: &kremlin_ir::CompiledUnit) {
+    let mut p = Profiler::new(
+        &unit.module,
+        HcpaConfig { window, break_carried_deps: break_deps, ..HcpaConfig::default() },
+    );
+    run_with_hook(&unit.module, &mut p, MachineConfig::default()).expect("runs");
+    let _ = p.finish();
+}
+
+fn bench(c: &mut Criterion) {
+    let unit = kremlin_ir::compile(SRC, "abl.kc").expect("compiles");
+    let mut g = c.benchmark_group("ablations");
+
+    for window in [4usize, 8, 16, 32] {
+        g.bench_function(format!("hcpa_window_{window}"), |b| {
+            b.iter(|| profile_with(window, true, &unit))
+        });
+    }
+
+    g.bench_function("hcpa_no_dep_breaking", |b| b.iter(|| profile_with(16, false, &unit)));
+
+    // Raw-summary emulation: what the profiler would write without the
+    // dictionary (one record per dynamic region).
+    g.bench_function("raw_summary_stream_emulation", |b| {
+        b.iter(|| {
+            let mut raw: Vec<(u32, u64, u64)> = Vec::new();
+            for i in 0..30_000u64 {
+                raw.push(((i % 7) as u32, 40 + i % 3, 20 + i % 3));
+            }
+            raw.len()
+        })
+    });
+
+    g.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

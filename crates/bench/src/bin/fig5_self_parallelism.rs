@@ -1,0 +1,50 @@
+//! Figure 5 — the self-parallelism worked examples: a region whose
+//! children must run serially has SP = 1; a region with n independent
+//! children has SP = n. Reproduced on real profiled programs rather than
+//! closed-form inputs.
+
+use kremlin::Kremlin;
+use kremlin_bench::Table;
+
+fn sp_of(src: &str, label: &str) -> (f64, f64) {
+    let analysis = Kremlin::new().analyze(src, "fig5.kc").expect("analyzes");
+    let region = analysis.region(label).expect("region exists");
+    let s = analysis.profile().stats(region).expect("executed");
+    (s.self_p, s.avg_children)
+}
+
+fn main() {
+    let mut t = Table::new(&["case", "children n", "SP (measured)", "SP (paper)"]);
+
+    // n serial children: each iteration depends on the previous.
+    let (sp, n) = sp_of(
+        "float x[33];\n\
+         int main() { x[0] = 1.0; for (int i = 1; i < 33; i++) { x[i] = x[i-1] * 1.5 + 1.0; } return (int) x[32]; }",
+        "main#L0",
+    );
+    t.row(vec!["serial children".into(), format!("{n:.0}"), format!("{sp:.2}"), "1".into()]);
+
+    // n parallel children: independent iterations.
+    let (sp, n) = sp_of(
+        "float x[32];\n\
+         int main() { for (int i = 0; i < 32; i++) { x[i] = (float) i * 1.5 + 1.0; } return (int) x[31]; }",
+        "main#L0",
+    );
+    t.row(vec!["parallel children".into(), format!("{n:.0}"), format!("{sp:.2}"), "n = 32".into()]);
+
+    // Partial overlap: pairs of dependent iterations (expected ~n/2).
+    let (sp, n) = sp_of(
+        "float x[64];\n\
+         int main() { for (int i = 0; i < 64; i++) { if (i % 2 == 1) { x[i] = x[i-1] * 2.0; } else { x[i] = (float) i; } } return (int) x[63]; }",
+        "main#L0",
+    );
+    t.row(vec![
+        "pairwise-dependent children".into(),
+        format!("{n:.0}"),
+        format!("{sp:.2}"),
+        "between 1 and n".into(),
+    ]);
+
+    println!("Figure 5 — self-parallelism SP(R) = (sum cp(children) + SW) / cp(R)\n");
+    println!("{}", t.render());
+}

@@ -1,0 +1,26 @@
+//! Developer probe: prints, per workload, the Kremlin plan vs MANUAL.
+use kremlin_bench::WorkloadReport;
+
+fn main() {
+    let args: Vec<String> = std::env::args().collect();
+    for w in kremlin_workloads::all() {
+        if args.len() > 1 && !args[1..].iter().any(|a| a == w.name) {
+            continue;
+        }
+        let name = w.name;
+        let manual_labels: Vec<&str> = w.manual_plan.to_vec();
+        match WorkloadReport::build(w) {
+            Err(e) => println!("=== {name}: ERROR {e}"),
+            Ok(r) => {
+                println!("=== {name}: kremlin={} manual={} overlap={} relspeed={:.2} (K {:.2}x @{} vs M {:.2}x @{})",
+                    r.kremlin_plan.len(), r.manual_regions.len(), r.overlap(),
+                    r.relative_speedup(), r.eval_kremlin.speedup, r.eval_kremlin.best_cores,
+                    r.eval_manual.speedup, r.eval_manual.best_cores);
+                for e in &r.kremlin_plan.entries {
+                    println!("    K: {:24} sp={:8.1} cov={:6.2}% {:9} est={:.2}x", e.label, e.self_p, e.coverage*100.0, e.kind.to_string(), e.est_speedup);
+                }
+                println!("    M: {:?}", manual_labels);
+            }
+        }
+    }
+}

@@ -1,0 +1,43 @@
+//! §4.4 — compression statistics: the raw per-dynamic-region summary
+//! stream vs the dictionary-compressed profile. The paper reports raw NPB
+//! logs of 750 MB – 54 GB shrinking to 5 KB – 774 KB (average ~119,000x);
+//! our miniatures execute far fewer dynamic regions, so absolute sizes
+//! are smaller, but the ratio grows the same way — with repetition.
+
+use kremlin_bench::{all_reports, Table};
+
+fn main() {
+    let reports = all_reports();
+    let mut t = Table::new(&[
+        "benchmark",
+        "dyn regions",
+        "alphabet",
+        "raw bytes",
+        "compressed",
+        "ratio",
+    ]);
+    let mut ratios = Vec::new();
+    for r in &reports {
+        let dict = &r.analysis.profile().dict;
+        let ratio = dict.compression_ratio();
+        ratios.push(ratio);
+        t.row(vec![
+            r.workload.name.into(),
+            dict.raw_summaries().to_string(),
+            dict.len().to_string(),
+            dict.raw_bytes().to_string(),
+            dict.compressed_bytes().to_string(),
+            format!("{ratio:.0}x"),
+        ]);
+    }
+    let geo = ratios.iter().product::<f64>().powf(1.0 / ratios.len() as f64);
+    println!("§4.4 — region-summary compression (measured)\n");
+    println!("{}", t.render());
+    println!("geometric-mean compression: {geo:.0}x   (paper average ~119,000x on full-size inputs)");
+    println!(
+        "\nShape check: compression scales with dynamic repetition — loops \
+         contribute thousands of identical summaries that intern to one \
+         dictionary character; the planner works on the alphabet without \
+         decompressing."
+    );
+}

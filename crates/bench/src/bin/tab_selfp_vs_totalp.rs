@@ -1,0 +1,58 @@
+//! §6.2 "Effectiveness of Self-Parallelism Metric" — across all regions
+//! of the suite, classify parallelism as high/low against the 5.0
+//! threshold using total-parallelism (work/cp, what plain CPA reports)
+//! vs self-parallelism. Paper: total-parallelism flags only 25.8% of
+//! regions as low-parallelism; self-parallelism flags 58.9%, a 2.28x
+//! reduction in parallelism false positives.
+
+use kremlin_bench::{all_reports, Table};
+
+const THRESHOLD: f64 = 5.0;
+
+fn main() {
+    let reports = all_reports();
+    let mut total_regions = 0usize;
+    let mut low_tp = 0usize;
+    let mut low_sp = 0usize;
+    let mut t = Table::new(&["benchmark", "regions", "low by total-p", "low by self-p"]);
+    for r in &reports {
+        let mut n = 0;
+        let mut ltp = 0;
+        let mut lsp = 0;
+        for s in r.analysis.profile().iter() {
+            n += 1;
+            if s.total_p < THRESHOLD {
+                ltp += 1;
+            }
+            if s.self_p < THRESHOLD {
+                lsp += 1;
+            }
+        }
+        total_regions += n;
+        low_tp += ltp;
+        low_sp += lsp;
+        t.row(vec![
+            r.workload.name.into(),
+            n.to_string(),
+            format!("{ltp} ({:.1} %)", ltp as f64 / n as f64 * 100.0),
+            format!("{lsp} ({:.1} %)", lsp as f64 / n as f64 * 100.0),
+        ]);
+    }
+    let ptp = low_tp as f64 / total_regions as f64 * 100.0;
+    let psp = low_sp as f64 / total_regions as f64 * 100.0;
+    t.row(vec![
+        "overall".into(),
+        total_regions.to_string(),
+        format!("{low_tp} ({ptp:.1} %)"),
+        format!("{low_sp} ({psp:.1} %)"),
+    ]);
+    println!("§6.2 — low-parallelism classification (threshold {THRESHOLD})\n");
+    println!("{}", t.render());
+    println!("false-positive reduction: {:.2}x   (paper: 58.9% vs 25.8% = 2.28x)", psp / ptp);
+    println!(
+        "\nShape check: self-parallelism identifies substantially more \
+         regions as low-parallelism than total parallelism does — total \
+         parallelism credits outer regions with their children's \
+         parallelism, which HCPA factors out."
+    );
+}

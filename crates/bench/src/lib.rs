@@ -1,0 +1,203 @@
+//! # kremlin-bench — the evaluation harness
+//!
+//! Regenerates every table and figure of the paper's evaluation (§6) from
+//! the workload analogues. One binary per artifact:
+//!
+//! | binary | paper artifact |
+//! |---|---|
+//! | `fig3_plan_ui` | Figure 3 — the ranked plan for `tracking` |
+//! | `fig5_self_parallelism` | Figure 5 — SP worked examples |
+//! | `fig6a_plan_size` | Figure 6a — MANUAL vs Kremlin plan sizes |
+//! | `fig6b_speedup` | Figure 6b — relative speedup Kremlin vs MANUAL |
+//! | `fig7_marginal_curves` | Figure 7 — marginal benefit per region |
+//! | `fig8_prioritization` | Figure 8 — benefit by plan quartile |
+//! | `fig9_plan_size_reduction` | Figure 9 — plan size by planner stage |
+//! | `tab_selfp_vs_totalp` | §6.2 — SP vs total-parallelism filtering |
+//! | `tab_compression` | §4.4 — profile compression statistics |
+//! | `tab_sensitivity` | §5.1 — planner threshold sensitivity |
+//! | `tab_scaling` | §6.1 — speedup-by-core-count series |
+//!
+//! plus Criterion micro-benchmarks (`profiler_overhead`, `compression`,
+//! `planning`) for the performance claims.
+
+use kremlin::{Analysis, Kremlin, KremlinError, MachineModel, Personality, Plan, PlanEvaluation};
+use kremlin_ir::RegionId;
+use kremlin_planner::OpenMpPlanner;
+use kremlin_workloads::Workload;
+use std::collections::HashSet;
+
+/// Everything the figure generators need about one analyzed workload.
+pub struct WorkloadReport {
+    /// The workload definition (sources, MANUAL plan, paper row).
+    pub workload: Workload,
+    /// Full analysis (profile + compiled unit).
+    pub analysis: Analysis,
+    /// Kremlin's OpenMP plan.
+    pub kremlin_plan: Plan,
+    /// The MANUAL region set.
+    pub manual_regions: HashSet<RegionId>,
+    /// Simulated execution of Kremlin's plan.
+    pub eval_kremlin: PlanEvaluation,
+    /// Simulated execution of the MANUAL plan.
+    pub eval_manual: PlanEvaluation,
+}
+
+impl WorkloadReport {
+    /// Analyzes one workload end-to-end with default settings.
+    ///
+    /// # Errors
+    ///
+    /// Propagates compile/runtime errors and unknown MANUAL labels (all of
+    /// which indicate a workload definition bug).
+    pub fn build(workload: Workload) -> Result<WorkloadReport, KremlinError> {
+        let analysis = Kremlin::new().analyze(workload.source, &workload.file_name())?;
+        let kremlin_plan = analysis.plan_openmp();
+        let manual_regions = analysis.regions(workload.manual_plan)?;
+        let eval_kremlin = analysis.evaluate(&kremlin_plan);
+        let eval_manual = analysis.evaluate_regions(&manual_regions);
+        Ok(WorkloadReport {
+            workload,
+            analysis,
+            kremlin_plan,
+            manual_regions,
+            eval_kremlin,
+            eval_manual,
+        })
+    }
+
+    /// Regions recommended by Kremlin.
+    pub fn kremlin_regions(&self) -> HashSet<RegionId> {
+        self.kremlin_plan.regions()
+    }
+
+    /// |Kremlin ∩ MANUAL| (the Figure 6a "Overlap" column).
+    pub fn overlap(&self) -> usize {
+        self.kremlin_regions().intersection(&self.manual_regions).count()
+    }
+
+    /// Kremlin speedup relative to MANUAL (Figure 6b bars).
+    pub fn relative_speedup(&self) -> f64 {
+        self.eval_kremlin.speedup / self.eval_manual.speedup.max(1e-9)
+    }
+}
+
+/// Analyzes every Figure 6 workload (all except `tracking`).
+///
+/// # Panics
+///
+/// Panics if any workload fails to analyze — the workload suite is fixed,
+/// so a failure is a bug, and the harness should stop loudly.
+pub fn all_reports() -> Vec<WorkloadReport> {
+    kremlin_workloads::all()
+        .into_iter()
+        .filter(|w| w.paper.is_some())
+        .map(|w| {
+            let name = w.name;
+            WorkloadReport::build(w)
+                .unwrap_or_else(|e| panic!("workload {name} failed to analyze: {e}"))
+        })
+        .collect()
+}
+
+/// [`all_reports`], computed once per process and cached — test suites
+/// that assert several claims over the same reports share one (relatively
+/// expensive) profiling pass.
+pub fn all_reports_cached() -> &'static [WorkloadReport] {
+    static CACHE: std::sync::OnceLock<Vec<WorkloadReport>> = std::sync::OnceLock::new();
+    CACHE.get_or_init(all_reports)
+}
+
+/// Analyzes one workload by name.
+///
+/// # Panics
+///
+/// Panics if the name is unknown or analysis fails (harness bug).
+pub fn report_for(name: &str) -> WorkloadReport {
+    let w = kremlin_workloads::by_name(name).unwrap_or_else(|| panic!("unknown workload {name}"));
+    WorkloadReport::build(w).unwrap_or_else(|e| panic!("workload {name} failed: {e}"))
+}
+
+/// Kremlin's plan as an ordered region list (for marginal curves).
+pub fn ordered_plan_regions(plan: &Plan) -> Vec<RegionId> {
+    plan.entries.iter().map(|e| e.region).collect()
+}
+
+/// Evaluates a plan under the default machine model via the report's
+/// simulator.
+pub fn simulate(report: &WorkloadReport, regions: &HashSet<RegionId>) -> PlanEvaluation {
+    report.analysis.simulator(MachineModel::default()).evaluate(regions)
+}
+
+/// Plans with explicit OpenMP thresholds (sensitivity analysis).
+pub fn plan_with_params(report: &WorkloadReport, params: kremlin_planner::OpenMpParams) -> Plan {
+    OpenMpPlanner::with_params(params).plan(report.analysis.profile(), &HashSet::new())
+}
+
+/// Simple fixed-width table printer shared by the figure binaries.
+pub struct Table {
+    header: Vec<String>,
+    rows: Vec<Vec<String>>,
+}
+
+impl Table {
+    /// Creates a table with the given column headers.
+    pub fn new(header: &[&str]) -> Table {
+        Table { header: header.iter().map(|s| s.to_string()).collect(), rows: Vec::new() }
+    }
+
+    /// Adds a row (must match the header arity).
+    pub fn row(&mut self, cells: Vec<String>) {
+        assert_eq!(cells.len(), self.header.len(), "row arity mismatch");
+        self.rows.push(cells);
+    }
+
+    /// Renders with padded columns.
+    pub fn render(&self) -> String {
+        let mut widths: Vec<usize> = self.header.iter().map(|h| h.len()).collect();
+        for row in &self.rows {
+            for (i, c) in row.iter().enumerate() {
+                widths[i] = widths[i].max(c.len());
+            }
+        }
+        let mut out = String::new();
+        let fmt_row = |cells: &[String], widths: &[usize]| -> String {
+            cells
+                .iter()
+                .zip(widths)
+                .map(|(c, w)| format!("{c:>w$}", w = w))
+                .collect::<Vec<_>>()
+                .join("  ")
+        };
+        out.push_str(&fmt_row(&self.header, &widths));
+        out.push('\n');
+        out.push_str(&"-".repeat(widths.iter().sum::<usize>() + 2 * (widths.len() - 1)));
+        out.push('\n');
+        for row in &self.rows {
+            out.push_str(&fmt_row(row, &widths));
+            out.push('\n');
+        }
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn table_renders_aligned() {
+        let mut t = Table::new(&["name", "value"]);
+        t.row(vec!["x".into(), "1".into()]);
+        t.row(vec!["longer".into(), "22".into()]);
+        let s = t.render();
+        assert!(s.contains("name"));
+        assert!(s.lines().count() == 4);
+    }
+
+    #[test]
+    #[should_panic(expected = "row arity")]
+    fn table_rejects_wrong_arity() {
+        let mut t = Table::new(&["a", "b"]);
+        t.row(vec!["only-one".into()]);
+    }
+}

@@ -1,0 +1,497 @@
+//! # kremlin-compress — dictionary compression of region summaries
+//!
+//! A profiled program produces one summary per **dynamic region instance**
+//! — for deeply nested loops that is easily billions of records ("750 MB to
+//! 54 GB" raw for the NPB suite, paper §4.4). Kremlin's key observation is
+//! that most summaries are identical, so it interns each exit tuple
+//! `(static region, critical path, work, children)` into a growing
+//! *alphabet*: children are described by previously-interned characters and
+//! their repeat counts, so the alphabet necessarily starts at leaf regions
+//! and grows toward `main`.
+//!
+//! Crucially the planner never decompresses: self-parallelism and instance
+//! counts are computed **directly on dictionary entries**, each of which
+//! may stand for thousands of dynamic regions (§4.4: "processing each
+//! character therefore corresponds to processing thousands of dynamic
+//! regions").
+//!
+//! This crate is deliberately independent of the IR: static regions are
+//! identified by a plain `u32` ([`StaticId`]), so the dictionary can be
+//! unit-tested and benchmarked in isolation.
+
+use std::collections::HashMap;
+use std::fmt;
+
+/// Identifies a static region (the IR's `RegionId` index).
+pub type StaticId = u32;
+
+/// A character in the compression alphabet: one unique region summary.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct EntryId(pub u32);
+
+impl EntryId {
+    /// The underlying index.
+    pub fn index(self) -> usize {
+        self.0 as usize
+    }
+}
+
+impl fmt::Display for EntryId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "e{}", self.0)
+    }
+}
+
+/// One dictionary entry: a unique `(static region, work, cp, children)`
+/// summary. Children always reference earlier entries, so the entry list
+/// is topologically ordered leaf-to-root.
+#[derive(Debug, Clone, PartialEq, Eq, Hash)]
+pub struct Entry {
+    /// The static region this summarizes.
+    pub static_id: StaticId,
+    /// Total work (sum of executed instruction latencies, children
+    /// included).
+    pub work: u64,
+    /// Critical path length at this region's nesting level.
+    pub cp: u64,
+    /// Child summaries as `(entry, repeat count)`, sorted by entry ID.
+    /// Order of dynamic children is *not* preserved — that is what buys
+    /// the extra compression over whole-program path schemes (paper §7).
+    pub children: Vec<(EntryId, u64)>,
+}
+
+impl Entry {
+    /// Sum over children of `count * f(child)`.
+    fn sum_children(&self, f: impl Fn(EntryId) -> u64) -> u64 {
+        self.children.iter().map(|(c, n)| n * f(*c)).sum()
+    }
+
+    /// Total number of direct dynamic children.
+    pub fn child_instances(&self) -> u64 {
+        self.children.iter().map(|(_, n)| *n).sum()
+    }
+
+    /// Work done in this region excluding its children (`SW(R)` in paper
+    /// eq. 2). Saturates at zero to tolerate rounding in synthetic inputs.
+    pub fn self_work(&self, dict: &Dictionary) -> u64 {
+        self.work.saturating_sub(self.sum_children(|c| dict.entry(c).work))
+    }
+}
+
+/// The dictionary: alphabet of unique region summaries plus raw-stream
+/// accounting for the compression statistics of paper §4.4.
+#[derive(Debug, Clone, Default)]
+pub struct Dictionary {
+    entries: Vec<Entry>,
+    interner: HashMap<Entry, EntryId>,
+    /// Total dynamic region instances summarized (the uncompressed stream
+    /// length).
+    raw_summaries: u64,
+    /// The root entry (main's summary), set by [`Dictionary::set_root`].
+    root: Option<EntryId>,
+}
+
+impl Dictionary {
+    /// Creates an empty dictionary.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Interns a region summary, returning its character.
+    ///
+    /// `children` may be in any order and may contain duplicate entry IDs;
+    /// they are canonicalized (sorted, merged) here.
+    ///
+    /// # Panics
+    ///
+    /// Panics if a child references an entry that does not exist yet
+    /// (violating leaf-to-root construction).
+    pub fn intern(
+        &mut self,
+        static_id: StaticId,
+        work: u64,
+        cp: u64,
+        mut children: Vec<(EntryId, u64)>,
+    ) -> EntryId {
+        children.sort_by_key(|(c, _)| *c);
+        children.dedup_by(|a, b| {
+            if a.0 == b.0 {
+                b.1 += a.1;
+                true
+            } else {
+                false
+            }
+        });
+        for (c, _) in &children {
+            assert!(c.index() < self.entries.len(), "child {c} not yet interned");
+        }
+        self.raw_summaries += 1;
+        let key = Entry { static_id, work, cp, children };
+        if let Some(&id) = self.interner.get(&key) {
+            return id;
+        }
+        let id = EntryId(u32::try_from(self.entries.len()).expect("alphabet overflow"));
+        self.entries.push(key.clone());
+        self.interner.insert(key, id);
+        id
+    }
+
+    /// Marks the whole-program (root) entry.
+    pub fn set_root(&mut self, root: EntryId) {
+        self.root = Some(root);
+    }
+
+    /// The root entry, if set.
+    pub fn root(&self) -> Option<EntryId> {
+        self.root
+    }
+
+    /// Looks up an entry.
+    pub fn entry(&self, id: EntryId) -> &Entry {
+        &self.entries[id.index()]
+    }
+
+    /// Number of unique entries (alphabet size).
+    pub fn len(&self) -> usize {
+        self.entries.len()
+    }
+
+    /// True if nothing has been interned.
+    pub fn is_empty(&self) -> bool {
+        self.entries.is_empty()
+    }
+
+    /// Total dynamic region instances summarized.
+    pub fn raw_summaries(&self) -> u64 {
+        self.raw_summaries
+    }
+
+    /// Iterates entries leaf-to-root.
+    pub fn iter(&self) -> impl Iterator<Item = (EntryId, &Entry)> {
+        self.entries.iter().enumerate().map(|(i, e)| (EntryId(i as u32), e))
+    }
+
+    // ---- compressed-domain analyses ---------------------------------------
+
+    /// Dynamic instance count of every entry, counted from the root
+    /// (the root itself counts once). Entries unreachable from the root
+    /// count zero.
+    ///
+    /// One pass over the alphabet — never decompresses the region stream.
+    pub fn instance_counts(&self) -> Vec<u64> {
+        let mut counts = vec![0u64; self.entries.len()];
+        let Some(root) = self.root else { return counts };
+        counts[root.index()] = 1;
+        // Children have smaller indices than parents, so a reverse pass
+        // propagates counts in one sweep.
+        for i in (0..self.entries.len()).rev() {
+            let c = counts[i];
+            if c == 0 {
+                continue;
+            }
+            for &(child, n) in &self.entries[i].children {
+                counts[child.index()] += c * n;
+            }
+        }
+        counts
+    }
+
+    /// Like [`Dictionary::instance_counts`], but counting only *outermost*
+    /// instances with respect to static region `mask`: propagation stops at
+    /// entries of that region, so an activation nested inside another
+    /// activation of the same static region is not counted again. This is
+    /// how per-region totals stay ≤ whole-program work under recursion
+    /// (the gprof self/total-time distinction, applied to regions).
+    pub fn instance_counts_masked(&self, mask: StaticId) -> Vec<u64> {
+        let mut counts = vec![0u64; self.entries.len()];
+        let Some(root) = self.root else { return counts };
+        counts[root.index()] = 1;
+        for i in (0..self.entries.len()).rev() {
+            let c = counts[i];
+            if c == 0 {
+                continue;
+            }
+            // Masked entries absorb their count without propagating — an
+            // activation nested inside another activation of the masked
+            // region is invisible. The root always propagates, even when
+            // it is itself of the masked region.
+            if self.entries[i].static_id == mask && EntryId(i as u32) != root {
+                continue;
+            }
+            for &(child, n) in &self.entries[i].children {
+                counts[child.index()] += c * n;
+            }
+        }
+        counts
+    }
+
+    /// Self-parallelism of every entry (paper eq. 1):
+    /// `SP(R) = (Σ cp(children) + SW(R)) / cp(R)`.
+    ///
+    /// Entries with zero critical path get SP 1 (empty regions).
+    pub fn self_parallelism(&self) -> Vec<f64> {
+        self.entries
+            .iter()
+            .map(|e| {
+                if e.cp == 0 {
+                    return 1.0;
+                }
+                let child_cp = e.sum_children(|c| self.entry(c).cp);
+                let sw = e.self_work(self);
+                (child_cp + sw) as f64 / e.cp as f64
+            })
+            .collect()
+    }
+
+    /// Total parallelism (`work / cp`, paper §2.2) of every entry.
+    pub fn total_parallelism(&self) -> Vec<f64> {
+        self.entries
+            .iter()
+            .map(|e| if e.cp == 0 { 1.0 } else { e.work as f64 / e.cp as f64 })
+            .collect()
+    }
+
+    // ---- compression statistics (paper §4.4) -------------------------------
+
+    /// Estimated bytes of the uncompressed summary stream: each dynamic
+    /// region instance records `(static id, work, cp, child count)` =
+    /// 28 bytes, matching the fixed part of a Kremlin log record.
+    pub fn raw_bytes(&self) -> u64 {
+        self.raw_summaries * 28
+    }
+
+    /// Estimated bytes of the dictionary: fixed fields plus 12 bytes per
+    /// distinct child reference.
+    pub fn compressed_bytes(&self) -> u64 {
+        self.entries
+            .iter()
+            .map(|e| 28 + 12 * e.children.len() as u64)
+            .sum()
+    }
+
+    /// `raw_bytes / compressed_bytes` (the ~119,000× of paper §4.4).
+    pub fn compression_ratio(&self) -> f64 {
+        let c = self.compressed_bytes();
+        if c == 0 {
+            1.0
+        } else {
+            self.raw_bytes() as f64 / c as f64
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// Builds the dictionary for a synthetic program:
+    /// main { loop × 1 { body × N } }, every body identical.
+    fn loop_dict(n_iters: u64, body_work: u64, serial: bool) -> (Dictionary, EntryId) {
+        let mut d = Dictionary::new();
+        let body = d.intern(2, body_work, body_work, vec![]);
+        // All iterations produce the same body character.
+        for _ in 1..n_iters {
+            let again = d.intern(2, body_work, body_work, vec![]);
+            assert_eq!(again, body);
+        }
+        let loop_cp = if serial { n_iters * body_work } else { body_work };
+        let lp = d.intern(1, n_iters * body_work, loop_cp, vec![(body, n_iters)]);
+        let root = d.intern(0, n_iters * body_work + 10, n_iters * body_work + 10, vec![(lp, 1)]);
+        d.set_root(root);
+        (d, lp)
+    }
+
+    #[test]
+    fn identical_summaries_intern_once() {
+        let (d, _) = loop_dict(1000, 50, false);
+        assert_eq!(d.len(), 3); // body, loop, main
+        assert_eq!(d.raw_summaries(), 1002);
+    }
+
+    #[test]
+    fn fig5_parallel_children_sp_is_n() {
+        // Paper Figure 5: n parallel children, no self work:
+        // SP = n*cp_i / cp_i = n.
+        let (d, lp) = loop_dict(8, 100, false);
+        let sp = d.self_parallelism();
+        assert!((sp[lp.index()] - 8.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn fig5_serial_children_sp_is_one() {
+        // Paper Figure 5: n serial children: SP = n*cp_i / (n*cp_i) = 1.
+        let (d, lp) = loop_dict(8, 100, true);
+        let sp = d.self_parallelism();
+        assert!((sp[lp.index()] - 1.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn self_work_excludes_children() {
+        let mut d = Dictionary::new();
+        let c = d.intern(5, 40, 40, vec![]);
+        let p = d.intern(4, 100, 60, vec![(c, 2)]);
+        assert_eq!(d.entry(p).self_work(&d), 20);
+        assert_eq!(d.entry(p).child_instances(), 2);
+    }
+
+    #[test]
+    fn instance_counts_multiply_down_the_tree() {
+        let mut d = Dictionary::new();
+        let leaf = d.intern(3, 1, 1, vec![]);
+        let mid = d.intern(2, 10, 10, vec![(leaf, 4)]);
+        let root = d.intern(1, 100, 100, vec![(mid, 5)]);
+        d.set_root(root);
+        let counts = d.instance_counts();
+        assert_eq!(counts[root.index()], 1);
+        assert_eq!(counts[mid.index()], 5);
+        assert_eq!(counts[leaf.index()], 20);
+    }
+
+    #[test]
+    fn instance_counts_without_root_are_zero() {
+        let mut d = Dictionary::new();
+        d.intern(0, 1, 1, vec![]);
+        assert!(d.instance_counts().iter().all(|&c| c == 0));
+    }
+
+    #[test]
+    fn children_order_is_canonicalized() {
+        let mut d = Dictionary::new();
+        let a = d.intern(1, 5, 5, vec![]);
+        let b = d.intern(2, 6, 6, vec![]);
+        let p1 = d.intern(3, 30, 11, vec![(b, 1), (a, 2)]);
+        let p2 = d.intern(3, 30, 11, vec![(a, 1), (b, 1), (a, 1)]);
+        assert_eq!(p1, p2, "same multiset of children must intern identically");
+    }
+
+    #[test]
+    fn compression_ratio_grows_with_repetition() {
+        let (small, _) = loop_dict(10, 50, false);
+        let (large, _) = loop_dict(100_000, 50, false);
+        assert_eq!(small.len(), large.len());
+        assert!(large.compression_ratio() > small.compression_ratio());
+        assert!(large.compression_ratio() > 10_000.0);
+    }
+
+    #[test]
+    fn total_parallelism_bounds_self_parallelism_at_leaves() {
+        let mut d = Dictionary::new();
+        let leaf = d.intern(1, 120, 30, vec![]);
+        let sp = d.self_parallelism();
+        let tp = d.total_parallelism();
+        // For a leaf, SP == TP == work/cp.
+        assert!((sp[leaf.index()] - 4.0).abs() < 1e-9);
+        assert!((tp[leaf.index()] - 4.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn zero_cp_entries_are_sp_one() {
+        let mut d = Dictionary::new();
+        let e = d.intern(1, 0, 0, vec![]);
+        assert_eq!(d.self_parallelism()[e.index()], 1.0);
+        assert_eq!(d.total_parallelism()[e.index()], 1.0);
+    }
+
+    #[test]
+    fn masked_counts_stop_at_recursive_activations() {
+        // root(s=0) -> f(s=1) -> f(s=1) -> leaf(s=2)
+        let mut d = Dictionary::new();
+        let leaf = d.intern(2, 5, 5, vec![]);
+        let f_inner = d.intern(1, 10, 10, vec![(leaf, 1)]);
+        let f_outer = d.intern(1, 25, 20, vec![(f_inner, 2)]);
+        let root = d.intern(0, 30, 25, vec![(f_outer, 1)]);
+        d.set_root(root);
+        // Global counts see both activation layers.
+        let c = d.instance_counts();
+        assert_eq!(c[f_outer.index()], 1);
+        assert_eq!(c[f_inner.index()], 2);
+        assert_eq!(c[leaf.index()], 2);
+        // Masked at s=1: only the outermost activation counts, and the
+        // leaf below it is invisible (it belongs to the nested call).
+        let m = d.instance_counts_masked(1);
+        assert_eq!(m[f_outer.index()], 1);
+        assert_eq!(m[f_inner.index()], 0);
+        assert_eq!(m[leaf.index()], 0);
+        // Masking an unrelated region changes nothing.
+        let m2 = d.instance_counts_masked(7);
+        assert_eq!(m2, c);
+    }
+
+    #[test]
+    #[should_panic(expected = "not yet interned")]
+    fn forward_child_reference_panics() {
+        let mut d = Dictionary::new();
+        d.intern(1, 1, 1, vec![(EntryId(5), 1)]);
+    }
+}
+
+#[cfg(test)]
+mod proptests {
+    use super::*;
+    use proptest::prelude::*;
+
+    /// A random region stream: a forest description as (static_id, work
+    /// increments, fanouts) that we fold into a dictionary bottom-up.
+    fn tree_strategy() -> impl Strategy<Value = Vec<(u32, u64, u64, usize)>> {
+        // (static id, self work, cp fraction seed, child picks)
+        proptest::collection::vec((0u32..12, 1u64..500, 1u64..100, 0usize..4), 1..40)
+    }
+
+    proptest! {
+        #[test]
+        fn dictionary_invariants_hold_on_random_streams(spec in tree_strategy()) {
+            let mut d = Dictionary::new();
+            let mut pool: Vec<EntryId> = Vec::new();
+            for (sid, self_work, cp_seed, n_children) in spec {
+                // Pick up to n_children existing entries as children.
+                let children: Vec<(EntryId, u64)> = pool
+                    .iter()
+                    .rev()
+                    .take(n_children)
+                    .map(|&c| (c, 1 + (cp_seed % 3)))
+                    .collect();
+                let child_work: u64 =
+                    children.iter().map(|(c, n)| n * d.entry(*c).work).sum();
+                let child_cp: u64 =
+                    children.iter().map(|(c, n)| n * d.entry(*c).cp).sum();
+                let work = self_work + child_work;
+                // cp between max(child cp contribution needed) and work.
+                let cp = (child_cp / 2 + self_work / 2).clamp(1, work.max(1));
+                pool.push(d.intern(sid, work, cp, children));
+            }
+            let root = *pool.last().unwrap();
+            d.set_root(root);
+
+            // Invariants: SP >= 1 wherever cp <= work holds by construction;
+            // instance counts of the root's closure are positive; compression
+            // accounting is consistent.
+            let counts = d.instance_counts();
+            prop_assert_eq!(counts[root.index()], 1);
+            let tp = d.total_parallelism();
+            for (id, e) in d.iter() {
+                prop_assert!(e.cp <= e.work.max(1));
+                prop_assert!(tp[id.index()] >= 0.99);
+                prop_assert!(e.self_work(&d) <= e.work);
+            }
+            // Raw accounting is linear in the stream; the dictionary is
+            // not (re-interning the same stream leaves the alphabet and
+            // the compressed size untouched while raw bytes double).
+            prop_assert_eq!(d.raw_bytes(), 28 * d.raw_summaries());
+            let len_before = d.len();
+            let compressed_before = d.compressed_bytes();
+            let raw_before = d.raw_bytes();
+            let entries: Vec<Entry> =
+                d.iter().map(|(_, e)| e.clone()).collect();
+            for e in entries {
+                d.intern(e.static_id, e.work, e.cp, e.children);
+            }
+            prop_assert_eq!(d.len(), len_before);
+            prop_assert_eq!(d.compressed_bytes(), compressed_before);
+            prop_assert!(d.raw_bytes() > raw_before);
+            // Re-interning the root summary yields the same character.
+            let e0 = d.entry(root).clone();
+            let again = d.intern(e0.static_id, e0.work, e0.cp, e0.children.clone());
+            prop_assert_eq!(again, root);
+        }
+    }
+}

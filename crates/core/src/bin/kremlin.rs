@@ -1,0 +1,254 @@
+//! The `kremlin` command-line tool — the paper's Figure 3 user interface.
+//!
+//! ```text
+//! kremlin <program.kc> [options]
+//!
+//! options:
+//!   --personality=<openmp|cilk|work-only|self-parallelism>   (default openmp)
+//!   --exclude=<label,label,...>   regions the user cannot parallelize (§3)
+//!   --regions                     dump per-region profile stats instead
+//!   --evaluate                    simulate the plan on the machine model
+//!   --runs=<n>                    profile n runs and aggregate (§2.4)
+//!   --window=<n>                  HCPA depth window (§4.2's flag)
+//!   --no-break-deps               disable induction/reduction breaking
+//!   --save-profile=<path>         write the parallelism profile
+//!   --load-profile=<path>         plan from a saved profile (skips execution)
+//!   --dump-ir                     print the instrumented IR and exit
+//! ```
+
+use kremlin::persist::{load_profile, save_profile};
+use kremlin::{
+    CilkPlanner, HcpaConfig, Kremlin, OpenMpPlanner, Personality, SelfPFilterPlanner,
+    WorkOnlyPlanner,
+};
+use std::collections::HashSet;
+use std::process::ExitCode;
+
+struct Options {
+    input: Option<String>,
+    personality: String,
+    exclude: Vec<String>,
+    regions: bool,
+    evaluate: bool,
+    runs: usize,
+    window: Option<usize>,
+    break_deps: bool,
+    save_profile: Option<String>,
+    load_profile: Option<String>,
+    dump_ir: bool,
+    report: bool,
+}
+
+fn usage() -> &'static str {
+    "usage: kremlin <program.kc> [--personality=openmp|cilk|work-only|self-parallelism]\n\
+     \x20              [--exclude=l1,l2] [--regions] [--evaluate] [--runs=N]\n\
+     \x20              [--window=N] [--no-break-deps]\n\
+     \x20              [--save-profile=PATH] [--load-profile=PATH] [--dump-ir] [--report]"
+}
+
+fn parse_args(args: &[String]) -> Result<Options, String> {
+    let mut o = Options {
+        input: None,
+        personality: "openmp".into(),
+        exclude: Vec::new(),
+        regions: false,
+        evaluate: false,
+        runs: 1,
+        window: None,
+        break_deps: true,
+        save_profile: None,
+        load_profile: None,
+        dump_ir: false,
+        report: false,
+    };
+    for a in args {
+        if let Some(v) = a.strip_prefix("--personality=") {
+            o.personality = v.to_owned();
+        } else if let Some(v) = a.strip_prefix("--exclude=") {
+            o.exclude.extend(v.split(',').map(|s| s.trim().to_owned()));
+        } else if a == "--regions" {
+            o.regions = true;
+        } else if a == "--evaluate" {
+            o.evaluate = true;
+        } else if let Some(v) = a.strip_prefix("--runs=") {
+            o.runs = v.parse().map_err(|_| format!("bad --runs value `{v}`"))?;
+            if o.runs == 0 {
+                return Err("--runs must be at least 1".into());
+            }
+        } else if let Some(v) = a.strip_prefix("--window=") {
+            o.window = Some(v.parse().map_err(|_| format!("bad --window value `{v}`"))?);
+        } else if a == "--no-break-deps" {
+            o.break_deps = false;
+        } else if let Some(v) = a.strip_prefix("--save-profile=") {
+            o.save_profile = Some(v.to_owned());
+        } else if let Some(v) = a.strip_prefix("--load-profile=") {
+            o.load_profile = Some(v.to_owned());
+        } else if a == "--dump-ir" {
+            o.dump_ir = true;
+        } else if a == "--report" {
+            o.report = true;
+        } else if a == "--help" || a == "-h" {
+            return Err(usage().to_owned());
+        } else if a.starts_with("--") {
+            return Err(format!("unknown option `{a}`\n{}", usage()));
+        } else if o.input.is_none() {
+            o.input = Some(a.clone());
+        } else {
+            return Err(format!("unexpected argument `{a}`\n{}", usage()));
+        }
+    }
+    Ok(o)
+}
+
+fn personality(name: &str) -> Result<Box<dyn Personality>, String> {
+    Ok(match name {
+        "openmp" => Box::new(OpenMpPlanner::default()),
+        "cilk" => Box::new(CilkPlanner::default()),
+        "work-only" => Box::new(WorkOnlyPlanner::default()),
+        "self-parallelism" => Box::new(SelfPFilterPlanner::default()),
+        other => return Err(format!("unknown personality `{other}`")),
+    })
+}
+
+fn run() -> Result<(), String> {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    if args.is_empty() {
+        return Err(usage().to_owned());
+    }
+    let o = parse_args(&args)?;
+    let planner = personality(&o.personality)?;
+
+    // Plan from a previously saved profile: no execution needed.
+    if let Some(path) = &o.load_profile {
+        let text = std::fs::read_to_string(path).map_err(|e| format!("{path}: {e}"))?;
+        let saved = load_profile(&text).map_err(|e| e.to_string())?;
+        let exclude = resolve_excludes(&o.exclude, |l| saved.regions.by_label(l))?;
+        let plan = planner.plan(&saved.profile, &exclude);
+        print!("{plan}");
+        if o.evaluate {
+            let sim = kremlin::Simulator::new(
+                &saved.profile,
+                &saved.regions,
+                kremlin::MachineModel::default(),
+            );
+            let eval = sim.evaluate(&plan.regions());
+            println!(
+                "\nestimated: {:.2}x speedup on {} cores (serial {:.0} -> {:.0})",
+                eval.speedup, eval.best_cores, eval.serial_time, eval.parallel_time
+            );
+        }
+        return Ok(());
+    }
+
+    let input = o.input.as_deref().ok_or_else(|| usage().to_owned())?;
+    let src = std::fs::read_to_string(input).map_err(|e| format!("{input}: {e}"))?;
+    let name = std::path::Path::new(input)
+        .file_name()
+        .map(|f| f.to_string_lossy().into_owned())
+        .unwrap_or_else(|| input.to_owned());
+
+    if o.dump_ir {
+        let unit = kremlin::ir::compile(&src, &name).map_err(|e| e.to_string())?;
+        print!("{}", kremlin::ir::printer::print_module(&unit.module));
+        return Ok(());
+    }
+
+    let mut tool = Kremlin::new();
+    if let Some(w) = o.window {
+        tool.hcpa.window = w;
+    }
+    tool.hcpa.break_carried_deps = o.break_deps;
+    let _ = HcpaConfig::default();
+
+    let analysis = if o.runs > 1 {
+        tool.analyze_runs(&src, &name, o.runs)
+    } else {
+        tool.analyze(&src, &name)
+    }
+    .map_err(|e| e.to_string())?;
+
+    eprintln!(
+        "[kremlin] exit={} instrs={} dynamic-regions={} max-depth={}",
+        analysis.outcome.run.exit,
+        analysis.outcome.run.instrs_executed,
+        analysis.outcome.stats.dynamic_regions,
+        analysis.outcome.stats.max_depth
+    );
+
+    if let Some(path) = &o.save_profile {
+        let text = save_profile(
+            &name,
+            &analysis.unit.module.regions,
+            &analysis.unit.reduction_loops(),
+            analysis.profile(),
+        );
+        std::fs::write(path, text).map_err(|e| format!("{path}: {e}"))?;
+        eprintln!("[kremlin] profile saved to {path}");
+    }
+
+    if o.regions {
+        println!(
+            "{:<24} {:>6} {:>10} {:>9} {:>9} {:>8} {:>7} {:>6}",
+            "region", "kind", "instances", "cov.(%)", "self-p", "total-p", "iters", "doall"
+        );
+        for s in analysis.profile().iter() {
+            println!(
+                "{:<24} {:>6} {:>10} {:>9.2} {:>9.1} {:>8.1} {:>7.1} {:>6}",
+                s.label,
+                s.kind.to_string(),
+                s.instances,
+                s.coverage * 100.0,
+                s.self_p,
+                s.total_p,
+                s.avg_children,
+                if s.is_doall { "yes" } else { "no" }
+            );
+        }
+        return Ok(());
+    }
+
+    if o.report {
+        print!(
+            "{}",
+            kremlin::report::render(
+                &analysis,
+                planner.as_ref(),
+                kremlin::report::ReportOptions::default()
+            )
+        );
+        return Ok(());
+    }
+
+    let exclude = resolve_excludes(&o.exclude, |l| analysis.unit.module.regions.by_label(l))?;
+    let plan = planner.plan(analysis.profile(), &exclude);
+    print!("{plan}");
+
+    if o.evaluate {
+        let eval = analysis.evaluate(&plan);
+        println!(
+            "\nestimated: {:.2}x speedup on {} cores (serial {:.0} -> {:.0})",
+            eval.speedup, eval.best_cores, eval.serial_time, eval.parallel_time
+        );
+    }
+    Ok(())
+}
+
+fn resolve_excludes(
+    labels: &[String],
+    lookup: impl Fn(&str) -> Option<kremlin::RegionId>,
+) -> Result<HashSet<kremlin::RegionId>, String> {
+    labels
+        .iter()
+        .map(|l| lookup(l).ok_or_else(|| format!("unknown region label `{l}` in --exclude")))
+        .collect()
+}
+
+fn main() -> ExitCode {
+    match run() {
+        Ok(()) => ExitCode::SUCCESS,
+        Err(msg) => {
+            eprintln!("{msg}");
+            ExitCode::FAILURE
+        }
+    }
+}

@@ -1,0 +1,234 @@
+//! Markdown analysis reports.
+//!
+//! Bundles everything a programmer needs from one profiled run into a
+//! single document: the ranked plan (Figure 3), the per-region profile,
+//! the Figure 2-style localization table (self- vs total-parallelism for
+//! loop nests), simulated what-if speedups, and profile statistics. The
+//! CLI exposes this as `kremlin <file> --report`.
+
+use crate::{Analysis, MachineModel, Personality};
+use kremlin_ir::RegionKind;
+use std::collections::HashSet;
+use std::fmt::Write as _;
+
+/// Report configuration.
+#[derive(Debug, Clone, Copy)]
+pub struct ReportOptions {
+    /// Maximum plan entries to list.
+    pub max_plan_entries: usize,
+    /// Maximum regions in the profile table (by coverage).
+    pub max_regions: usize,
+    /// Include the simulated what-if section.
+    pub simulate: bool,
+}
+
+impl Default for ReportOptions {
+    fn default() -> Self {
+        ReportOptions { max_plan_entries: 20, max_regions: 40, simulate: true }
+    }
+}
+
+/// Renders a full markdown report for one analysis.
+pub fn render(analysis: &Analysis, personality: &dyn Personality, opts: ReportOptions) -> String {
+    let mut out = String::new();
+    let profile = analysis.profile();
+    let name = &analysis.unit.module.source_name;
+    let none = HashSet::new();
+    let plan = personality.plan(profile, &none);
+
+    let _ = writeln!(out, "# Kremlin parallelism report — `{name}`\n");
+    let _ = writeln!(
+        out,
+        "- executed instructions: **{}**",
+        analysis.outcome.run.instrs_executed
+    );
+    let _ = writeln!(out, "- program exit code: {}", analysis.outcome.run.exit);
+    let _ = writeln!(
+        out,
+        "- dynamic regions profiled: {} (max nesting depth {})",
+        analysis.outcome.stats.dynamic_regions, analysis.outcome.stats.max_depth
+    );
+    let dict = &profile.dict;
+    let _ = writeln!(
+        out,
+        "- compressed profile: {} summaries -> {} dictionary entries ({:.0}x)",
+        dict.raw_summaries(),
+        dict.len(),
+        dict.compression_ratio()
+    );
+    let _ = writeln!(
+        out,
+        "- shadow memory: {} pages (~{} KiB)\n",
+        analysis.outcome.stats.shadow_pages,
+        analysis.outcome.stats.shadow_bytes / 1024
+    );
+
+    // ---- the plan -----------------------------------------------------------
+    let _ = writeln!(out, "## Parallelism plan (personality: {})\n", personality.name());
+    if plan.is_empty() {
+        let _ = writeln!(out, "No profitable regions found.\n");
+    } else {
+        let _ = writeln!(out, "| # | region | location | self-P | cov % | type | est. speedup |");
+        let _ = writeln!(out, "|---|--------|----------|--------|-------|------|--------------|");
+        for (i, e) in plan.entries.iter().take(opts.max_plan_entries).enumerate() {
+            let _ = writeln!(
+                out,
+                "| {} | `{}` | {} | {:.1} | {:.2} | {} | {:.2}x |",
+                i + 1,
+                e.label,
+                e.location,
+                e.self_p,
+                e.coverage * 100.0,
+                e.kind,
+                e.est_speedup
+            );
+        }
+        if plan.len() > opts.max_plan_entries {
+            let _ = writeln!(out, "\n({} more entries omitted)", plan.len() - opts.max_plan_entries);
+        }
+        let _ = writeln!(out);
+    }
+
+    // ---- what-if simulation --------------------------------------------------
+    if opts.simulate && !plan.is_empty() {
+        let _ = writeln!(out, "## Estimated outcome (machine model, best of 1..32 cores)\n");
+        let sim = analysis.simulator(MachineModel::default());
+        let _ = writeln!(out, "| plan prefix | speedup | best cores |");
+        let _ = writeln!(out, "|-------------|---------|------------|");
+        let mut set = HashSet::new();
+        for (i, e) in plan.entries.iter().take(opts.max_plan_entries).enumerate() {
+            set.insert(e.region);
+            let eval = sim.evaluate(&set);
+            let _ = writeln!(
+                out,
+                "| first {} | {:.2}x | {} |",
+                i + 1,
+                eval.speedup,
+                eval.best_cores
+            );
+        }
+        let _ = writeln!(out);
+    }
+
+    // ---- region profile -------------------------------------------------------
+    let _ = writeln!(out, "## Region profile (top {} by coverage)\n", opts.max_regions);
+    let _ = writeln!(out, "| region | kind | instances | cov % | self-P | total-P | iters | class |");
+    let _ = writeln!(out, "|--------|------|-----------|-------|--------|---------|-------|-------|");
+    let mut regions: Vec<_> = profile.iter().collect();
+    regions.sort_by(|a, b| b.coverage.total_cmp(&a.coverage));
+    for s in regions.iter().take(opts.max_regions) {
+        let class = if s.kind != RegionKind::Loop {
+            "-"
+        } else if s.is_doall && s.is_reduction {
+            "reduction"
+        } else if s.is_doall {
+            "DOALL"
+        } else if s.self_p >= 5.0 {
+            "DOACROSS"
+        } else {
+            "serial"
+        };
+        let _ = writeln!(
+            out,
+            "| `{}` | {} | {} | {:.2} | {:.1} | {:.1} | {:.1} | {} |",
+            s.label,
+            s.kind,
+            s.instances,
+            s.coverage * 100.0,
+            s.self_p,
+            s.total_p,
+            s.avg_children,
+            class
+        );
+    }
+    let _ = writeln!(out);
+
+    // ---- localization table ----------------------------------------------------
+    // For every loop that contains another loop, contrast self- and
+    // total-parallelism (the Figure 2 insight).
+    let mut rows = Vec::new();
+    for s in profile.iter().filter(|s| s.kind == RegionKind::Loop) {
+        let has_inner_loop = profile
+            .descendants(s.region)
+            .into_iter()
+            .filter_map(|c| profile.stats(c))
+            .any(|c| c.kind == RegionKind::Loop);
+        if has_inner_loop && s.total_p > 2.0 * s.self_p && s.self_p < 5.0 {
+            rows.push(s);
+        }
+    }
+    if !rows.is_empty() {
+        let _ = writeln!(out, "## Parallelism localized away from these outer loops\n");
+        let _ = writeln!(
+            out,
+            "Plain critical-path analysis would report these as parallel; their \
+             parallelism actually belongs to nested regions.\n"
+        );
+        let _ = writeln!(out, "| outer loop | self-P | total-P |");
+        let _ = writeln!(out, "|------------|--------|---------|");
+        for s in rows {
+            let _ = writeln!(out, "| `{}` | {:.1} | {:.1} |", s.label, s.self_p, s.total_p);
+        }
+        let _ = writeln!(out);
+    }
+
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::{Kremlin, OpenMpPlanner};
+
+    #[test]
+    fn report_contains_all_sections() {
+        let w = kremlin_workloads::by_name("tracking").unwrap();
+        let analysis = Kremlin::new().analyze(w.source, &w.file_name()).unwrap();
+        let report = render(&analysis, &OpenMpPlanner::default(), ReportOptions::default());
+        for needle in [
+            "# Kremlin parallelism report",
+            "## Parallelism plan",
+            "## Estimated outcome",
+            "## Region profile",
+            "localized away",
+            "fill_features",
+            "DOALL",
+        ] {
+            assert!(report.contains(needle), "missing `{needle}`");
+        }
+    }
+
+    #[test]
+    fn report_handles_empty_plans() {
+        let analysis = Kremlin::new()
+            .analyze(
+                "float x[64]; int main() { x[0] = 1.0; for (int i = 1; i < 64; i++) { x[i] = x[i-1] * 0.5; } return 0; }",
+                "serial.kc",
+            )
+            .unwrap();
+        let report = render(&analysis, &OpenMpPlanner::default(), ReportOptions::default());
+        assert!(report.contains("No profitable regions"));
+        assert!(!report.contains("## Estimated outcome"));
+    }
+
+    #[test]
+    fn truncation_respects_limits() {
+        let w = kremlin_workloads::by_name("lu").unwrap();
+        let analysis = Kremlin::new().analyze(w.source, &w.file_name()).unwrap();
+        let report = render(
+            &analysis,
+            &OpenMpPlanner::default(),
+            ReportOptions { max_plan_entries: 2, max_regions: 3, simulate: false },
+        );
+        assert!(report.contains("more entries omitted"));
+        let profile_section = report
+            .split("## Region profile")
+            .nth(1)
+            .unwrap()
+            .split("\n## ")
+            .next()
+            .unwrap();
+        let table_rows = profile_section.lines().filter(|l| l.starts_with("| `")).count();
+        assert_eq!(table_rows, 3, "region table not truncated:\n{profile_section}");
+    }
+}

@@ -1,0 +1,134 @@
+//! End-to-end tests of the `kremlin` CLI binary.
+
+use std::process::Command;
+
+fn kremlin() -> Command {
+    Command::new(env!("CARGO_BIN_EXE_kremlin"))
+}
+
+fn write_temp(name: &str, content: &str) -> std::path::PathBuf {
+    let dir = std::env::temp_dir().join("kremlin-cli-tests");
+    std::fs::create_dir_all(&dir).expect("temp dir");
+    let path = dir.join(name);
+    std::fs::write(&path, content).expect("write temp file");
+    path
+}
+
+const DEMO: &str = "float a[128];\n\
+    int main() {\n\
+      for (int i = 0; i < 128; i++) { a[i] = sqrt((float) i) * 2.0; }\n\
+      return 0;\n\
+    }";
+
+#[test]
+fn plans_a_program() {
+    let src = write_temp("demo.kc", DEMO);
+    let out = kremlin().arg(&src).output().expect("runs");
+    assert!(out.status.success(), "stderr: {}", String::from_utf8_lossy(&out.stderr));
+    let stdout = String::from_utf8_lossy(&out.stdout);
+    assert!(stdout.contains("parallelism plan [openmp]"), "{stdout}");
+    assert!(stdout.contains("DOALL"), "{stdout}");
+    assert!(stdout.contains("demo.kc ("), "{stdout}");
+}
+
+#[test]
+fn evaluate_flag_reports_speedup() {
+    let src = write_temp("demo2.kc", DEMO);
+    let out = kremlin().arg(&src).arg("--evaluate").output().expect("runs");
+    assert!(out.status.success());
+    let stdout = String::from_utf8_lossy(&out.stdout);
+    assert!(stdout.contains("estimated:"), "{stdout}");
+    assert!(stdout.contains("x speedup on"), "{stdout}");
+}
+
+#[test]
+fn save_then_load_profile() {
+    let src = write_temp("demo3.kc", DEMO);
+    let prof = std::env::temp_dir().join("kremlin-cli-tests").join("demo3.prof");
+    let out = kremlin()
+        .arg(&src)
+        .arg(format!("--save-profile={}", prof.display()))
+        .output()
+        .expect("runs");
+    assert!(out.status.success());
+    assert!(prof.exists());
+
+    let out = kremlin()
+        .arg(format!("--load-profile={}", prof.display()))
+        .arg("--personality=work-only")
+        .output()
+        .expect("runs");
+    assert!(out.status.success(), "stderr: {}", String::from_utf8_lossy(&out.stderr));
+    let stdout = String::from_utf8_lossy(&out.stdout);
+    assert!(stdout.contains("parallelism plan [work-only]"), "{stdout}");
+}
+
+#[test]
+fn regions_dump_and_dump_ir() {
+    let src = write_temp("demo4.kc", DEMO);
+    let out = kremlin().arg(&src).arg("--regions").output().expect("runs");
+    assert!(out.status.success());
+    let stdout = String::from_utf8_lossy(&out.stdout);
+    assert!(stdout.contains("main#L0"), "{stdout}");
+    assert!(stdout.contains("self-p"), "{stdout}");
+
+    let out = kremlin().arg(&src).arg("--dump-ir").output().expect("runs");
+    assert!(out.status.success());
+    let stdout = String::from_utf8_lossy(&out.stdout);
+    assert!(stdout.contains("region.enter"), "{stdout}");
+    assert!(stdout.contains("phi"), "{stdout}");
+}
+
+#[test]
+fn errors_are_reported_with_nonzero_exit() {
+    // Unknown option.
+    let out = kremlin().arg("--bogus").output().expect("runs");
+    assert!(!out.status.success());
+    assert!(String::from_utf8_lossy(&out.stderr).contains("unknown option"));
+
+    // Missing file.
+    let out = kremlin().arg("/nonexistent/x.kc").output().expect("runs");
+    assert!(!out.status.success());
+
+    // Compile error in the program.
+    let bad = write_temp("bad.kc", "int main() { return x; }");
+    let out = kremlin().arg(&bad).output().expect("runs");
+    assert!(!out.status.success());
+    assert!(String::from_utf8_lossy(&out.stderr).contains("undeclared"));
+
+    // Unknown exclude label.
+    let src = write_temp("demo5.kc", DEMO);
+    let out = kremlin().arg(&src).arg("--exclude=main#L9").output().expect("runs");
+    assert!(!out.status.success());
+    assert!(String::from_utf8_lossy(&out.stderr).contains("unknown region label"));
+}
+
+#[test]
+fn exclusion_changes_the_plan() {
+    let src = write_temp("demo6.kc", DEMO);
+    let out = kremlin().arg(&src).output().expect("runs");
+    let with = String::from_utf8_lossy(&out.stdout).to_string();
+    let out = kremlin().arg(&src).arg("--exclude=main#L0").output().expect("runs");
+    assert!(out.status.success());
+    let without = String::from_utf8_lossy(&out.stdout).to_string();
+    assert_ne!(with, without);
+    assert!(without.contains("no profitable regions"), "{without}");
+}
+
+#[test]
+fn no_break_deps_flag_changes_analysis() {
+    let src = write_temp(
+        "red.kc",
+        "float a[4096];\n\
+         int main() { float s = 0.0; for (int i = 0; i < 4096; i++) { s += sqrt((float) i); } return (int) s; }",
+    );
+    let plan_on = kremlin().arg(&src).output().expect("runs");
+    let on = String::from_utf8_lossy(&plan_on.stdout).to_string();
+    assert!(on.contains("REDUCTION"), "{on}");
+    let plan_off = kremlin().arg(&src).arg("--no-break-deps").output().expect("runs");
+    let off = String::from_utf8_lossy(&plan_off.stdout).to_string();
+    assert!(
+        off.contains("no profitable regions") || !off.contains("REDUCTION"),
+        "without breaking, the reduction loop must not appear DOALL: {off}"
+    );
+}

@@ -1,0 +1,148 @@
+//! Instruction cost (latency) model.
+//!
+//! Critical path analysis needs a latency for every operation: a value's
+//! availability time is "the times of all instructions it depends upon
+//! [max], then adding the operation's latency" (paper §4.1). Kremlin
+//! inherits LLVM-level costs; we use a conventional static latency table.
+//! Absolute values only scale the time axis — parallelism numbers are
+//! ratios — but relative costs (divides ≫ adds) keep workload balance
+//! realistic.
+
+use kremlin_ir::instr::{BinOp, InstrKind, Intrinsic, UnOp};
+
+/// Latency table, in abstract cycles.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct CostModel {
+    /// Simple integer ALU op (add/sub/compare/logic).
+    pub int_alu: u64,
+    /// Integer multiply.
+    pub int_mul: u64,
+    /// Integer divide/remainder.
+    pub int_div: u64,
+    /// Float add/subtract/negate.
+    pub float_add: u64,
+    /// Float multiply.
+    pub float_mul: u64,
+    /// Float divide.
+    pub float_div: u64,
+    /// `sqrt`.
+    pub sqrt: u64,
+    /// Transcendentals (`exp`, `log`, `sin`, `cos`, `pow`).
+    pub transcendental: u64,
+    /// Memory load.
+    pub load: u64,
+    /// Memory store.
+    pub store: u64,
+    /// Address arithmetic (`gep`).
+    pub addr: u64,
+    /// Int/float conversions.
+    pub convert: u64,
+    /// Call/return overhead charged to the call result.
+    pub call: u64,
+}
+
+impl Default for CostModel {
+    fn default() -> Self {
+        CostModel {
+            int_alu: 1,
+            int_mul: 3,
+            int_div: 20,
+            float_add: 3,
+            float_mul: 4,
+            float_div: 20,
+            sqrt: 20,
+            transcendental: 40,
+            load: 4,
+            store: 2,
+            addr: 1,
+            convert: 2,
+            call: 2,
+        }
+    }
+}
+
+impl CostModel {
+    /// Latency of one instruction. Markers, constants, parameters, and
+    /// phis are free: they model no datapath work.
+    pub fn latency(&self, kind: &InstrKind) -> u64 {
+        match kind {
+            InstrKind::Param(_)
+            | InstrKind::ConstInt(_)
+            | InstrKind::ConstFloat(_)
+            | InstrKind::Phi { .. }
+            | InstrKind::Alloca(_)
+            | InstrKind::GlobalAddr(_)
+            | InstrKind::RegionEnter(_)
+            | InstrKind::RegionExit(_)
+            | InstrKind::CdPush(_)
+            | InstrKind::CdPop => 0,
+            InstrKind::Bin(op, ..) => match op {
+                BinOp::IAdd | BinOp::ISub | BinOp::ICmp(_) | BinOp::LAnd | BinOp::LOr => {
+                    self.int_alu
+                }
+                BinOp::IMul => self.int_mul,
+                BinOp::IDiv | BinOp::IRem => self.int_div,
+                BinOp::FAdd | BinOp::FSub | BinOp::FCmp(_) => self.float_add,
+                BinOp::FMul => self.float_mul,
+                BinOp::FDiv => self.float_div,
+            },
+            InstrKind::Un(op, _) => match op {
+                UnOp::INeg | UnOp::LNot => self.int_alu,
+                UnOp::FNeg => self.float_add,
+                UnOp::IntToFloat | UnOp::FloatToInt => self.convert,
+            },
+            InstrKind::Gep { .. } => self.addr,
+            InstrKind::Load(_) => self.load,
+            InstrKind::Store { .. } => self.store,
+            InstrKind::Call { .. } => self.call,
+            InstrKind::IntrinsicCall { op, .. } => match op {
+                Intrinsic::Sqrt => self.sqrt,
+                Intrinsic::Exp
+                | Intrinsic::Log
+                | Intrinsic::Sin
+                | Intrinsic::Cos
+                | Intrinsic::Pow => self.transcendental,
+                Intrinsic::Fabs
+                | Intrinsic::FMin
+                | Intrinsic::FMax
+                | Intrinsic::IAbs
+                | Intrinsic::IMin
+                | Intrinsic::IMax => self.int_alu,
+            },
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use kremlin_ir::ValueId;
+
+    #[test]
+    fn markers_are_free() {
+        let c = CostModel::default();
+        assert_eq!(c.latency(&InstrKind::CdPop), 0);
+        assert_eq!(c.latency(&InstrKind::RegionEnter(kremlin_ir::RegionId(0))), 0);
+        assert_eq!(c.latency(&InstrKind::ConstInt(5)), 0);
+    }
+
+    #[test]
+    fn divides_cost_more_than_adds() {
+        let c = CostModel::default();
+        let add = c.latency(&InstrKind::Bin(BinOp::IAdd, ValueId(0), ValueId(1)));
+        let div = c.latency(&InstrKind::Bin(BinOp::IDiv, ValueId(0), ValueId(1)));
+        assert!(div > add);
+        let fdiv = c.latency(&InstrKind::Bin(BinOp::FDiv, ValueId(0), ValueId(1)));
+        let fmul = c.latency(&InstrKind::Bin(BinOp::FMul, ValueId(0), ValueId(1)));
+        assert!(fdiv > fmul);
+    }
+
+    #[test]
+    fn loads_cost_more_than_address_arithmetic() {
+        let c = CostModel::default();
+        assert!(
+            c.latency(&InstrKind::Load(ValueId(0)))
+                > c.latency(&InstrKind::Gep { base: ValueId(0), index: ValueId(1), stride: 1 })
+        );
+    }
+}

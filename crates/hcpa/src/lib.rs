@@ -1,0 +1,198 @@
+//! # kremlin-hcpa — hierarchical critical path analysis
+//!
+//! The core contribution of the Kremlin paper (PLDI 2011): run a critical
+//! path analysis **per dynamic region nesting level** so parallelism can be
+//! localized to specific loops and functions, and compute
+//! **self-parallelism**
+//!
+//! ```text
+//! SP(R) = (Σ_k cp(child_k(R)) + SW(R)) / cp(R)
+//! ```
+//!
+//! which factors out the parallelism contributed by a region's children —
+//! the parallel analogue of gprof's *self time*.
+//!
+//! The pieces, mirroring the paper's §4:
+//!
+//! * [`cost`] — instruction latency model (availability time arithmetic);
+//! * [`shadow`] — multi-level shadow memory and shadow register tables,
+//!   with region-instance **tags** to prevent cross-instance reuse (§4.2);
+//! * [`profiler`] — the [`kremlin_interp::ExecHook`] implementation:
+//!   per-depth time propagation, control-dependence stack, induction/
+//!   reduction breaking, and online dictionary compression (§4.1, §4.4);
+//! * [`profile`] — per-static-region aggregation ([`RegionStats`]:
+//!   self-parallelism, coverage, DOALL classification) computed in the
+//!   compressed domain.
+//!
+//! End-to-end:
+//!
+//! ```
+//! use kremlin_hcpa::{profile_unit, HcpaConfig};
+//! let unit = kremlin_ir::compile(
+//!     "float a[32];\n\
+//!      int main() { for (int i = 0; i < 32; i++) { a[i] = (float) i * 2.0; } return 0; }",
+//!     "demo.kc",
+//! ).unwrap();
+//! let outcome = profile_unit(&unit, HcpaConfig::default())?;
+//! let loop_region = unit.module.regions.by_label("main#L0").unwrap();
+//! let stats = outcome.profile.stats(loop_region).unwrap();
+//! assert!(stats.is_doall && stats.self_p > 20.0);
+//! # Ok::<(), kremlin_interp::InterpError>(())
+//! ```
+
+pub mod cost;
+pub mod profile;
+pub mod profiler;
+pub mod shadow;
+
+pub use cost::CostModel;
+pub use profile::{ParallelismProfile, RegionStats};
+pub use profiler::{HcpaConfig, Profiler, ProfilerStats};
+
+use kremlin_interp::{InterpError, MachineConfig, RunResult};
+use kremlin_ir::CompiledUnit;
+
+/// Everything produced by one profiled run.
+#[derive(Debug)]
+pub struct ProfileOutcome {
+    /// The aggregated per-region parallelism profile (owns the compressed
+    /// dictionary).
+    pub profile: ParallelismProfile,
+    /// Profiler statistics (shadow footprint, dynamic region count, ...).
+    pub stats: ProfilerStats,
+    /// The program's own result (exit code, instruction count).
+    pub run: RunResult,
+}
+
+/// Compiles-in the profiler and runs `main`: the equivalent of executing a
+/// Kremlin-instrumented binary (paper Figure 4).
+///
+/// # Errors
+///
+/// Propagates interpreter failures ([`InterpError`]).
+pub fn profile_unit(unit: &CompiledUnit, config: HcpaConfig) -> Result<ProfileOutcome, InterpError> {
+    profile_unit_with_machine(unit, config, MachineConfig::default())
+}
+
+/// [`profile_unit`] with explicit interpreter limits.
+///
+/// # Errors
+///
+/// Propagates interpreter failures ([`InterpError`]).
+pub fn profile_unit_with_machine(
+    unit: &CompiledUnit,
+    config: HcpaConfig,
+    machine: MachineConfig,
+) -> Result<ProfileOutcome, InterpError> {
+    let mut profiler = Profiler::new(&unit.module, config);
+    let run = kremlin_interp::run_with_hook(&unit.module, &mut profiler, machine)?;
+    let (dict, stats) = profiler.finish();
+    let mut profile =
+        ParallelismProfile::build(&unit.module.regions, dict, &unit.reduction_loops());
+    profile.set_source_name(&unit.module.source_name);
+    Ok(ProfileOutcome { profile, stats, run })
+}
+
+/// Profiles `unit` in depth slices of the given `window` and stitches the
+/// results — the paper's §4.2 workflow for bounding shadow-state cost and
+/// collecting deep programs in (potentially parallel) pieces.
+///
+/// Runs `ceil(max_depth / (window-1))` profiled executions. The returned
+/// profile is planning-ready; see [`ParallelismProfile::stitch`] for the
+/// simulator caveat.
+///
+/// # Errors
+///
+/// Propagates interpreter failures from any slice.
+///
+/// # Panics
+///
+/// Panics if `window < 2`.
+pub fn profile_unit_sliced(
+    unit: &CompiledUnit,
+    window: usize,
+) -> Result<ProfileOutcome, InterpError> {
+    assert!(window >= 2, "window must cover a region and its children");
+    let stride = window - 1;
+    let first = profile_unit(
+        unit,
+        HcpaConfig { window, min_depth: 0, ..HcpaConfig::default() },
+    )?;
+    let max_depth = first.stats.max_depth;
+    let mut slices = vec![first.profile.clone()];
+    let mut lo = stride;
+    while lo < max_depth {
+        let outcome = profile_unit(
+            unit,
+            HcpaConfig { window, min_depth: lo, ..HcpaConfig::default() },
+        )?;
+        slices.push(outcome.profile);
+        lo += stride;
+    }
+    let stitched =
+        ParallelismProfile::stitch(&slices, &first.stats.region_min_depth, window);
+    Ok(ProfileOutcome { profile: stitched, stats: first.stats, run: first.run })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn profiled_run_matches_plain_run() {
+        let unit = kremlin_ir::compile(
+            "int main() { int s = 0; for (int i = 0; i < 33; i++) { s += i * i; } return s % 97; }",
+            "t.kc",
+        )
+        .unwrap();
+        let plain = kremlin_interp::run(&unit.module).unwrap();
+        let out = profile_unit(&unit, HcpaConfig::default()).unwrap();
+        assert_eq!(plain.exit, out.run.exit, "profiling must not change semantics");
+        assert_eq!(plain.instrs_executed, out.run.instrs_executed);
+    }
+
+    #[test]
+    fn sliced_profiling_matches_full_window() {
+        // Deeply nested program: main > L > body > L > body > f > L > body
+        let unit = kremlin_ir::compile(
+            "float acc[16];\n\
+             float work(float x) { float s = 0.0; for (int k = 0; k < 6; k++) { s += sqrt(x + (float) k); } return s; }\n\
+             int main() {\n\
+               for (int i = 0; i < 6; i++) {\n\
+                 for (int j = 0; j < 6; j++) {\n\
+                   acc[j] += work((float) (i * j));\n\
+                 }\n\
+               }\n\
+               return (int) acc[3];\n\
+             }",
+            "deep.kc",
+        )
+        .unwrap();
+        let full = profile_unit(&unit, HcpaConfig::default()).unwrap();
+        let sliced = profile_unit_sliced(&unit, 3).unwrap();
+        assert!(full.stats.max_depth > 3, "program must exceed one slice");
+        for s in full.profile.iter() {
+            let t = sliced.profile.stats(s.region).unwrap_or_else(|| {
+                panic!("{} missing from stitched profile", s.label)
+            });
+            assert_eq!(s.total_work, t.total_work, "{}", s.label);
+            assert_eq!(s.instances, t.instances, "{}", s.label);
+            assert!(
+                (s.self_p - t.self_p).abs() < 1e-6,
+                "{}: SP {} (full) vs {} (stitched)",
+                s.label,
+                s.self_p,
+                t.self_p
+            );
+        }
+    }
+
+    #[test]
+    fn outcome_has_consistent_root() {
+        let unit = kremlin_ir::compile("int main() { return 3; }", "t.kc").unwrap();
+        let out = profile_unit(&unit, HcpaConfig::default()).unwrap();
+        let main = unit.module.regions.by_label("main").unwrap();
+        assert_eq!(out.profile.root, Some(main));
+        assert_eq!(out.stats.dynamic_regions, 1);
+    }
+}

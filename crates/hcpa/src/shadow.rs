@@ -1,0 +1,194 @@
+//! Multi-level (hierarchical) shadow state.
+//!
+//! HCPA "must effectively maintain many versions of the shadow memory"
+//! (paper §4.2): each location carries a fixed-size array of availability
+//! times, one slot per region-nesting depth, and every slot is **tagged**
+//! with the region-instance ID of its writer. Two regions at the same
+//! depth map to the same slot; a tag mismatch on read means the data
+//! belongs to a previous region instance and time 0 is assumed instead —
+//! exactly the reuse-avoidance rule of §4.2.
+//!
+//! Two stores exist, mirroring the paper's split:
+//!
+//! * [`ShadowMemory`] — a two-level table over the interpreter's slot
+//!   address space, pages allocated on demand (§4.1 "dynamic allocation of
+//!   shadow memory");
+//! * [`ShadowRegs`] — a directly addressed per-frame table for SSA values
+//!   (§4.1 "shadow register tables for local variables").
+
+/// Slots per shadow-memory page (power of two).
+const PAGE_SLOTS: u64 = 1024;
+
+/// A per-frame shadow register table: `(tag, time)` per (value, depth).
+#[derive(Debug)]
+pub struct ShadowRegs {
+    window: usize,
+    tags: Vec<u64>,
+    times: Vec<u64>,
+}
+
+impl ShadowRegs {
+    /// Creates a table for `n_values` SSA values with `window` depth slots.
+    pub fn new(n_values: usize, window: usize) -> Self {
+        ShadowRegs {
+            window,
+            tags: vec![0; n_values * window],
+            times: vec![0; n_values * window],
+        }
+    }
+
+    /// Availability time of `value` at `depth`, or 0 on tag mismatch or
+    /// out-of-window depth.
+    #[inline]
+    pub fn read(&self, value: usize, depth: usize, tag: u64) -> u64 {
+        if depth >= self.window {
+            return 0;
+        }
+        let i = value * self.window + depth;
+        if self.tags[i] == tag {
+            self.times[i]
+        } else {
+            0
+        }
+    }
+
+    /// Records `time` for `value` at `depth` under `tag`.
+    #[inline]
+    pub fn write(&mut self, value: usize, depth: usize, tag: u64, time: u64) {
+        if depth >= self.window {
+            return;
+        }
+        let i = value * self.window + depth;
+        self.tags[i] = tag;
+        self.times[i] = time;
+    }
+}
+
+/// Two-level shadow memory over slot addresses.
+#[derive(Debug, Default)]
+pub struct ShadowMemory {
+    window: usize,
+    pages: std::collections::HashMap<u64, Page>,
+    /// Pages ever allocated (for reporting shadow footprint).
+    pages_allocated: u64,
+}
+
+#[derive(Debug)]
+struct Page {
+    tags: Vec<u64>,
+    times: Vec<u64>,
+}
+
+impl ShadowMemory {
+    /// Creates an empty shadow memory with `window` depth slots per
+    /// location.
+    pub fn new(window: usize) -> Self {
+        ShadowMemory { window, pages: std::collections::HashMap::new(), pages_allocated: 0 }
+    }
+
+    /// Availability time of the value stored at `addr`, observed at
+    /// `depth`, or 0 on tag mismatch, unallocated page, or out-of-window
+    /// depth.
+    pub fn read(&self, addr: u64, depth: usize, tag: u64) -> u64 {
+        if depth >= self.window {
+            return 0;
+        }
+        let Some(page) = self.pages.get(&(addr / PAGE_SLOTS)) else { return 0 };
+        let i = (addr % PAGE_SLOTS) as usize * self.window + depth;
+        if page.tags[i] == tag {
+            page.times[i]
+        } else {
+            0
+        }
+    }
+
+    /// Records `time` for `addr` at `depth` under `tag`, allocating the
+    /// page on first touch.
+    pub fn write(&mut self, addr: u64, depth: usize, tag: u64, time: u64) {
+        if depth >= self.window {
+            return;
+        }
+        let window = self.window;
+        let pages_allocated = &mut self.pages_allocated;
+        let page = self.pages.entry(addr / PAGE_SLOTS).or_insert_with(|| {
+            *pages_allocated += 1;
+            Page {
+                tags: vec![0; PAGE_SLOTS as usize * window],
+                times: vec![0; PAGE_SLOTS as usize * window],
+            }
+        });
+        let i = (addr % PAGE_SLOTS) as usize * self.window + depth;
+        page.tags[i] = tag;
+        page.times[i] = time;
+    }
+
+    /// Number of distinct pages ever allocated.
+    pub fn pages_allocated(&self) -> u64 {
+        self.pages_allocated
+    }
+
+    /// Approximate shadow-memory footprint in bytes.
+    pub fn footprint_bytes(&self) -> u64 {
+        self.pages_allocated * PAGE_SLOTS * self.window as u64 * 16
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn regs_tag_mismatch_reads_zero() {
+        let mut r = ShadowRegs::new(4, 8);
+        r.write(2, 3, 7, 100);
+        assert_eq!(r.read(2, 3, 7), 100);
+        assert_eq!(r.read(2, 3, 8), 0, "stale tag must read as 0");
+        assert_eq!(r.read(2, 4, 7), 0, "other depth untouched");
+    }
+
+    #[test]
+    fn regs_out_of_window_is_silent() {
+        let mut r = ShadowRegs::new(2, 4);
+        r.write(1, 9, 1, 50);
+        assert_eq!(r.read(1, 9, 1), 0);
+    }
+
+    #[test]
+    fn memory_pages_allocate_on_demand() {
+        let mut m = ShadowMemory::new(4);
+        assert_eq!(m.read(12345, 0, 1), 0);
+        assert_eq!(m.pages_allocated(), 0);
+        m.write(12345, 0, 1, 42);
+        assert_eq!(m.pages_allocated(), 1);
+        assert_eq!(m.read(12345, 0, 1), 42);
+        // Same page, different slot.
+        m.write(12346, 0, 1, 43);
+        assert_eq!(m.pages_allocated(), 1);
+        // Far address: new page.
+        m.write(9_999_999, 2, 5, 44);
+        assert_eq!(m.pages_allocated(), 2);
+        assert_eq!(m.read(9_999_999, 2, 5), 44);
+        assert!(m.footprint_bytes() > 0);
+    }
+
+    #[test]
+    fn memory_depths_are_independent() {
+        let mut m = ShadowMemory::new(4);
+        m.write(100, 0, 1, 10);
+        m.write(100, 1, 2, 20);
+        assert_eq!(m.read(100, 0, 1), 10);
+        assert_eq!(m.read(100, 1, 2), 20);
+        assert_eq!(m.read(100, 1, 1), 0, "wrong tag at depth 1");
+    }
+
+    #[test]
+    fn same_slot_reuse_across_instances() {
+        // Two loop iterations at the same depth: iteration 2 must not see
+        // iteration 1's time (paper §4.2 tag rule).
+        let mut m = ShadowMemory::new(4);
+        m.write(64, 2, 1001, 55); // iteration 1 (instance 1001)
+        assert_eq!(m.read(64, 2, 1002), 0); // iteration 2 (instance 1002)
+        m.write(64, 2, 1002, 5);
+        assert_eq!(m.read(64, 2, 1002), 5);
+    }
+}

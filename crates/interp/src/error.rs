@@ -1,0 +1,72 @@
+//! Runtime errors.
+
+use kremlin_ir::FuncId;
+use std::fmt;
+
+/// A runtime failure while interpreting a module.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum InterpError {
+    /// The module has no `main` function.
+    NoMain,
+    /// Integer division or remainder by zero.
+    DivisionByZero {
+        /// Function in which the fault occurred.
+        func: FuncId,
+    },
+    /// A load or store touched memory outside the live globals+stack area.
+    OutOfBounds {
+        /// The faulting slot address.
+        addr: u64,
+        /// Function in which the fault occurred.
+        func: FuncId,
+    },
+    /// The stack area exceeded its configured limit.
+    StackOverflow,
+    /// Call depth exceeded its configured limit.
+    CallDepthExceeded {
+        /// The configured limit.
+        limit: usize,
+    },
+    /// The instruction budget ran out (guards non-terminating programs).
+    FuelExhausted {
+        /// The configured budget.
+        budget: u64,
+    },
+}
+
+impl fmt::Display for InterpError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            InterpError::NoMain => write!(f, "module has no `main` function"),
+            InterpError::DivisionByZero { func } => {
+                write!(f, "integer division by zero in {func}")
+            }
+            InterpError::OutOfBounds { addr, func } => {
+                write!(f, "out-of-bounds memory access at slot {addr} in {func}")
+            }
+            InterpError::StackOverflow => write!(f, "stack area exhausted"),
+            InterpError::CallDepthExceeded { limit } => {
+                write!(f, "call depth exceeded {limit}")
+            }
+            InterpError::FuelExhausted { budget } => {
+                write!(f, "instruction budget of {budget} exhausted")
+            }
+        }
+    }
+}
+
+impl std::error::Error for InterpError {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn messages() {
+        assert_eq!(InterpError::NoMain.to_string(), "module has no `main` function");
+        assert!(InterpError::FuelExhausted { budget: 5 }.to_string().contains('5'));
+        assert!(InterpError::OutOfBounds { addr: 9, func: FuncId(1) }
+            .to_string()
+            .contains("slot 9"));
+    }
+}

@@ -1,0 +1,157 @@
+//! Flat slot-addressed memory: globals at the bottom, a downward-growing…
+//! no — an upward-growing frame stack above them.
+//!
+//! Addresses are slot indices (one slot = one scalar). This mirrors the
+//! addressing granularity of Kremlin's shadow memory, which tracks one
+//! availability-time vector per memory location.
+
+use crate::error::InterpError;
+use kremlin_ir::module::{GlobalInit, Module};
+use kremlin_ir::FuncId;
+
+/// Interpreter memory.
+#[derive(Debug)]
+pub struct Memory {
+    slots: Vec<u64>,
+    globals_end: u64,
+    sp: u64,
+    limit: u64,
+}
+
+impl Memory {
+    /// Creates memory for a module: globals initialized, stack empty.
+    ///
+    /// `stack_limit` bounds the total slot count (globals + stack).
+    pub fn for_module(m: &Module, stack_limit: u64) -> Memory {
+        let globals_end = m.global_slots();
+        let mut slots = vec![0u64; globals_end as usize];
+        let mut off = 0usize;
+        for g in &m.globals {
+            match g.init {
+                GlobalInit::Int(v) => slots[off] = v as u64,
+                GlobalInit::Float(v) => slots[off] = v.to_bits(),
+                GlobalInit::Zero => {}
+            }
+            off += g.slots as usize;
+        }
+        Memory { slots, globals_end, sp: globals_end, limit: globals_end + stack_limit }
+    }
+
+    /// Current stack pointer (next free slot).
+    pub fn sp(&self) -> u64 {
+        self.sp
+    }
+
+    /// First slot above the globals area.
+    pub fn globals_end(&self) -> u64 {
+        self.globals_end
+    }
+
+    /// Pushes a zeroed frame of `slots` slots, returning its base address.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`InterpError::StackOverflow`] if the limit is exceeded.
+    pub fn push_frame(&mut self, slots: u32) -> Result<u64, InterpError> {
+        let base = self.sp;
+        let new_sp = base + slots as u64;
+        if new_sp > self.limit {
+            return Err(InterpError::StackOverflow);
+        }
+        if new_sp as usize > self.slots.len() {
+            self.slots.resize(new_sp as usize, 0);
+        } else {
+            for s in &mut self.slots[base as usize..new_sp as usize] {
+                *s = 0;
+            }
+        }
+        self.sp = new_sp;
+        Ok(base)
+    }
+
+    /// Pops the most recent frame of `slots` slots.
+    pub fn pop_frame(&mut self, slots: u32) {
+        debug_assert!(self.sp >= self.globals_end + slots as u64);
+        self.sp -= slots as u64;
+    }
+
+    /// Reads raw bits.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`InterpError::OutOfBounds`] for addresses outside the live
+    /// globals+stack area.
+    pub fn load(&self, addr: u64, func: FuncId) -> Result<u64, InterpError> {
+        if addr >= self.sp {
+            return Err(InterpError::OutOfBounds { addr, func });
+        }
+        Ok(self.slots[addr as usize])
+    }
+
+    /// Writes raw bits.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`InterpError::OutOfBounds`] for addresses outside the live
+    /// globals+stack area.
+    pub fn store(&mut self, addr: u64, bits: u64, func: FuncId) -> Result<(), InterpError> {
+        if addr >= self.sp {
+            return Err(InterpError::OutOfBounds { addr, func });
+        }
+        self.slots[addr as usize] = bits;
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use kremlin_ir::compile;
+
+    fn mem(stack: u64) -> Memory {
+        let unit =
+            compile("int g = 7; float h = 1.5; float a[3]; int main() { return 0; }", "t.kc")
+                .unwrap();
+        Memory::for_module(&unit.module, stack)
+    }
+
+    #[test]
+    fn globals_are_initialized() {
+        let m = mem(16);
+        assert_eq!(m.globals_end(), 5);
+        assert_eq!(m.load(0, FuncId(0)).unwrap(), 7);
+        assert_eq!(f64::from_bits(m.load(1, FuncId(0)).unwrap()), 1.5);
+        assert_eq!(m.load(2, FuncId(0)).unwrap(), 0); // array zeroed
+    }
+
+    #[test]
+    fn frames_push_zeroed_and_pop() {
+        let mut m = mem(16);
+        let base = m.push_frame(4).unwrap();
+        assert_eq!(base, 5);
+        m.store(base + 1, 99, FuncId(0)).unwrap();
+        m.pop_frame(4);
+        // Reuse: frame must be zeroed again.
+        let base2 = m.push_frame(4).unwrap();
+        assert_eq!(base2, base);
+        assert_eq!(m.load(base2 + 1, FuncId(0)).unwrap(), 0);
+    }
+
+    #[test]
+    fn out_of_bounds_rejected() {
+        let mut m = mem(16);
+        assert!(m.load(5, FuncId(0)).is_err()); // above sp
+        let base = m.push_frame(2).unwrap();
+        assert!(m.load(base + 1, FuncId(0)).is_ok());
+        assert!(m.store(base + 2, 0, FuncId(0)).is_err());
+        // Negative-index wraparound lands far above sp.
+        assert!(m.load(u64::MAX, FuncId(0)).is_err());
+    }
+
+    #[test]
+    fn stack_overflow() {
+        let mut m = mem(8);
+        assert!(m.push_frame(8).is_ok());
+        assert!(matches!(m.push_frame(1), Err(InterpError::StackOverflow)));
+    }
+}

@@ -1,0 +1,126 @@
+//! Runtime values.
+
+use kremlin_ir::Ty;
+use std::fmt;
+
+/// A runtime value: one slot's worth of data.
+#[derive(Debug, Clone, Copy, PartialEq)]
+#[derive(Default)]
+pub enum Value {
+    /// 64-bit signed integer.
+    Int(i64),
+    /// 64-bit float.
+    Float(f64),
+    /// Slot address in interpreter memory.
+    Ptr(u64),
+    /// No value (result of stores/markers; never read).
+    #[default]
+    Unit,
+}
+
+impl Value {
+    /// The integer payload.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the value is not an [`Value::Int`] (an interpreter bug:
+    /// typed IR rules this out for well-formed modules).
+    pub fn as_int(self) -> i64 {
+        match self {
+            Value::Int(v) => v,
+            other => panic!("expected int, found {other:?}"),
+        }
+    }
+
+    /// The float payload.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the value is not a [`Value::Float`].
+    pub fn as_float(self) -> f64 {
+        match self {
+            Value::Float(v) => v,
+            other => panic!("expected float, found {other:?}"),
+        }
+    }
+
+    /// The pointer payload.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the value is not a [`Value::Ptr`].
+    pub fn as_ptr(self) -> u64 {
+        match self {
+            Value::Ptr(v) => v,
+            other => panic!("expected ptr, found {other:?}"),
+        }
+    }
+
+    /// Encodes to raw slot bits for memory storage.
+    pub fn to_bits(self) -> u64 {
+        match self {
+            Value::Int(v) => v as u64,
+            Value::Float(v) => v.to_bits(),
+            Value::Ptr(v) => v,
+            Value::Unit => 0,
+        }
+    }
+
+    /// Decodes raw slot bits according to a type.
+    pub fn from_bits(bits: u64, ty: Ty) -> Value {
+        match ty {
+            Ty::I64 => Value::Int(bits as i64),
+            Ty::F64 => Value::Float(f64::from_bits(bits)),
+            Ty::Ptr => Value::Ptr(bits),
+            Ty::Unit => Value::Unit,
+        }
+    }
+}
+
+impl fmt::Display for Value {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Value::Int(v) => write!(f, "{v}"),
+            Value::Float(v) => write!(f, "{v}"),
+            Value::Ptr(v) => write!(f, "ptr:{v}"),
+            Value::Unit => write!(f, "unit"),
+        }
+    }
+}
+
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn bits_round_trip() {
+        for v in [Value::Int(-7), Value::Float(2.5), Value::Ptr(42)] {
+            let ty = match v {
+                Value::Int(_) => Ty::I64,
+                Value::Float(_) => Ty::F64,
+                Value::Ptr(_) => Ty::Ptr,
+                Value::Unit => Ty::Unit,
+            };
+            assert_eq!(Value::from_bits(v.to_bits(), ty), v);
+        }
+    }
+
+    #[test]
+    fn negative_int_round_trips() {
+        let v = Value::Int(i64::MIN);
+        assert_eq!(Value::from_bits(v.to_bits(), Ty::I64), v);
+    }
+
+    #[test]
+    #[should_panic(expected = "expected int")]
+    fn as_int_panics_on_float() {
+        Value::Float(1.0).as_int();
+    }
+
+    #[test]
+    fn display() {
+        assert_eq!(Value::Int(3).to_string(), "3");
+        assert_eq!(Value::Ptr(9).to_string(), "ptr:9");
+    }
+}

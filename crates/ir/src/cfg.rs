@@ -1,0 +1,188 @@
+//! Control-flow graph utilities: successors, predecessors, and orderings.
+//!
+//! [`Cfg`] is a materialized view of a [`Function`]'s flow graph used by the
+//! dominator, loop, and control-dependence analyses. It also supports the
+//! *reverse* graph (for post-dominators) through a virtual exit node that
+//! collects all `Ret` blocks.
+
+use crate::func::Function;
+use crate::ids::BlockId;
+
+/// Materialized control-flow graph for one function.
+#[derive(Debug, Clone)]
+pub struct Cfg {
+    /// Successor lists per block.
+    pub succs: Vec<Vec<BlockId>>,
+    /// Predecessor lists per block.
+    pub preds: Vec<Vec<BlockId>>,
+    /// Blocks ending in `Ret` (predecessors of the virtual exit).
+    pub exits: Vec<BlockId>,
+    /// The entry block.
+    pub entry: BlockId,
+    /// Reverse post-order of the forward graph (reachable blocks only).
+    pub rpo: Vec<BlockId>,
+    /// `rpo_index[b] == Some(i)` iff `rpo[i] == b`; `None` for unreachable.
+    pub rpo_index: Vec<Option<u32>>,
+}
+
+impl Cfg {
+    /// Builds the CFG for `f`.
+    pub fn build(f: &Function) -> Cfg {
+        let n = f.blocks.len();
+        let mut succs = vec![Vec::new(); n];
+        let mut preds = vec![Vec::new(); n];
+        let mut exits = Vec::new();
+        for (i, b) in f.blocks.iter().enumerate() {
+            let from = BlockId::from_index(i);
+            let term = b.term.as_ref().expect("terminated blocks");
+            for s in term.successors() {
+                succs[i].push(s);
+                preds[s.index()].push(from);
+            }
+            if matches!(term, crate::instr::Terminator::Ret(_)) {
+                exits.push(from);
+            }
+        }
+
+        // Reverse post-order via iterative DFS.
+        let mut state = vec![0u8; n]; // 0 unvisited, 1 on stack, 2 done
+        let mut post = Vec::with_capacity(n);
+        let mut stack: Vec<(BlockId, usize)> = vec![(f.entry, 0)];
+        state[f.entry.index()] = 1;
+        while let Some(&mut (b, ref mut next)) = stack.last_mut() {
+            if *next < succs[b.index()].len() {
+                let s = succs[b.index()][*next];
+                *next += 1;
+                if state[s.index()] == 0 {
+                    state[s.index()] = 1;
+                    stack.push((s, 0));
+                }
+            } else {
+                state[b.index()] = 2;
+                post.push(b);
+                stack.pop();
+            }
+        }
+        post.reverse();
+        let rpo = post;
+        let mut rpo_index = vec![None; n];
+        for (i, b) in rpo.iter().enumerate() {
+            rpo_index[b.index()] = Some(i as u32);
+        }
+
+        Cfg { succs, preds, exits, entry: f.entry, rpo, rpo_index }
+    }
+
+    /// Number of blocks (including unreachable ones).
+    pub fn len(&self) -> usize {
+        self.succs.len()
+    }
+
+    /// True if the function has no blocks (never the case after lowering).
+    pub fn is_empty(&self) -> bool {
+        self.succs.is_empty()
+    }
+
+    /// Whether `b` is reachable from the entry.
+    pub fn is_reachable(&self, b: BlockId) -> bool {
+        self.rpo_index[b.index()].is_some()
+    }
+}
+
+#[cfg(test)]
+pub(crate) mod testutil {
+    use super::*;
+    use crate::func::{Block, Function};
+    use crate::ids::{FuncId, RegionId};
+    use crate::instr::{InstrKind, Terminator, Ty};
+    use kremlin_minic::Span;
+
+    /// Builds a synthetic function with the given edges (for analysis
+    /// tests). Block 0 is the entry; blocks with no listed successors get
+    /// `Ret(None)`.
+    pub(crate) fn graph(n: usize, edges: &[(u32, u32)]) -> Function {
+        let mut blocks: Vec<Block> = (0..n).map(|_| Block { instrs: vec![], term: None }).collect();
+        let mut values = Vec::new();
+        for (i, block) in blocks.iter_mut().enumerate() {
+            let succs: Vec<u32> = edges.iter().filter(|(a, _)| *a == i as u32).map(|(_, b)| *b).collect();
+            block.term = Some(match succs.len() {
+                0 => Terminator::Ret(None),
+                1 => Terminator::Br(BlockId(succs[0])),
+                2 => {
+                    let c = crate::ids::ValueId::from_index(values.len());
+                    values.push(crate::func::ValueData {
+                        kind: InstrKind::ConstInt(1),
+                        ty: Ty::I64,
+                        span: Span::dummy(),
+                        break_dep_on: None,
+                    });
+                    // The constant must live in some block; entry is fine.
+                    Terminator::CondBr { cond: c, then_bb: BlockId(succs[0]), else_bb: BlockId(succs[1]) }
+                }
+                _ => panic!("at most 2 successors"),
+            });
+        }
+        // Attach any synthesized condition constants to the entry block.
+        let const_ids: Vec<_> = (0..values.len()).map(crate::ids::ValueId::from_index).collect();
+        blocks[0].instrs.extend(const_ids);
+        Function {
+            id: FuncId(0),
+            name: "synthetic".into(),
+            param_tys: vec![],
+            ret_ty: None,
+            values,
+            blocks,
+            entry: BlockId(0),
+            allocas: vec![],
+            frame_slots: 0,
+            region: RegionId(0),
+            loops: vec![],
+            span: Span::dummy(),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::testutil::graph;
+    use super::*;
+
+    #[test]
+    fn diamond_rpo_and_preds() {
+        //    0
+        //   / \
+        //  1   2
+        //   \ /
+        //    3
+        let f = graph(4, &[(0, 1), (0, 2), (1, 3), (2, 3)]);
+        let cfg = Cfg::build(&f);
+        assert_eq!(cfg.rpo[0], BlockId(0));
+        assert_eq!(*cfg.rpo.last().unwrap(), BlockId(3));
+        assert_eq!(cfg.preds[3].len(), 2);
+        assert_eq!(cfg.exits, vec![BlockId(3)]);
+        assert!(cfg.is_reachable(BlockId(2)));
+    }
+
+    #[test]
+    fn unreachable_block_excluded_from_rpo() {
+        let f = graph(3, &[(0, 1)]); // block 2 unreachable
+        let cfg = Cfg::build(&f);
+        assert_eq!(cfg.rpo.len(), 2);
+        assert!(!cfg.is_reachable(BlockId(2)));
+    }
+
+    #[test]
+    fn self_loop() {
+        let f = graph(2, &[(0, 0), (0, 1)]);
+        let cfg = Cfg::build(&f);
+        assert!(cfg.succs[0].contains(&BlockId(0)));
+        assert!(cfg.preds[0].contains(&BlockId(0)));
+    }
+
+    #[test]
+    fn multiple_exits_collected() {
+        let f = graph(3, &[(0, 1), (0, 2)]);
+        let cfg = Cfg::build(&f);
+        assert_eq!(cfg.exits.len(), 2);
+    }
+}

@@ -1,0 +1,141 @@
+//! Control-dependence analysis.
+//!
+//! Classic Ferrante–Ottenstein–Warren construction: block `B` is control
+//! dependent on edge `(A, B')` iff `B` post-dominates `B'` but does not
+//! post-dominate `A`. Equivalently, control dependences are the
+//! post-dominance frontiers.
+//!
+//! Kremlin proper uses a *dynamic* control-dependence stack (paper §4.1,
+//! citing Xin & Zhang's online algorithm); our lowering reproduces that
+//! stack with structured `CdPush`/`CdPop` markers. This static analysis
+//! exists to *verify* the markers: for every block, the set of conditions
+//! on the marker stack when the block executes must equal the block's
+//! static control-dependence set (see the cross-check test in the `interp`
+//! crate and `verify_markers` here).
+
+use crate::cfg::Cfg;
+use crate::dom::DomTree;
+use crate::func::Function;
+use crate::ids::{BlockId, ValueId};
+use crate::instr::Terminator;
+
+/// Control dependences for one function.
+#[derive(Debug, Clone)]
+pub struct ControlDeps {
+    /// For each block: the (branch block, condition value) pairs it is
+    /// control dependent on.
+    pub deps: Vec<Vec<(BlockId, ValueId)>>,
+}
+
+/// Computes control dependences from post-dominance.
+pub fn control_deps(f: &Function, cfg: &Cfg, pdom: &DomTree) -> ControlDeps {
+    let n = f.blocks.len();
+    let mut deps = vec![Vec::new(); n];
+
+    for a in 0..n {
+        let aid = BlockId::from_index(a);
+        if !cfg.is_reachable(aid) {
+            continue;
+        }
+        let Some(Terminator::CondBr { cond, then_bb, else_bb }) = &f.blocks[a].term else {
+            continue;
+        };
+        for &succ in &[*then_bb, *else_bb] {
+            // Walk up the post-dominator tree from `succ` until reaching
+            // a's immediate post-dominator; everything on the way is
+            // control dependent on (a, cond).
+            let stop = pdom.idom[a];
+            let mut runner = Some(succ);
+            while let Some(r) = runner {
+                if Some(r) == stop {
+                    break;
+                }
+                if !deps[r.index()].contains(&(aid, *cond)) {
+                    deps[r.index()].push((aid, *cond));
+                }
+                runner = pdom.idom[r.index()];
+            }
+        }
+    }
+    ControlDeps { deps }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::instr::InstrKind;
+    use crate::lower::lower;
+    use crate::module::Module;
+
+    fn build(src: &str) -> Module {
+        let prog = kremlin_minic::compile_frontend(src).expect("frontend");
+        lower(&prog, "t.kc")
+    }
+
+    fn deps_for<'m>(m: &'m Module, fname: &str) -> (ControlDeps, &'m Function) {
+        let f = m.func_by_name(fname).unwrap();
+        let cfg = Cfg::build(f);
+        let pdom = DomTree::post_dominators(&cfg);
+        (control_deps(f, &cfg, &pdom), f)
+    }
+
+    #[test]
+    fn if_branches_depend_on_condition() {
+        let m = build("int main() { int x = 0; if (x > 0) { x = 1; } else { x = 2; } return x; }");
+        let (cd, f) = deps_for(&m, "main");
+        // Exactly the two branch blocks are control dependent; entry and
+        // join are not.
+        let dependent: Vec<usize> = (0..f.blocks.len())
+            .filter(|b| !cd.deps[*b].is_empty())
+            .collect();
+        assert_eq!(dependent.len(), 2);
+        // Each depends on the entry block's branch.
+        for b in dependent {
+            assert_eq!(cd.deps[b].len(), 1);
+            assert_eq!(cd.deps[b][0].0, f.entry);
+        }
+    }
+
+    #[test]
+    fn loop_body_depends_on_loop_condition() {
+        let m = build("int main() { int s = 0; for (int i = 0; i < 3; i++) { s += i; } return s; }");
+        let (cd, f) = deps_for(&m, "main");
+        let lm = &f.loops[0];
+        // The body entry is control dependent on the header's branch.
+        assert!(cd.deps[lm.body_entry.index()]
+            .iter()
+            .any(|(b, _)| *b == lm.header));
+        // The header itself is control dependent on its own branch (it can
+        // only re-execute if the branch took the body edge).
+        assert!(cd.deps[lm.header.index()].iter().any(|(b, _)| *b == lm.header));
+    }
+
+    #[test]
+    fn marker_conditions_match_static_deps() {
+        // The CdPush markers placed by lowering must name exactly the
+        // conditions that the static analysis says the body depends on.
+        let m = build(
+            "int main() { int s = 0; for (int i = 0; i < 3; i++) { if (i % 2) { s += i; } } return s; }",
+        );
+        let (cd, f) = deps_for(&m, "main");
+        for (bi, b) in f.blocks.iter().enumerate() {
+            for &vi in &b.instrs {
+                if let InstrKind::CdPush(c) = f.value(vi).kind {
+                    // The pushed condition must be a static control
+                    // dependence of this very block.
+                    assert!(
+                        cd.deps[bi].iter().any(|(_, cond)| *cond == c),
+                        "block bb{bi} pushes {c:?} but is not control dependent on it"
+                    );
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn straightline_code_has_no_deps() {
+        let m = build("int main() { int x = 1; int y = x + 2; return y; }");
+        let (cd, _) = deps_for(&m, "main");
+        assert!(cd.deps.iter().all(|d| d.is_empty()));
+    }
+}

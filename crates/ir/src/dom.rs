@@ -1,0 +1,351 @@
+//! Dominator and post-dominator trees, and dominance frontiers.
+//!
+//! Uses the Cooper–Harvey–Kennedy iterative algorithm ("A Simple, Fast
+//! Dominance Algorithm") on reverse post-order, and the standard frontier
+//! construction from the same paper. Post-dominance runs the identical
+//! algorithm on the reverse CFG with a virtual exit node.
+//!
+//! Dominators feed `mem2reg` (phi placement); post-dominators feed the
+//! control-dependence analysis that cross-checks the lowering's structured
+//! `CdPush`/`CdPop` markers.
+
+use crate::cfg::Cfg;
+use crate::ids::BlockId;
+
+/// A dominator (or post-dominator) tree.
+#[derive(Debug, Clone)]
+pub struct DomTree {
+    /// Immediate dominator per block; `None` for the root and for
+    /// unreachable blocks. For post-dominator trees, a block whose idom is
+    /// the *virtual exit* also has `None` but is marked in `rooted`.
+    pub idom: Vec<Option<BlockId>>,
+    /// Whether each block participates in the tree at all.
+    pub rooted: Vec<bool>,
+    /// Children lists (inverse of `idom`).
+    pub children: Vec<Vec<BlockId>>,
+    /// The processing order used (RPO of the analyzed graph direction).
+    order: Vec<BlockId>,
+}
+
+impl DomTree {
+    /// Computes the dominator tree of the forward CFG.
+    pub fn dominators(cfg: &Cfg) -> DomTree {
+        let view = View::forward(cfg);
+        Self::compute(&view)
+    }
+
+    /// Computes the post-dominator tree (dominators of the reverse CFG with
+    /// a virtual exit joining all `Ret` blocks).
+    pub fn post_dominators(cfg: &Cfg) -> DomTree {
+        let view = View::backward(cfg);
+        Self::compute(&view)
+    }
+
+    /// `a` dominates `b` (reflexive) in this tree?
+    pub fn dominates(&self, a: BlockId, b: BlockId) -> bool {
+        let mut cur = Some(b);
+        while let Some(c) = cur {
+            if c == a {
+                return true;
+            }
+            cur = self.idom[c.index()];
+        }
+        false
+    }
+
+    /// Iterates blocks in the analysis order (useful for deterministic
+    /// passes over reachable blocks).
+    pub fn order(&self) -> &[BlockId] {
+        &self.order
+    }
+
+    fn compute(view: &View) -> DomTree {
+        let n = view.n;
+        // Node indices in `order` space; `usize::MAX` = undefined.
+        const UNDEF: u32 = u32::MAX;
+        let order = &view.order;
+        let order_index = &view.order_index;
+        let mut idom: Vec<u32> = vec![UNDEF; order.len()];
+        if !order.is_empty() {
+            idom[0] = 0; // root is its own idom
+        }
+        let mut changed = true;
+        while changed {
+            changed = false;
+            for i in 1..order.len() {
+                let b = order[i];
+                let mut new_idom = UNDEF;
+                for &p in view.preds(b) {
+                    let Some(pi) = order_index[p.index()] else { continue };
+                    if idom[pi as usize] == UNDEF {
+                        continue;
+                    }
+                    new_idom = if new_idom == UNDEF {
+                        pi
+                    } else {
+                        intersect(&idom, new_idom, pi)
+                    };
+                }
+                // Virtual-root predecessors (for the backward view, blocks
+                // that end in Ret are attached to the virtual exit = root).
+                if view.attached_to_root(b) {
+                    new_idom = if new_idom == UNDEF { 0 } else { intersect(&idom, new_idom, 0) };
+                }
+                if new_idom != UNDEF && idom[i] != new_idom {
+                    idom[i] = new_idom;
+                    changed = true;
+                }
+            }
+        }
+
+        let mut idom_blocks: Vec<Option<BlockId>> = vec![None; n];
+        let mut rooted = vec![false; n];
+        for (i, &b) in order.iter().enumerate() {
+            if idom[i] == UNDEF || b.index() >= n {
+                // Undefined idom, or the virtual-exit sentinel itself.
+                continue;
+            }
+            rooted[b.index()] = true;
+            if i == 0 {
+                continue; // the root (real entry in forward trees)
+            }
+            if view.virtual_root && idom[i] == 0 {
+                // Immediate post-dominator is the virtual exit: no real idom.
+                continue;
+            }
+            idom_blocks[b.index()] = Some(order[idom[i] as usize]);
+        }
+
+        let mut children = vec![Vec::new(); n];
+        for (b, idom_b) in idom_blocks.iter().enumerate() {
+            if let Some(p) = idom_b {
+                children[p.index()].push(BlockId::from_index(b));
+            }
+        }
+
+        let real_order: Vec<BlockId> =
+            order.iter().copied().filter(|b| b.index() < n).collect();
+        DomTree { idom: idom_blocks, rooted, children, order: real_order }
+    }
+
+    /// Computes dominance frontiers (forward tree only).
+    ///
+    /// `DF(b)` = blocks where `b`'s dominance ends; used for phi placement.
+    pub fn frontiers(&self, cfg: &Cfg) -> Vec<Vec<BlockId>> {
+        let n = cfg.len();
+        let mut df = vec![Vec::new(); n];
+        for b in 0..n {
+            let bid = BlockId::from_index(b);
+            if !cfg.is_reachable(bid) || cfg.preds[b].len() < 2 {
+                continue;
+            }
+            let Some(idom_b) = self.idom[b] else { continue };
+            for &p in &cfg.preds[b] {
+                if !cfg.is_reachable(p) {
+                    continue;
+                }
+                let mut runner = p;
+                while runner != idom_b {
+                    if !df[runner.index()].contains(&bid) {
+                        df[runner.index()].push(bid);
+                    }
+                    match self.idom[runner.index()] {
+                        Some(next) => runner = next,
+                        None => break,
+                    }
+                }
+            }
+        }
+        df
+    }
+}
+
+fn intersect(idom: &[u32], mut a: u32, mut b: u32) -> u32 {
+    // Indices are RPO positions: smaller = earlier.
+    while a != b {
+        while a > b {
+            a = idom[a as usize];
+        }
+        while b > a {
+            b = idom[b as usize];
+        }
+    }
+    a
+}
+
+/// A direction-agnostic graph view in its own RPO index space.
+struct View<'a> {
+    cfg: &'a Cfg,
+    n: usize,
+    forward: bool,
+    /// Processing order; for backward views this starts with a placeholder
+    /// for the virtual exit? No — the virtual exit is handled separately:
+    /// `order[0]` is the virtual exit only conceptually. We instead put a
+    /// synthetic first slot when `virtual_root` is set.
+    order: Vec<BlockId>,
+    order_index: Vec<Option<u32>>,
+    virtual_root: bool,
+}
+
+impl<'a> View<'a> {
+    fn forward(cfg: &'a Cfg) -> View<'a> {
+        let order = cfg.rpo.clone();
+        let mut order_index = vec![None; cfg.len()];
+        for (i, b) in order.iter().enumerate() {
+            order_index[b.index()] = Some(i as u32);
+        }
+        View { cfg, n: cfg.len(), forward: true, order, order_index, virtual_root: false }
+    }
+
+    fn backward(cfg: &'a Cfg) -> View<'a> {
+        // RPO of the reverse graph starting from the virtual exit.
+        let n = cfg.len();
+        let mut state = vec![0u8; n];
+        let mut post: Vec<BlockId> = Vec::new();
+        // DFS from each exit (virtual root expansion).
+        let mut stack: Vec<(BlockId, usize)> = Vec::new();
+        for &e in &cfg.exits {
+            if state[e.index()] != 0 {
+                continue;
+            }
+            state[e.index()] = 1;
+            stack.push((e, 0));
+            while let Some(&mut (b, ref mut next)) = stack.last_mut() {
+                let preds = &cfg.preds[b.index()];
+                if *next < preds.len() {
+                    let s = preds[*next];
+                    *next += 1;
+                    if state[s.index()] == 0 {
+                        state[s.index()] = 1;
+                        stack.push((s, 0));
+                    }
+                } else {
+                    state[b.index()] = 2;
+                    post.push(b);
+                    stack.pop();
+                }
+            }
+        }
+        post.reverse();
+        // order[0] must be the root; insert a synthetic placeholder by
+        // shifting: we model the virtual exit as order slot 0 via a dummy
+        // BlockId that never collides (index == n). We instead keep real
+        // blocks from slot 1 and treat slot 0 specially.
+        let mut order = Vec::with_capacity(post.len() + 1);
+        order.push(BlockId::from_index(n)); // virtual exit sentinel
+        order.extend(post);
+        let mut order_index = vec![None; n];
+        for (i, b) in order.iter().enumerate().skip(1) {
+            order_index[b.index()] = Some(i as u32);
+        }
+        View { cfg, n, forward: false, order, order_index, virtual_root: true }
+    }
+
+    fn preds(&self, b: BlockId) -> &[BlockId] {
+        if b.index() >= self.n {
+            // The virtual exit's predecessors are handled via
+            // `attached_to_root`.
+            return &[];
+        }
+        if self.forward {
+            &self.cfg.preds[b.index()]
+        } else {
+            &self.cfg.succs[b.index()]
+        }
+    }
+
+    /// In the backward view, `Ret` blocks are predecessors of the virtual
+    /// root.
+    fn attached_to_root(&self, b: BlockId) -> bool {
+        self.virtual_root && b.index() < self.n && self.cfg.exits.contains(&b)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::cfg::testutil::graph;
+
+    #[test]
+    fn diamond_dominators() {
+        let f = graph(4, &[(0, 1), (0, 2), (1, 3), (2, 3)]);
+        let cfg = Cfg::build(&f);
+        let dom = DomTree::dominators(&cfg);
+        assert_eq!(dom.idom[0], None);
+        assert_eq!(dom.idom[1], Some(BlockId(0)));
+        assert_eq!(dom.idom[2], Some(BlockId(0)));
+        assert_eq!(dom.idom[3], Some(BlockId(0)));
+        assert!(dom.dominates(BlockId(0), BlockId(3)));
+        assert!(!dom.dominates(BlockId(1), BlockId(3)));
+        assert!(dom.dominates(BlockId(3), BlockId(3)));
+    }
+
+    #[test]
+    fn loop_dominators() {
+        // 0 -> 1 (header) -> 2 (body) -> 1 ; 1 -> 3 (exit)
+        let f = graph(4, &[(0, 1), (1, 2), (1, 3), (2, 1)]);
+        let cfg = Cfg::build(&f);
+        let dom = DomTree::dominators(&cfg);
+        assert_eq!(dom.idom[2], Some(BlockId(1)));
+        assert_eq!(dom.idom[3], Some(BlockId(1)));
+        assert!(dom.dominates(BlockId(1), BlockId(2)));
+    }
+
+    #[test]
+    fn diamond_postdominators() {
+        let f = graph(4, &[(0, 1), (0, 2), (1, 3), (2, 3)]);
+        let cfg = Cfg::build(&f);
+        let pdom = DomTree::post_dominators(&cfg);
+        // 3 post-dominates everything; its own ipdom is the virtual exit.
+        assert_eq!(pdom.idom[3], None);
+        assert!(pdom.rooted[3]);
+        assert_eq!(pdom.idom[0], Some(BlockId(3)));
+        assert_eq!(pdom.idom[1], Some(BlockId(3)));
+        assert_eq!(pdom.idom[2], Some(BlockId(3)));
+    }
+
+    #[test]
+    fn multi_exit_postdominators() {
+        // 0 -> 1 (ret), 0 -> 2 (ret): neither 1 nor 2 post-dominates 0.
+        let f = graph(3, &[(0, 1), (0, 2)]);
+        let cfg = Cfg::build(&f);
+        let pdom = DomTree::post_dominators(&cfg);
+        assert_eq!(pdom.idom[0], None); // ipdom is the virtual exit
+        assert!(pdom.rooted[0]);
+        assert!(!pdom.dominates(BlockId(1), BlockId(0)));
+    }
+
+    #[test]
+    fn dominance_frontier_of_diamond() {
+        let f = graph(4, &[(0, 1), (0, 2), (1, 3), (2, 3)]);
+        let cfg = Cfg::build(&f);
+        let dom = DomTree::dominators(&cfg);
+        let df = dom.frontiers(&cfg);
+        assert_eq!(df[1], vec![BlockId(3)]);
+        assert_eq!(df[2], vec![BlockId(3)]);
+        assert!(df[0].is_empty());
+        assert!(df[3].is_empty());
+    }
+
+    #[test]
+    fn dominance_frontier_of_loop() {
+        // 0 -> 1 -> 2 -> 1, 1 -> 3
+        let f = graph(4, &[(0, 1), (1, 2), (1, 3), (2, 1)]);
+        let cfg = Cfg::build(&f);
+        let dom = DomTree::dominators(&cfg);
+        let df = dom.frontiers(&cfg);
+        // Header 1 is in its own frontier (back edge) — where loop phis go.
+        assert!(df[1].contains(&BlockId(1)));
+        assert!(df[2].contains(&BlockId(1)));
+    }
+
+    #[test]
+    fn children_are_inverse_of_idom() {
+        let f = graph(4, &[(0, 1), (0, 2), (1, 3), (2, 3)]);
+        let cfg = Cfg::build(&f);
+        let dom = DomTree::dominators(&cfg);
+        let mut kids = dom.children[0].clone();
+        kids.sort();
+        assert_eq!(kids, vec![BlockId(1), BlockId(2), BlockId(3)]);
+    }
+}

@@ -1,0 +1,104 @@
+//! Index newtypes for IR entities.
+//!
+//! All IR storage is arena-style (`Vec`s indexed by these IDs), which keeps
+//! the IR compact and makes analyses cheap dense-array passes.
+
+use std::fmt;
+
+macro_rules! define_id {
+    ($(#[$doc:meta])* $name:ident, $prefix:literal) => {
+        $(#[$doc])*
+        #[derive(Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+        pub struct $name(pub u32);
+
+        impl $name {
+            /// The underlying index.
+            #[inline]
+            pub fn index(self) -> usize {
+                self.0 as usize
+            }
+
+            /// Constructs from a `usize` index.
+            ///
+            /// # Panics
+            ///
+            /// Panics if `i` exceeds `u32::MAX`.
+            #[inline]
+            pub fn from_index(i: usize) -> Self {
+                assert!(i <= u32::MAX as usize, "id overflow");
+                $name(i as u32)
+            }
+        }
+
+        impl fmt::Debug for $name {
+            fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+                write!(f, concat!($prefix, "{}"), self.0)
+            }
+        }
+
+        impl fmt::Display for $name {
+            fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+                write!(f, concat!($prefix, "{}"), self.0)
+            }
+        }
+    };
+}
+
+define_id!(
+    /// A value (instruction result or parameter) within one function.
+    ValueId,
+    "v"
+);
+define_id!(
+    /// A basic block within one function.
+    BlockId,
+    "bb"
+);
+define_id!(
+    /// A function within a module.
+    FuncId,
+    "fn"
+);
+define_id!(
+    /// A static region (function, loop, or loop body) within a module.
+    RegionId,
+    "r"
+);
+define_id!(
+    /// A global variable within a module.
+    GlobalId,
+    "g"
+);
+define_id!(
+    /// A stack allocation within one function.
+    AllocaId,
+    "sl"
+);
+define_id!(
+    /// A loop within one function (see `loops` and lowering metadata).
+    LoopId,
+    "loop"
+);
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn ids_format_with_prefix() {
+        assert_eq!(format!("{}", ValueId(3)), "v3");
+        assert_eq!(format!("{:?}", BlockId(0)), "bb0");
+        assert_eq!(format!("{}", RegionId(12)), "r12");
+    }
+
+    #[test]
+    fn round_trip_index() {
+        let v = ValueId::from_index(42);
+        assert_eq!(v.index(), 42);
+    }
+
+    #[test]
+    fn ordering_follows_index() {
+        assert!(BlockId(1) < BlockId(2));
+    }
+}

@@ -1,0 +1,371 @@
+//! Induction- and reduction-variable detection.
+//!
+//! Kremlin "statically identifies these dependencies and breaks them by
+//! using a special shadow memory update rule that ignores the dependency on
+//! their old value" (paper §4.1): without this, `i++` or `s += x[i]` would
+//! make every loop look serial to critical path analysis.
+//!
+//! Detection runs on SSA form (after `mem2reg`). For each loop-header phi
+//! `v = φ(init from preheader, next from latch)`:
+//!
+//! * **induction**: `next = v ± inv` with `inv` loop-invariant — marked
+//!   unconditionally (uses of `v` elsewhere are fine; the *update* is what
+//!   carries the cross-iteration chain).
+//! * **reduction**: `next = v ⊕ x` where `⊕` is an associative accumulation
+//!   (`+ - * fmin fmax imin imax`), and `v`'s only use *inside the loop* is
+//!   that update, so re-association cannot change any other observed value.
+//!
+//! In both cases the update instruction's [`break_dep_on`] is set to the
+//! phi, telling the profiler to ignore that operand's availability time.
+//!
+//! [`break_dep_on`]: crate::func::ValueData::break_dep_on
+
+use crate::cfg::Cfg;
+use crate::dom::DomTree;
+use crate::func::Function;
+use crate::ids::{BlockId, RegionId, ValueId};
+use crate::instr::{BinOp, InstrKind, Intrinsic};
+use crate::loops::{find_loops, NaturalLoop};
+use std::collections::{HashMap, HashSet};
+
+/// Classification of one detected loop-carried variable.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum CarriedVar {
+    /// An induction variable (e.g. the loop counter).
+    Induction,
+    /// A reduction accumulator.
+    Reduction,
+}
+
+/// Result of the analysis for one function.
+#[derive(Debug, Clone, Default)]
+pub struct IndvarInfo {
+    /// `(loop region, phi, update instruction, class)` per detected variable.
+    pub vars: Vec<(RegionId, ValueId, ValueId, CarriedVar)>,
+}
+
+impl IndvarInfo {
+    /// Loop regions that contain at least one reduction accumulator (the
+    /// OpenMP planner treats reduction loops specially — they need enough
+    /// work to amortize reduction overhead, paper §5.1).
+    pub fn reduction_loops(&self) -> HashSet<RegionId> {
+        self.vars
+            .iter()
+            .filter(|(_, _, _, c)| *c == CarriedVar::Reduction)
+            .map(|(r, _, _, _)| *r)
+            .collect()
+    }
+}
+
+/// Detects induction/reduction variables in `f` and sets
+/// `break_dep_on` on their update instructions.
+///
+/// Call after [`crate::mem2reg::promote`].
+pub fn analyze(f: &mut Function) -> IndvarInfo {
+    let cfg = Cfg::build(f);
+    let dom = DomTree::dominators(&cfg);
+    let natural = find_loops(f, &cfg, &dom);
+
+    // Match natural loops to structured metadata via headers so we can
+    // report loop *regions*.
+    let region_of_header: HashMap<BlockId, RegionId> =
+        f.loops.iter().map(|l| (l.header, l.region)).collect();
+
+    // Precompute use counts of every value per loop, lazily below.
+    let mut info = IndvarInfo::default();
+
+    for nl in &natural {
+        let Some(&region) = region_of_header.get(&nl.header) else {
+            continue; // loop not created by lowering (cannot happen today)
+        };
+        let in_loop: HashSet<BlockId> = nl.blocks.iter().copied().collect();
+
+        // Candidate phis sit in the header.
+        let header_instrs = f.block(nl.header).instrs.clone();
+        for vi in header_instrs {
+            let InstrKind::Phi { incoming } = &f.value(vi).kind else { continue };
+            if incoming.len() != 2 {
+                continue;
+            }
+            // Identify init (from outside) and next (from inside).
+            let mut init = None;
+            let mut next = None;
+            for &(pred, val) in incoming {
+                if in_loop.contains(&pred) {
+                    next = Some(val);
+                } else {
+                    init = Some(val);
+                }
+            }
+            let (Some(_init), Some(next)) = (init, next) else { continue };
+            if next == vi {
+                continue; // variable unchanged in loop: no chain to break
+            }
+            // The update must itself be inside the loop.
+            let Some(next_block) = block_of(f, next) else { continue };
+            if !in_loop.contains(&next_block) {
+                continue;
+            }
+
+            if let Some(class) = classify_update(f, vi, next, &in_loop, nl) {
+                // Only mark reductions when the phi has no other in-loop use.
+                if class == CarriedVar::Reduction
+                    && count_uses_in_loop(f, vi, &in_loop, next) > 0
+                {
+                    continue;
+                }
+                f.values[next.index()].break_dep_on = Some(vi);
+                info.vars.push((region, vi, next, class));
+            }
+        }
+    }
+    info
+}
+
+/// Finds the block containing the definition of `v`.
+fn block_of(f: &Function, v: ValueId) -> Option<BlockId> {
+    for (bi, b) in f.blocks.iter().enumerate() {
+        if b.instrs.contains(&v) {
+            return Some(BlockId::from_index(bi));
+        }
+    }
+    None
+}
+
+/// Counts uses of `phi` inside the loop, excluding the update instruction.
+fn count_uses_in_loop(
+    f: &Function,
+    phi: ValueId,
+    in_loop: &HashSet<BlockId>,
+    update: ValueId,
+) -> usize {
+    let mut uses = 0;
+    let mut ops = Vec::new();
+    for (bi, b) in f.blocks.iter().enumerate() {
+        if !in_loop.contains(&BlockId::from_index(bi)) {
+            continue;
+        }
+        for &vi in &b.instrs {
+            if vi == update {
+                continue;
+            }
+            ops.clear();
+            f.value(vi).kind.operands(&mut ops);
+            uses += ops.iter().filter(|o| **o == phi).count();
+        }
+        if let Some(crate::instr::Terminator::CondBr { cond, .. }) = &b.term {
+            if *cond == phi {
+                uses += 1;
+            }
+        }
+    }
+    uses
+}
+
+fn classify_update(
+    f: &Function,
+    phi: ValueId,
+    next: ValueId,
+    in_loop: &HashSet<BlockId>,
+    nl: &NaturalLoop,
+) -> Option<CarriedVar> {
+    let invariant = |v: ValueId| -> bool {
+        // Constants and parameters are invariant wherever they appear
+        // (lowering materializes constants at their use sites, which may be
+        // inside the loop).
+        if matches!(
+            f.value(v).kind,
+            InstrKind::ConstInt(_) | InstrKind::ConstFloat(_) | InstrKind::Param(_)
+        ) {
+            return true;
+        }
+        match block_of(f, v) {
+            Some(b) => !nl.contains(b),
+            None => true, // not placed in any block (cannot happen post-lowering)
+        }
+    };
+    let _ = in_loop;
+    match &f.value(next).kind {
+        InstrKind::Bin(op, a, b) => {
+            let (a, b, op) = (*a, *b, *op);
+            match op {
+                BinOp::IAdd | BinOp::FAdd => {
+                    if a == phi && invariant(b) || b == phi && invariant(a) {
+                        // `i = i + inv` — induction if integer, else treat as
+                        // a (sum) reduction candidate with invariant operand;
+                        // either way the chain is breakable. Report integer
+                        // adds as induction, float adds as reduction.
+                        return Some(if op == BinOp::IAdd {
+                            CarriedVar::Induction
+                        } else {
+                            CarriedVar::Reduction
+                        });
+                    }
+                    if a == phi || b == phi {
+                        // Accumulating a loop-varying term: reduction.
+                        return Some(CarriedVar::Reduction);
+                    }
+                    None
+                }
+                BinOp::ISub | BinOp::FSub => {
+                    if a == phi && invariant(b) && op == BinOp::ISub {
+                        return Some(CarriedVar::Induction);
+                    }
+                    if a == phi {
+                        return Some(CarriedVar::Reduction);
+                    }
+                    None
+                }
+                BinOp::IMul | BinOp::FMul => {
+                    if a == phi || b == phi {
+                        return Some(CarriedVar::Reduction);
+                    }
+                    None
+                }
+                _ => None,
+            }
+        }
+        InstrKind::IntrinsicCall { op, args } => {
+            let reducing = matches!(
+                op,
+                Intrinsic::FMin | Intrinsic::FMax | Intrinsic::IMin | Intrinsic::IMax
+            );
+            if reducing && args.contains(&phi) {
+                Some(CarriedVar::Reduction)
+            } else {
+                None
+            }
+        }
+        _ => None,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::lower::lower;
+    use crate::mem2reg::promote;
+    use crate::module::Module;
+
+    fn build(src: &str) -> (Module, Vec<IndvarInfo>) {
+        let prog = kremlin_minic::compile_frontend(src).expect("frontend");
+        let mut m = lower(&prog, "t.kc");
+        let infos = m
+            .funcs
+            .iter_mut()
+            .map(|f| {
+                promote(f);
+                analyze(f)
+            })
+            .collect();
+        (m, infos)
+    }
+
+    #[test]
+    fn loop_counter_is_induction() {
+        let (m, infos) = build(
+            "int main() { int s = 0; for (int i = 0; i < 8; i++) { s += i; } return s; }",
+        );
+        let info = &infos[0];
+        let inductions: Vec<_> =
+            info.vars.iter().filter(|v| v.3 == CarriedVar::Induction).collect();
+        assert_eq!(inductions.len(), 1);
+        // The update has its dep broken.
+        let f = &m.funcs[0];
+        let (_, phi, upd, _) = *inductions[0];
+        assert_eq!(f.value(upd).break_dep_on, Some(phi));
+    }
+
+    #[test]
+    fn int_accumulator_with_invariant_step_is_induction_like() {
+        // `s += 3` is also an `IAdd(phi, inv)` — classified induction; the
+        // effect (chain broken) is identical.
+        let (_, infos) = build(
+            "int main() { int s = 0; for (int i = 0; i < 8; i++) { s += 3; } return s; }",
+        );
+        assert_eq!(infos[0].vars.len(), 2);
+    }
+
+    #[test]
+    fn float_sum_is_reduction() {
+        let (_, infos) = build(
+            "float a[8]; int main() { float s = 0.0; for (int i = 0; i < 8; i++) { s += a[i]; } return (int) s; }",
+        );
+        let info = &infos[0];
+        let reds: Vec<_> = info.vars.iter().filter(|v| v.3 == CarriedVar::Reduction).collect();
+        assert_eq!(reds.len(), 1);
+        assert_eq!(info.reduction_loops().len(), 1);
+    }
+
+    #[test]
+    fn product_is_reduction() {
+        let (_, infos) = build(
+            "int main() { int p = 1; for (int i = 1; i < 5; i++) { p *= i; } return p; }",
+        );
+        assert!(infos[0].vars.iter().any(|v| v.3 == CarriedVar::Reduction));
+    }
+
+    #[test]
+    fn min_reduction_via_intrinsic() {
+        let (_, infos) = build(
+            "float a[8]; int main() { float lo = 1e9; for (int i = 0; i < 8; i++) { lo = fmin(lo, a[i]); } return (int) lo; }",
+        );
+        assert!(infos[0].vars.iter().any(|v| v.3 == CarriedVar::Reduction));
+    }
+
+    #[test]
+    fn accumulator_read_in_loop_is_not_reduction() {
+        // `s` is read by another in-loop computation, so re-association
+        // would be observable: must NOT be broken.
+        let (m, infos) = build(
+            "float a[8]; int main() { float s = 0.0; float t = 0.0; for (int i = 0; i < 8; i++) { t = s * 2.0; s += a[i]; } return (int) t; }",
+        );
+        let f = &m.funcs[0];
+        // The float adds must not both be marked: s += a[i] has another use.
+        let red_count =
+            infos[0].vars.iter().filter(|v| v.3 == CarriedVar::Reduction).count();
+        // `t = s * 2` is Set, not an accumulation; `s` has an extra use.
+        assert_eq!(red_count, 0, "vars: {:?}", infos[0].vars);
+        // And no float instruction carries a broken dep.
+        for v in &f.values {
+            if let InstrKind::Bin(BinOp::FAdd, ..) = v.kind {
+                assert_eq!(v.break_dep_on, None);
+            }
+        }
+    }
+
+    #[test]
+    fn true_recurrence_is_not_broken() {
+        // x = x * a + b is a first-order recurrence, not a reduction:
+        // the multiply's result feeds an add, so the phi's use is the mul,
+        // but the update stored back is the add — pattern must not match.
+        let (m, infos) = build(
+            "int main() { float x = 1.0; for (int i = 0; i < 8; i++) { x = x * 1.5 + 2.0; } return (int) x; }",
+        );
+        assert_eq!(
+            infos[0]
+                .vars
+                .iter()
+                .filter(|v| v.3 == CarriedVar::Reduction)
+                .count(),
+            0
+        );
+        let f = &m.funcs[0];
+        for v in &f.values {
+            if let InstrKind::Bin(BinOp::FMul, ..) = v.kind {
+                assert_eq!(v.break_dep_on, None);
+            }
+        }
+    }
+
+    #[test]
+    fn nested_loops_each_get_their_induction() {
+        let (_, infos) = build(
+            "int main() { int s = 0; for (int i = 0; i < 4; i++) { for (int j = 0; j < 4; j++) { s += 1; } } return s; }",
+        );
+        let ind = infos[0].vars.iter().filter(|v| v.3 == CarriedVar::Induction).count();
+        // i, j, and the two s-accumulations (IAdd with invariant 1) — at
+        // least the two counters must be present.
+        assert!(ind >= 2, "vars: {:?}", infos[0].vars);
+    }
+}

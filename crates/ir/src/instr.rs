@@ -1,0 +1,409 @@
+//! Instruction set of the Kremlin IR.
+//!
+//! A small, typed, LLVM-flavoured three-address IR. Two departures from a
+//! plain optimizing-compiler IR serve the profiler:
+//!
+//! * **Region markers** ([`InstrKind::RegionEnter`] / [`InstrKind::RegionExit`])
+//!   delimit loop and loop-body (iteration) regions. Function regions are
+//!   implicit in call/return. These correspond to Kremlin's *region
+//!   instrumentation* stage.
+//! * **Control-dependence markers** ([`InstrKind::CdPush`] /
+//!   [`InstrKind::CdPop`]) bracket control-dependent regions with the
+//!   condition value they depend on — the *control dependence stack* of
+//!   paper §4.1. Because mini-C is structured, lowering places these
+//!   precisely; the `controldep` analysis cross-checks them.
+
+use crate::ids::{AllocaId, BlockId, FuncId, GlobalId, RegionId, ValueId};
+
+/// IR value types.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum Ty {
+    /// 64-bit signed integer.
+    I64,
+    /// 64-bit IEEE-754 float.
+    F64,
+    /// Abstract pointer (a slot address in the interpreter's memory).
+    Ptr,
+    /// No value (stores, markers).
+    Unit,
+}
+
+impl Ty {
+    /// True for `I64`/`F64`.
+    pub fn is_scalar(self) -> bool {
+        matches!(self, Ty::I64 | Ty::F64)
+    }
+}
+
+/// Comparison predicates (shared by int and float compares).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum Cmp {
+    /// `==`
+    Eq,
+    /// `!=`
+    Ne,
+    /// `<`
+    Lt,
+    /// `<=`
+    Le,
+    /// `>`
+    Gt,
+    /// `>=`
+    Ge,
+}
+
+/// Binary operations. Integer and float forms are distinct so the cost
+/// model can assign different latencies.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum BinOp {
+    /// Integer add.
+    IAdd,
+    /// Integer subtract.
+    ISub,
+    /// Integer multiply.
+    IMul,
+    /// Integer divide (traps on zero).
+    IDiv,
+    /// Integer remainder (traps on zero).
+    IRem,
+    /// Float add.
+    FAdd,
+    /// Float subtract.
+    FSub,
+    /// Float multiply.
+    FMul,
+    /// Float divide.
+    FDiv,
+    /// Integer compare, produces `0`/`1` as `I64`.
+    ICmp(Cmp),
+    /// Float compare, produces `0`/`1` as `I64`.
+    FCmp(Cmp),
+    /// Logical AND on integers (`(a != 0) & (b != 0)`), produces `0`/`1`.
+    LAnd,
+    /// Logical OR on integers, produces `0`/`1`.
+    LOr,
+}
+
+impl BinOp {
+    /// Result type of the operation.
+    pub fn result_ty(self) -> Ty {
+        match self {
+            BinOp::FAdd | BinOp::FSub | BinOp::FMul | BinOp::FDiv => Ty::F64,
+            _ => Ty::I64,
+        }
+    }
+
+    /// Whether this op is associative-and-commutative enough to be a legal
+    /// reduction update (paper §2.4: induction/reduction breaking).
+    ///
+    /// Float add/mul are accepted, mirroring OpenMP `reduction(+:...)`
+    /// semantics which also tolerate re-association.
+    pub fn is_reduction_op(self) -> bool {
+        matches!(self, BinOp::IAdd | BinOp::IMul | BinOp::FAdd | BinOp::FMul)
+    }
+}
+
+/// Unary operations.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum UnOp {
+    /// Integer negate.
+    INeg,
+    /// Float negate.
+    FNeg,
+    /// Logical not (`x == 0`), produces `0`/`1`.
+    LNot,
+    /// Convert `I64` to `F64`.
+    IntToFloat,
+    /// Convert `F64` to `I64` (truncating toward zero).
+    FloatToInt,
+}
+
+impl UnOp {
+    /// Result type of the operation.
+    pub fn result_ty(self) -> Ty {
+        match self {
+            UnOp::FNeg | UnOp::IntToFloat => Ty::F64,
+            UnOp::INeg | UnOp::LNot | UnOp::FloatToInt => Ty::I64,
+        }
+    }
+}
+
+/// Built-in math intrinsics.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum Intrinsic {
+    /// `sqrt(f) -> f`
+    Sqrt,
+    /// `fabs(f) -> f`
+    Fabs,
+    /// `exp(f) -> f`
+    Exp,
+    /// `log(f) -> f`
+    Log,
+    /// `sin(f) -> f`
+    Sin,
+    /// `cos(f) -> f`
+    Cos,
+    /// `pow(f, f) -> f`
+    Pow,
+    /// `fmin(f, f) -> f`
+    FMin,
+    /// `fmax(f, f) -> f`
+    FMax,
+    /// `iabs(i) -> i`
+    IAbs,
+    /// `imin(i, i) -> i`
+    IMin,
+    /// `imax(i, i) -> i`
+    IMax,
+}
+
+impl Intrinsic {
+    /// Resolves a surface-language intrinsic name.
+    pub fn from_name(name: &str) -> Option<Intrinsic> {
+        Some(match name {
+            "sqrt" => Intrinsic::Sqrt,
+            "fabs" => Intrinsic::Fabs,
+            "exp" => Intrinsic::Exp,
+            "log" => Intrinsic::Log,
+            "sin" => Intrinsic::Sin,
+            "cos" => Intrinsic::Cos,
+            "pow" => Intrinsic::Pow,
+            "fmin" => Intrinsic::FMin,
+            "fmax" => Intrinsic::FMax,
+            "iabs" => Intrinsic::IAbs,
+            "imin" => Intrinsic::IMin,
+            "imax" => Intrinsic::IMax,
+            _ => return None,
+        })
+    }
+
+    /// Result type.
+    pub fn result_ty(self) -> Ty {
+        match self {
+            Intrinsic::IAbs | Intrinsic::IMin | Intrinsic::IMax => Ty::I64,
+            _ => Ty::F64,
+        }
+    }
+
+    /// The intrinsic's name in mini-C source.
+    pub fn name(self) -> &'static str {
+        match self {
+            Intrinsic::Sqrt => "sqrt",
+            Intrinsic::Fabs => "fabs",
+            Intrinsic::Exp => "exp",
+            Intrinsic::Log => "log",
+            Intrinsic::Sin => "sin",
+            Intrinsic::Cos => "cos",
+            Intrinsic::Pow => "pow",
+            Intrinsic::FMin => "fmin",
+            Intrinsic::FMax => "fmax",
+            Intrinsic::IAbs => "iabs",
+            Intrinsic::IMin => "imin",
+            Intrinsic::IMax => "imax",
+        }
+    }
+}
+
+/// An instruction (every value-producing or effectful operation).
+#[derive(Debug, Clone, PartialEq)]
+pub enum InstrKind {
+    /// The `i`-th function parameter.
+    Param(u32),
+    /// Integer constant.
+    ConstInt(i64),
+    /// Float constant.
+    ConstFloat(f64),
+    /// Binary operation.
+    Bin(BinOp, ValueId, ValueId),
+    /// Unary operation.
+    Un(UnOp, ValueId),
+    /// Address of a stack allocation (frame-relative, resolved at call time).
+    Alloca(AllocaId),
+    /// Address of a global.
+    GlobalAddr(GlobalId),
+    /// `base + index * stride` pointer arithmetic (stride in slots).
+    Gep {
+        /// Base pointer.
+        base: ValueId,
+        /// Index value (`I64`).
+        index: ValueId,
+        /// Element stride in slots.
+        stride: u32,
+    },
+    /// Load a scalar from memory.
+    Load(ValueId),
+    /// Store `value` to `ptr`.
+    Store {
+        /// Destination address.
+        ptr: ValueId,
+        /// Value to store.
+        value: ValueId,
+    },
+    /// Direct call.
+    Call {
+        /// Callee.
+        func: FuncId,
+        /// Arguments.
+        args: Vec<ValueId>,
+    },
+    /// Math intrinsic call.
+    IntrinsicCall {
+        /// Which intrinsic.
+        op: Intrinsic,
+        /// Arguments.
+        args: Vec<ValueId>,
+    },
+    /// SSA phi; incoming values keyed by predecessor block.
+    Phi {
+        /// `(predecessor, value)` pairs.
+        incoming: Vec<(BlockId, ValueId)>,
+    },
+    /// Enter a static region (loop or loop body).
+    RegionEnter(RegionId),
+    /// Exit a static region.
+    RegionExit(RegionId),
+    /// Push a condition onto the control-dependence stack.
+    CdPush(ValueId),
+    /// Pop the control-dependence stack.
+    CdPop,
+}
+
+impl InstrKind {
+    /// Appends this instruction's value operands to `out`.
+    ///
+    /// For [`InstrKind::Phi`] this appends *all* incoming values; dynamic
+    /// consumers (interpreter/profiler) resolve the taken edge themselves.
+    pub fn operands(&self, out: &mut Vec<ValueId>) {
+        match self {
+            InstrKind::Param(_)
+            | InstrKind::ConstInt(_)
+            | InstrKind::ConstFloat(_)
+            | InstrKind::Alloca(_)
+            | InstrKind::GlobalAddr(_)
+            | InstrKind::RegionEnter(_)
+            | InstrKind::RegionExit(_)
+            | InstrKind::CdPop => {}
+            InstrKind::Bin(_, a, b) => {
+                out.push(*a);
+                out.push(*b);
+            }
+            InstrKind::Un(_, a) | InstrKind::Load(a) | InstrKind::CdPush(a) => out.push(*a),
+            InstrKind::Gep { base, index, .. } => {
+                out.push(*base);
+                out.push(*index);
+            }
+            InstrKind::Store { ptr, value } => {
+                out.push(*ptr);
+                out.push(*value);
+            }
+            InstrKind::Call { args, .. } | InstrKind::IntrinsicCall { args, .. } => {
+                out.extend_from_slice(args);
+            }
+            InstrKind::Phi { incoming } => out.extend(incoming.iter().map(|(_, v)| *v)),
+        }
+    }
+
+    /// True for instrumentation markers (regions, control dependence).
+    pub fn is_marker(&self) -> bool {
+        matches!(
+            self,
+            InstrKind::RegionEnter(_)
+                | InstrKind::RegionExit(_)
+                | InstrKind::CdPush(_)
+                | InstrKind::CdPop
+        )
+    }
+
+    /// True if this instruction produces a value usable by others.
+    pub fn has_result(&self) -> bool {
+        !matches!(self, InstrKind::Store { .. }) && !self.is_marker()
+    }
+}
+
+/// Block terminators.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Terminator {
+    /// Unconditional jump.
+    Br(BlockId),
+    /// Two-way branch on an `I64` condition (nonzero → `then_bb`).
+    CondBr {
+        /// Condition value.
+        cond: ValueId,
+        /// Target when nonzero.
+        then_bb: BlockId,
+        /// Target when zero.
+        else_bb: BlockId,
+    },
+    /// Function return.
+    Ret(Option<ValueId>),
+}
+
+impl Terminator {
+    /// Successor blocks of this terminator.
+    pub fn successors(&self) -> impl Iterator<Item = BlockId> + '_ {
+        let (a, b) = match self {
+            Terminator::Br(t) => (Some(*t), None),
+            Terminator::CondBr { then_bb, else_bb, .. } => (Some(*then_bb), Some(*else_bb)),
+            Terminator::Ret(_) => (None, None),
+        };
+        a.into_iter().chain(b)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn operand_collection() {
+        let mut out = Vec::new();
+        InstrKind::Bin(BinOp::IAdd, ValueId(1), ValueId(2)).operands(&mut out);
+        assert_eq!(out, vec![ValueId(1), ValueId(2)]);
+        out.clear();
+        InstrKind::Phi { incoming: vec![(BlockId(0), ValueId(5)), (BlockId(1), ValueId(6))] }
+            .operands(&mut out);
+        assert_eq!(out.len(), 2);
+        out.clear();
+        InstrKind::ConstInt(3).operands(&mut out);
+        assert!(out.is_empty());
+    }
+
+    #[test]
+    fn terminator_successors() {
+        let t = Terminator::CondBr { cond: ValueId(0), then_bb: BlockId(1), else_bb: BlockId(2) };
+        assert_eq!(t.successors().collect::<Vec<_>>(), vec![BlockId(1), BlockId(2)]);
+        assert_eq!(Terminator::Ret(None).successors().count(), 0);
+    }
+
+    #[test]
+    fn reduction_ops() {
+        assert!(BinOp::FAdd.is_reduction_op());
+        assert!(BinOp::IMul.is_reduction_op());
+        assert!(!BinOp::FSub.is_reduction_op());
+        assert!(!BinOp::IDiv.is_reduction_op());
+    }
+
+    #[test]
+    fn result_types() {
+        assert_eq!(BinOp::ICmp(Cmp::Lt).result_ty(), Ty::I64);
+        assert_eq!(BinOp::FAdd.result_ty(), Ty::F64);
+        assert_eq!(UnOp::IntToFloat.result_ty(), Ty::F64);
+        assert_eq!(Intrinsic::IMax.result_ty(), Ty::I64);
+    }
+
+    #[test]
+    fn intrinsic_names_round_trip() {
+        for i in [Intrinsic::Sqrt, Intrinsic::Pow, Intrinsic::IMax] {
+            assert_eq!(Intrinsic::from_name(i.name()), Some(i));
+        }
+        assert_eq!(Intrinsic::from_name("nope"), None);
+    }
+
+    #[test]
+    fn markers_have_no_result() {
+        assert!(InstrKind::CdPop.is_marker());
+        assert!(!InstrKind::CdPop.has_result());
+        assert!(!InstrKind::Store { ptr: ValueId(0), value: ValueId(1) }.has_result());
+        assert!(InstrKind::Load(ValueId(0)).has_result());
+    }
+}

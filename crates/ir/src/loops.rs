@@ -1,0 +1,172 @@
+//! Natural-loop detection from back edges.
+//!
+//! Lowering already records structured loop metadata ([`crate::func::LoopMeta`]);
+//! this analysis independently recovers loops from the CFG (back edges whose
+//! target dominates their source, plus the standard body flood-fill) so
+//! tests can cross-check the two and so analyses don't have to trust the
+//! frontend.
+
+use crate::cfg::Cfg;
+use crate::dom::DomTree;
+use crate::func::Function;
+use crate::ids::BlockId;
+
+/// One natural loop.
+#[derive(Debug, Clone)]
+pub struct NaturalLoop {
+    /// The loop header (target of the back edge).
+    pub header: BlockId,
+    /// Sources of back edges to `header` (usually one latch).
+    pub latches: Vec<BlockId>,
+    /// All blocks in the loop, including the header.
+    pub blocks: Vec<BlockId>,
+    /// Index of the innermost enclosing loop in the forest, if any.
+    pub parent: Option<usize>,
+}
+
+impl NaturalLoop {
+    /// Whether `b` belongs to this loop.
+    pub fn contains(&self, b: BlockId) -> bool {
+        self.blocks.contains(&b)
+    }
+}
+
+/// Finds all natural loops of `f`. Loops with the same header are merged
+/// (mini-C never produces them, but irreducible input is still rejected
+/// rather than mis-analyzed).
+pub fn find_loops(f: &Function, cfg: &Cfg, dom: &DomTree) -> Vec<NaturalLoop> {
+    let mut loops: Vec<NaturalLoop> = Vec::new();
+
+    for b in f.block_ids() {
+        if !cfg.is_reachable(b) {
+            continue;
+        }
+        for &s in &cfg.succs[b.index()] {
+            if dom.dominates(s, b) {
+                // Back edge b -> s.
+                match loops.iter_mut().find(|l| l.header == s) {
+                    Some(l) => {
+                        l.latches.push(b);
+                        flood(cfg, s, b, &mut l.blocks);
+                    }
+                    None => {
+                        let mut blocks = vec![s];
+                        flood(cfg, s, b, &mut blocks);
+                        loops.push(NaturalLoop {
+                            header: s,
+                            latches: vec![b],
+                            blocks,
+                            parent: None,
+                        });
+                    }
+                }
+            }
+        }
+    }
+
+    // Sort by size so parents (larger) come after children when scanning,
+    // then assign the innermost enclosing loop as parent.
+    loops.sort_by_key(|l| l.blocks.len());
+    for i in 0..loops.len() {
+        let header = loops[i].header;
+        let parent = (i + 1..loops.len())
+            .filter(|&j| loops[j].contains(header) && loops[j].header != header)
+            .min_by_key(|&j| loops[j].blocks.len());
+        loops[i].parent = parent;
+    }
+    loops
+}
+
+/// Adds the natural-loop body of back edge `latch -> header` to `blocks`.
+fn flood(cfg: &Cfg, header: BlockId, latch: BlockId, blocks: &mut Vec<BlockId>) {
+    let mut stack = vec![latch];
+    while let Some(b) = stack.pop() {
+        if b == header || blocks.contains(&b) {
+            continue;
+        }
+        blocks.push(b);
+        for &p in &cfg.preds[b.index()] {
+            stack.push(p);
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::cfg::testutil::graph;
+    use crate::lower::lower;
+
+    #[test]
+    fn simple_loop_detected() {
+        // 0 -> 1 -> 2 -> 1; 1 -> 3
+        let f = graph(4, &[(0, 1), (1, 2), (1, 3), (2, 1)]);
+        let cfg = Cfg::build(&f);
+        let dom = DomTree::dominators(&cfg);
+        let loops = find_loops(&f, &cfg, &dom);
+        assert_eq!(loops.len(), 1);
+        assert_eq!(loops[0].header, BlockId(1));
+        assert_eq!(loops[0].latches, vec![BlockId(2)]);
+        let mut blocks = loops[0].blocks.clone();
+        blocks.sort();
+        assert_eq!(blocks, vec![BlockId(1), BlockId(2)]);
+    }
+
+    #[test]
+    fn nested_loops_have_parents() {
+        // outer: 1..4, inner: 2..3
+        // 0 -> 1 -> 2 -> 3 -> 2 (inner back), 3 -> 4 -> 1 (outer back), 1 -> 5
+        let f = graph(6, &[(0, 1), (1, 2), (2, 3), (3, 2), (3, 4), (4, 1), (1, 5)]);
+        let cfg = Cfg::build(&f);
+        let dom = DomTree::dominators(&cfg);
+        let loops = find_loops(&f, &cfg, &dom);
+        assert_eq!(loops.len(), 2);
+        let inner = loops.iter().position(|l| l.header == BlockId(2)).unwrap();
+        let outer = loops.iter().position(|l| l.header == BlockId(1)).unwrap();
+        assert_eq!(loops[inner].parent, Some(outer));
+        assert_eq!(loops[outer].parent, None);
+        assert!(loops[outer].contains(BlockId(4)));
+        assert!(!loops[inner].contains(BlockId(4)));
+    }
+
+    #[test]
+    fn matches_structured_loop_metadata() {
+        let prog = kremlin_minic::compile_frontend(
+            "int main() { int s = 0; for (int i = 0; i < 3; i++) { for (int j = 0; j < 3; j++) { s += j; } } return s; }",
+        )
+        .unwrap();
+        let m = lower(&prog, "t.kc");
+        let f = &m.funcs[0];
+        let cfg = Cfg::build(f);
+        let dom = DomTree::dominators(&cfg);
+        let natural = find_loops(f, &cfg, &dom);
+        assert_eq!(natural.len(), f.loops.len());
+        for meta in &f.loops {
+            let nl = natural
+                .iter()
+                .find(|l| l.header == meta.header)
+                .unwrap_or_else(|| panic!("no natural loop with header {:?}", meta.header));
+            assert!(nl.latches.contains(&meta.latch));
+            assert!(nl.contains(meta.body_entry));
+        }
+    }
+
+    #[test]
+    fn self_loop() {
+        let f = graph(3, &[(0, 1), (1, 1), (1, 2)]);
+        let cfg = Cfg::build(&f);
+        let dom = DomTree::dominators(&cfg);
+        let loops = find_loops(&f, &cfg, &dom);
+        assert_eq!(loops.len(), 1);
+        assert_eq!(loops[0].blocks, vec![BlockId(1)]);
+        assert_eq!(loops[0].latches, vec![BlockId(1)]);
+    }
+
+    #[test]
+    fn no_loops_in_dag() {
+        let f = graph(4, &[(0, 1), (0, 2), (1, 3), (2, 3)]);
+        let cfg = Cfg::build(&f);
+        let dom = DomTree::dominators(&cfg);
+        assert!(find_loops(&f, &cfg, &dom).is_empty());
+    }
+}

@@ -1,0 +1,498 @@
+//! Promotion of scalar stack slots to SSA values (`mem2reg`).
+//!
+//! Lowering routes every scalar local and parameter through a frame slot;
+//! this pass rebuilds SSA form with the classic iterated-dominance-frontier
+//! phi placement plus dominator-tree renaming.
+//!
+//! For Kremlin this is not an optimization: SSA is what eliminates false
+//! (anti/output) register dependencies from the critical-path analysis —
+//! "many of these false dependencies, such as unnecessary reuse of a
+//! variable, are eliminated by the use of SSA form" (paper §4.1) — and it
+//! is the form on which induction/reduction variables are detected.
+
+use crate::cfg::Cfg;
+use crate::dom::DomTree;
+use crate::func::{Function, ValueData};
+use crate::ids::{AllocaId, BlockId, ValueId};
+use crate::instr::{InstrKind, Terminator, Ty};
+use std::collections::HashMap;
+
+/// Statistics returned by [`promote`].
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct Mem2RegStats {
+    /// Number of allocas promoted to SSA.
+    pub promoted: usize,
+    /// Number of phi instructions inserted.
+    pub phis: usize,
+    /// Loads deleted.
+    pub loads_removed: usize,
+    /// Stores deleted.
+    pub stores_removed: usize,
+}
+
+/// Promotes all scalar allocas of `f` to SSA registers, inserting phis.
+///
+/// Reading a scalar before any store yields zero (frames are
+/// zero-initialized by the interpreter, so behaviour is unchanged).
+pub fn promote(f: &mut Function) -> Mem2RegStats {
+    let cfg = Cfg::build(f);
+    let dom = DomTree::dominators(&cfg);
+    let frontiers = dom.frontiers(&cfg);
+
+    // ---- gather per-alloca facts ------------------------------------------
+    let n_allocas = f.allocas.len();
+    // Alloca-instruction value -> AllocaId (only for scalar slots).
+    let mut ptr_to_slot: HashMap<ValueId, AllocaId> = HashMap::new();
+    for (vi, v) in f.values.iter().enumerate() {
+        if let InstrKind::Alloca(a) = v.kind {
+            if f.allocas[a.index()].is_scalar {
+                ptr_to_slot.insert(ValueId::from_index(vi), a);
+            }
+        }
+    }
+
+    // Defensive promotability check: every use of a scalar-slot pointer
+    // must be a direct Load or the `ptr` of a Store.
+    let mut promotable = vec![true; n_allocas];
+    let mut elem_ty: Vec<Option<Ty>> = vec![None; n_allocas];
+    let mut def_blocks: Vec<Vec<BlockId>> = vec![Vec::new(); n_allocas];
+    for (bi, block) in f.blocks.iter().enumerate() {
+        for &vi in &block.instrs {
+            let mut ops = Vec::new();
+            let v = &f.values[vi.index()];
+            match &v.kind {
+                InstrKind::Load(p) => {
+                    if let Some(&a) = ptr_to_slot.get(p) {
+                        elem_ty[a.index()].get_or_insert(v.ty);
+                    }
+                }
+                InstrKind::Store { ptr, value } => {
+                    if let Some(&a) = ptr_to_slot.get(ptr) {
+                        def_blocks[a.index()].push(BlockId::from_index(bi));
+                        let vt = f.values[value.index()].ty;
+                        elem_ty[a.index()].get_or_insert(vt);
+                    }
+                    // A promoted pointer flowing in as the *stored value*
+                    // would escape; mark unpromotable.
+                    if let Some(&a) = ptr_to_slot.get(value) {
+                        promotable[a.index()] = false;
+                    }
+                }
+                other => {
+                    other.operands(&mut ops);
+                    for o in &ops {
+                        if let Some(&a) = ptr_to_slot.get(o) {
+                            promotable[a.index()] = false;
+                        }
+                    }
+                }
+            }
+        }
+        if let Some(Terminator::CondBr { cond, .. }) = &block.term {
+            if let Some(&a) = ptr_to_slot.get(cond) {
+                promotable[a.index()] = false;
+            }
+        }
+    }
+    for a in 0..n_allocas {
+        if !f.allocas[a].is_scalar {
+            promotable[a] = false;
+        }
+        if elem_ty[a].is_none() {
+            // Never loaded or stored: nothing to rewrite, drop trivially.
+            elem_ty[a] = Some(Ty::I64);
+        }
+    }
+
+    // ---- phi insertion (iterated dominance frontier) -----------------------
+    let mut stats = Mem2RegStats::default();
+    // (block, alloca) -> phi value
+    let mut phi_at: HashMap<(BlockId, AllocaId), ValueId> = HashMap::new();
+    // Per block, list of (phi value, alloca).
+    let mut phis_in_block: Vec<Vec<(ValueId, AllocaId)>> = vec![Vec::new(); f.blocks.len()];
+
+    for a in 0..n_allocas {
+        if !promotable[a] {
+            continue;
+        }
+        stats.promoted += 1;
+        let aid = AllocaId::from_index(a);
+        let mut work: Vec<BlockId> =
+            def_blocks[a].iter().copied().filter(|b| cfg.is_reachable(*b)).collect();
+        let mut has_phi: Vec<bool> = vec![false; f.blocks.len()];
+        while let Some(b) = work.pop() {
+            for &df in &frontiers[b.index()] {
+                if has_phi[df.index()] {
+                    continue;
+                }
+                has_phi[df.index()] = true;
+                let phi = ValueId::from_index(f.values.len());
+                f.values.push(ValueData {
+                    kind: InstrKind::Phi { incoming: Vec::new() },
+                    ty: elem_ty[a].expect("elem ty known"),
+                    span: f.span,
+                    break_dep_on: None,
+                });
+                phi_at.insert((df, aid), phi);
+                phis_in_block[df.index()].push((phi, aid));
+                stats.phis += 1;
+                work.push(df);
+            }
+        }
+    }
+
+    // ---- renaming -----------------------------------------------------------
+    // Zero constants for reads-before-writes, one per promoted alloca type,
+    // materialized in the entry block.
+    let mut zero_of: HashMap<Ty, ValueId> = HashMap::new();
+    let mut entry_prelude: Vec<ValueId> = Vec::new();
+    for a in 0..n_allocas {
+        if !promotable[a] {
+            continue;
+        }
+        let ty = elem_ty[a].expect("elem ty known");
+        zero_of.entry(ty).or_insert_with(|| {
+            let kind = match ty {
+                Ty::F64 => InstrKind::ConstFloat(0.0),
+                _ => InstrKind::ConstInt(0),
+            };
+            let v = ValueId::from_index(f.values.len());
+            f.values.push(ValueData { kind, ty, span: f.span, break_dep_on: None });
+            entry_prelude.push(v);
+            v
+        });
+    }
+
+    // Current reaching definition per alloca, maintained with an undo log
+    // over an explicit dominator-tree DFS.
+    let mut cur_def: Vec<ValueId> = (0..n_allocas)
+        .map(|a| {
+            let ty = elem_ty[a].unwrap_or(Ty::I64);
+            *zero_of.get(&ty).unwrap_or(&ValueId(0))
+        })
+        .collect();
+    // Map from deleted Load results to their replacement values.
+    let mut replace: HashMap<ValueId, ValueId> = HashMap::new();
+    // Phi incomings gathered as (phi, pred, value).
+    let mut phi_incoming: Vec<(ValueId, BlockId, ValueId)> = Vec::new();
+    // Instructions to delete per block.
+    let mut delete: vec::SetPerBlock = vec::SetPerBlock::new(f.blocks.len());
+
+    enum Step {
+        Visit(BlockId),
+        Undo(usize),
+    }
+    let mut undo_log: Vec<(AllocaId, ValueId)> = Vec::new();
+    let mut stack = vec![Step::Visit(cfg.entry)];
+    while let Some(step) = stack.pop() {
+        match step {
+            Step::Undo(mark) => {
+                while undo_log.len() > mark {
+                    let (a, v) = undo_log.pop().expect("log nonempty");
+                    cur_def[a.index()] = v;
+                }
+            }
+            Step::Visit(b) => {
+                let mark = undo_log.len();
+                stack.push(Step::Undo(mark));
+
+                // Phis in this block define their alloca.
+                for &(phi, a) in &phis_in_block[b.index()] {
+                    undo_log.push((a, cur_def[a.index()]));
+                    cur_def[a.index()] = phi;
+                }
+                // Walk instructions.
+                for &vi in &f.blocks[b.index()].instrs {
+                    let kind = f.values[vi.index()].kind.clone();
+                    match kind {
+                        InstrKind::Alloca(a)
+                            if a.index() < n_allocas && promotable[a.index()] =>
+                        {
+                            delete.insert(b, vi);
+                        }
+                        InstrKind::Load(p) => {
+                            if let Some(&a) = ptr_to_slot.get(&p) {
+                                if promotable[a.index()] {
+                                    replace.insert(vi, cur_def[a.index()]);
+                                    delete.insert(b, vi);
+                                    stats.loads_removed += 1;
+                                }
+                            }
+                        }
+                        InstrKind::Store { ptr, value } => {
+                            if let Some(&a) = ptr_to_slot.get(&ptr) {
+                                if promotable[a.index()] {
+                                    undo_log.push((a, cur_def[a.index()]));
+                                    // The stored value itself may be a
+                                    // deleted load; resolve through.
+                                    let mut v = value;
+                                    while let Some(&r) = replace.get(&v) {
+                                        v = r;
+                                    }
+                                    cur_def[a.index()] = v;
+                                    delete.insert(b, vi);
+                                    stats.stores_removed += 1;
+                                }
+                            }
+                        }
+                        _ => {}
+                    }
+                }
+                // Feed successors' phis.
+                for &s in &cfg.succs[b.index()] {
+                    for &(phi, a) in &phis_in_block[s.index()] {
+                        phi_incoming.push((phi, b, cur_def[a.index()]));
+                    }
+                }
+                // Recurse into dominator-tree children.
+                for &c in &dom.children[b.index()] {
+                    stack.push(Step::Visit(c));
+                }
+            }
+        }
+    }
+
+    // ---- apply rewrites ------------------------------------------------------
+    let resolve = |mut v: ValueId, replace: &HashMap<ValueId, ValueId>| -> ValueId {
+        while let Some(&r) = replace.get(&v) {
+            v = r;
+        }
+        v
+    };
+
+    for (phi, pred, val) in phi_incoming {
+        let val = resolve(val, &replace);
+        if let InstrKind::Phi { incoming } = &mut f.values[phi.index()].kind {
+            incoming.push((pred, val));
+        }
+    }
+
+    for v in &mut f.values {
+        rewrite_operands(&mut v.kind, &replace);
+    }
+    for b in &mut f.blocks {
+        if let Some(Terminator::CondBr { cond, .. }) = &mut b.term {
+            *cond = resolve(*cond, &replace);
+        }
+        if let Some(Terminator::Ret(Some(v))) = &mut b.term {
+            *v = resolve(*v, &replace);
+        }
+    }
+
+    // Rebuild block instruction lists: phis first, then surviving instrs.
+    for (bi, block) in f.blocks.iter_mut().enumerate() {
+        let mut instrs: Vec<ValueId> =
+            phis_in_block[bi].iter().map(|&(phi, _)| phi).collect();
+        if BlockId::from_index(bi) == cfg.entry {
+            instrs.extend(entry_prelude.iter().copied());
+            entry_prelude.clear();
+        }
+        instrs.extend(block.instrs.iter().copied().filter(|v| !delete.contains(bi, *v)));
+        block.instrs = instrs;
+    }
+
+    stats
+}
+
+fn rewrite_operands(kind: &mut InstrKind, replace: &HashMap<ValueId, ValueId>) {
+    let resolve = |v: &mut ValueId| {
+        let mut cur = *v;
+        while let Some(&r) = replace.get(&cur) {
+            cur = r;
+        }
+        *v = cur;
+    };
+    match kind {
+        InstrKind::Bin(_, a, b) => {
+            resolve(a);
+            resolve(b);
+        }
+        InstrKind::Un(_, a) | InstrKind::Load(a) | InstrKind::CdPush(a) => resolve(a),
+        InstrKind::Gep { base, index, .. } => {
+            resolve(base);
+            resolve(index);
+        }
+        InstrKind::Store { ptr, value } => {
+            resolve(ptr);
+            resolve(value);
+        }
+        InstrKind::Call { args, .. } | InstrKind::IntrinsicCall { args, .. } => {
+            for a in args {
+                resolve(a);
+            }
+        }
+        InstrKind::Phi { incoming } => {
+            for (_, v) in incoming {
+                resolve(v);
+            }
+        }
+        _ => {}
+    }
+}
+
+/// Tiny per-block deletion sets (blocks are small; linear scan is fine).
+mod vec {
+    use crate::ids::ValueId;
+
+    pub(super) struct SetPerBlock {
+        sets: Vec<Vec<ValueId>>,
+    }
+
+    impl SetPerBlock {
+        pub(super) fn new(n: usize) -> Self {
+            SetPerBlock { sets: vec![Vec::new(); n] }
+        }
+
+        pub(super) fn insert(&mut self, b: crate::ids::BlockId, v: ValueId) {
+            self.sets[b.index()].push(v);
+        }
+
+        pub(super) fn contains(&self, b: usize, v: ValueId) -> bool {
+            self.sets[b].contains(&v)
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::lower::lower;
+    use crate::module::Module;
+
+    fn lowered(src: &str) -> Module {
+        let prog = kremlin_minic::compile_frontend(src).expect("frontend");
+        lower(&prog, "test.kc")
+    }
+
+    fn count_kind(f: &Function, pred: impl Fn(&InstrKind) -> bool) -> usize {
+        f.blocks
+            .iter()
+            .flat_map(|b| &b.instrs)
+            .filter(|v| pred(&f.value(**v).kind))
+            .count()
+    }
+
+    #[test]
+    fn straightline_promotion_removes_all_memory_ops() {
+        let mut m = lowered("int main() { int a = 1; int b = a + 2; return b; }");
+        let stats = promote(&mut m.funcs[0]);
+        assert_eq!(stats.promoted, 2);
+        assert_eq!(stats.phis, 0);
+        let f = &m.funcs[0];
+        assert_eq!(count_kind(f, |k| matches!(k, InstrKind::Load(_))), 0);
+        assert_eq!(count_kind(f, |k| matches!(k, InstrKind::Store { .. })), 0);
+        assert_eq!(count_kind(f, |k| matches!(k, InstrKind::Alloca(_))), 0);
+    }
+
+    #[test]
+    fn if_join_gets_phi() {
+        let mut m = lowered(
+            "int main() { int x = 0; if (1) { x = 1; } else { x = 2; } return x; }",
+        );
+        let stats = promote(&mut m.funcs[0]);
+        assert!(stats.phis >= 1);
+        let f = &m.funcs[0];
+        // The returned value must be a phi.
+        let ret = f
+            .blocks
+            .iter()
+            .find_map(|b| match &b.term {
+                Some(Terminator::Ret(Some(v))) => Some(*v),
+                _ => None,
+            })
+            .unwrap();
+        assert!(matches!(f.value(ret).kind, InstrKind::Phi { .. }));
+        if let InstrKind::Phi { incoming } = &f.value(ret).kind {
+            assert_eq!(incoming.len(), 2);
+        }
+    }
+
+    #[test]
+    fn loop_counter_gets_header_phi() {
+        let mut m = lowered(
+            "int main() { int s = 0; for (int i = 0; i < 4; i++) { s += i; } return s; }",
+        );
+        promote(&mut m.funcs[0]);
+        let f = &m.funcs[0];
+        let header = f.loops[0].header;
+        let phis_in_header = f
+            .block(header)
+            .instrs
+            .iter()
+            .filter(|v| matches!(f.value(**v).kind, InstrKind::Phi { .. }))
+            .count();
+        // i and s both need header phis.
+        assert_eq!(phis_in_header, 2);
+    }
+
+    #[test]
+    fn arrays_are_not_promoted() {
+        let mut m = lowered(
+            "int main() { float a[4]; a[0] = 1.0; float x = a[0]; return (int) x; }",
+        );
+        let stats = promote(&mut m.funcs[0]);
+        // Only `x` is promotable; the array stays in memory.
+        assert_eq!(stats.promoted, 1);
+        let f = &m.funcs[0];
+        assert!(count_kind(f, |k| matches!(k, InstrKind::Store { .. })) >= 1);
+        assert!(count_kind(f, |k| matches!(k, InstrKind::Load(_))) >= 1);
+    }
+
+    #[test]
+    fn params_are_promoted() {
+        let mut m = lowered(
+            "int f(int x) { x = x * 2; return x + 1; } int main() { return f(3); }",
+        );
+        let stats = promote(&mut m.funcs[0]);
+        assert_eq!(stats.promoted, 1);
+        let f = &m.funcs[0];
+        assert_eq!(count_kind(f, |k| matches!(k, InstrKind::Alloca(_))), 0);
+    }
+
+    #[test]
+    fn read_before_write_yields_zero_constant() {
+        // `x` is only assigned under a condition; the other path reads the
+        // implicit zero.
+        let mut m = lowered(
+            "int main() { int x; if (0) { x = 5; } return x; }",
+        );
+        promote(&mut m.funcs[0]);
+        let f = &m.funcs[0];
+        let ret = f
+            .blocks
+            .iter()
+            .find_map(|b| match &b.term {
+                Some(Terminator::Ret(Some(v))) => Some(*v),
+                _ => None,
+            })
+            .unwrap();
+        if let InstrKind::Phi { incoming } = &f.value(ret).kind {
+            let has_zero = incoming.iter().any(|(_, v)| {
+                matches!(f.value(*v).kind, InstrKind::ConstInt(0))
+            });
+            assert!(has_zero, "one phi input should be the zero constant");
+        } else {
+            panic!("expected phi at join");
+        }
+    }
+
+    #[test]
+    fn phis_lead_their_blocks() {
+        let mut m = lowered(
+            "int main() { int s = 0; int t = 1; for (int i = 0; i < 4; i++) { s += i; t *= 2; } return s + t; }",
+        );
+        promote(&mut m.funcs[0]);
+        let f = &m.funcs[0];
+        for b in &f.blocks {
+            let mut seen_non_phi = false;
+            for &v in &b.instrs {
+                let is_phi = matches!(f.value(v).kind, InstrKind::Phi { .. });
+                if is_phi {
+                    assert!(!seen_non_phi, "phi after non-phi instruction");
+                } else {
+                    seen_non_phi = true;
+                }
+            }
+        }
+    }
+}

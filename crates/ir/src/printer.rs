@@ -1,0 +1,160 @@
+//! Textual IR dump, for debugging and golden tests.
+
+use crate::func::Function;
+use crate::ids::ValueId;
+use crate::instr::{BinOp, Cmp, InstrKind, Terminator, UnOp};
+use crate::module::Module;
+use std::fmt::Write;
+
+/// Renders a whole module.
+pub fn print_module(m: &Module) -> String {
+    let mut out = String::new();
+    for g in &m.globals {
+        let _ = writeln!(out, "global {} : {:?} x {} = {:?}", g.name, g.elem_ty, g.slots, g.init);
+    }
+    for f in &m.funcs {
+        out.push_str(&print_function(f));
+        out.push('\n');
+    }
+    out
+}
+
+/// Renders one function.
+pub fn print_function(f: &Function) -> String {
+    let mut out = String::new();
+    let _ = writeln!(
+        out,
+        "func {} {}({:?}) -> {:?} [frame={} slots, region={}]",
+        f.id,
+        f.name,
+        f.param_tys,
+        f.ret_ty,
+        f.frame_slots,
+        f.region
+    );
+    for (bi, b) in f.blocks.iter().enumerate() {
+        let _ = writeln!(out, "bb{bi}:");
+        for &v in &b.instrs {
+            let _ = writeln!(out, "    {} = {}", v, print_instr(f, v));
+        }
+        match &b.term {
+            Some(Terminator::Br(t)) => {
+                let _ = writeln!(out, "    br {t}");
+            }
+            Some(Terminator::CondBr { cond, then_bb, else_bb }) => {
+                let _ = writeln!(out, "    condbr {cond}, {then_bb}, {else_bb}");
+            }
+            Some(Terminator::Ret(Some(v))) => {
+                let _ = writeln!(out, "    ret {v}");
+            }
+            Some(Terminator::Ret(None)) => {
+                let _ = writeln!(out, "    ret");
+            }
+            None => {
+                let _ = writeln!(out, "    <unterminated>");
+            }
+        }
+    }
+    out
+}
+
+fn bin_name(op: BinOp) -> String {
+    let cmp = |c: Cmp| match c {
+        Cmp::Eq => "eq",
+        Cmp::Ne => "ne",
+        Cmp::Lt => "lt",
+        Cmp::Le => "le",
+        Cmp::Gt => "gt",
+        Cmp::Ge => "ge",
+    };
+    match op {
+        BinOp::IAdd => "iadd".into(),
+        BinOp::ISub => "isub".into(),
+        BinOp::IMul => "imul".into(),
+        BinOp::IDiv => "idiv".into(),
+        BinOp::IRem => "irem".into(),
+        BinOp::FAdd => "fadd".into(),
+        BinOp::FSub => "fsub".into(),
+        BinOp::FMul => "fmul".into(),
+        BinOp::FDiv => "fdiv".into(),
+        BinOp::ICmp(c) => format!("icmp.{}", cmp(c)),
+        BinOp::FCmp(c) => format!("fcmp.{}", cmp(c)),
+        BinOp::LAnd => "land".into(),
+        BinOp::LOr => "lor".into(),
+    }
+}
+
+/// Renders one instruction (without its result id).
+pub fn print_instr(f: &Function, v: ValueId) -> String {
+    let vd = f.value(v);
+    let body = match &vd.kind {
+        InstrKind::Param(i) => format!("param {i}"),
+        InstrKind::ConstInt(c) => format!("const.i64 {c}"),
+        InstrKind::ConstFloat(c) => format!("const.f64 {c}"),
+        InstrKind::Bin(op, a, b) => format!("{} {a}, {b}", bin_name(*op)),
+        InstrKind::Un(op, a) => {
+            let name = match op {
+                UnOp::INeg => "ineg",
+                UnOp::FNeg => "fneg",
+                UnOp::LNot => "lnot",
+                UnOp::IntToFloat => "i2f",
+                UnOp::FloatToInt => "f2i",
+            };
+            format!("{name} {a}")
+        }
+        InstrKind::Alloca(a) => format!("alloca {a} ({})", f.allocas[a.index()].name),
+        InstrKind::GlobalAddr(g) => format!("globaladdr {g}"),
+        InstrKind::Gep { base, index, stride } => format!("gep {base} + {index}*{stride}"),
+        InstrKind::Load(p) => format!("load {p}"),
+        InstrKind::Store { ptr, value } => format!("store {value} -> {ptr}"),
+        InstrKind::Call { func, args } => format!("call {func}{args:?}"),
+        InstrKind::IntrinsicCall { op, args } => format!("{}{args:?}", op.name()),
+        InstrKind::Phi { incoming } => {
+            let parts: Vec<String> =
+                incoming.iter().map(|(b, v)| format!("[{b}: {v}]")).collect();
+            format!("phi {}", parts.join(", "))
+        }
+        InstrKind::RegionEnter(r) => format!("region.enter {r}"),
+        InstrKind::RegionExit(r) => format!("region.exit {r}"),
+        InstrKind::CdPush(c) => format!("cd.push {c}"),
+        InstrKind::CdPop => "cd.pop".into(),
+    };
+    match vd.break_dep_on {
+        Some(b) => format!("{body} !break({b})"),
+        None => body,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::lower::lower;
+    use crate::mem2reg::promote;
+
+    #[test]
+    fn printer_covers_all_constructs() {
+        let prog = kremlin_minic::compile_frontend(
+            "float a[4];\n\
+             float f(float x) { return sqrt(x); }\n\
+             int main() {\n\
+               float s = 0.0;\n\
+               for (int i = 0; i < 4; i++) { a[i] = (float) i; }\n\
+               for (int i = 0; i < 4; i++) { if (i % 2) { s += a[i]; } }\n\
+               return (int) f(s);\n\
+             }",
+        )
+        .unwrap();
+        let mut m = lower(&prog, "t.kc");
+        for f in &mut m.funcs {
+            promote(f);
+            crate::indvar::analyze(f);
+        }
+        let text = print_module(&m);
+        for needle in [
+            "global a", "func", "phi", "condbr", "region.enter", "region.exit", "cd.push",
+            "cd.pop", "gep", "load", "store", "call", "sqrt", "ret", "!break",
+        ] {
+            assert!(text.contains(needle), "missing `{needle}` in:\n{text}");
+        }
+    }
+}

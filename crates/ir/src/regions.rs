@@ -1,0 +1,154 @@
+//! Static program regions.
+//!
+//! Kremlin measures parallelism per *region*: "Kremlin places regions around
+//! all loops and functions" (paper §2.2), and loop *bodies* (one dynamic
+//! instance per iteration) are regions too — self-parallelism of a loop is
+//! defined against its iteration children, which is how `SP ≈ iteration
+//! count` identifies DOALL loops (§5.1).
+//!
+//! The [`RegionTable`] is module-wide: region IDs are stable across
+//! compilation, profiling, planning, and simulation.
+
+use crate::ids::{FuncId, RegionId};
+use kremlin_minic::Span;
+use std::fmt;
+
+/// What kind of code a region delimits.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum RegionKind {
+    /// A whole function activation.
+    Func,
+    /// A loop (all iterations).
+    Loop,
+    /// One loop iteration.
+    LoopBody,
+}
+
+impl fmt::Display for RegionKind {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            RegionKind::Func => write!(f, "func"),
+            RegionKind::Loop => write!(f, "loop"),
+            RegionKind::LoopBody => write!(f, "body"),
+        }
+    }
+}
+
+/// Static information about one region.
+#[derive(Debug, Clone)]
+pub struct RegionInfo {
+    /// This region's ID (its index in the table).
+    pub id: RegionId,
+    /// Function / loop / loop-body.
+    pub kind: RegionKind,
+    /// The function containing (or constituted by) this region.
+    pub func: FuncId,
+    /// Static parent region, if any. `None` only for function regions
+    /// (functions may be called from many places — the *dynamic* parent is
+    /// recorded by the profiler).
+    pub parent: Option<RegionId>,
+    /// Stable human-readable label, e.g. `main`, `main#loop0`,
+    /// `blur#loop1@body`. Workload MANUAL plans reference these.
+    pub label: String,
+    /// Source span (the paper's `File (lines)` plan column).
+    pub span: Span,
+}
+
+/// The module-wide region table.
+#[derive(Debug, Clone, Default)]
+pub struct RegionTable {
+    regions: Vec<RegionInfo>,
+}
+
+impl RegionTable {
+    /// Creates an empty table.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Adds a region and returns its ID.
+    pub fn add(
+        &mut self,
+        kind: RegionKind,
+        func: FuncId,
+        parent: Option<RegionId>,
+        label: String,
+        span: Span,
+    ) -> RegionId {
+        let id = RegionId::from_index(self.regions.len());
+        self.regions.push(RegionInfo { id, kind, func, parent, label, span });
+        id
+    }
+
+    /// Looks up a region.
+    pub fn info(&self, id: RegionId) -> &RegionInfo {
+        &self.regions[id.index()]
+    }
+
+    /// Number of regions.
+    pub fn len(&self) -> usize {
+        self.regions.len()
+    }
+
+    /// True if the table is empty.
+    pub fn is_empty(&self) -> bool {
+        self.regions.is_empty()
+    }
+
+    /// Iterates over all regions in ID order.
+    pub fn iter(&self) -> impl Iterator<Item = &RegionInfo> {
+        self.regions.iter()
+    }
+
+    /// Finds a region by its label.
+    pub fn by_label(&self, label: &str) -> Option<RegionId> {
+        self.regions.iter().find(|r| r.label == label).map(|r| r.id)
+    }
+
+    /// The static children of `id` (regions whose `parent` is `id`).
+    pub fn children(&self, id: RegionId) -> Vec<RegionId> {
+        self.regions.iter().filter(|r| r.parent == Some(id)).map(|r| r.id).collect()
+    }
+
+    /// Walks up static parents from `id` (not following call edges),
+    /// yielding `id` first.
+    pub fn ancestors(&self, id: RegionId) -> impl Iterator<Item = RegionId> + '_ {
+        std::iter::successors(Some(id), move |&r| self.info(r).parent)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn table() -> RegionTable {
+        let mut t = RegionTable::new();
+        let f = t.add(RegionKind::Func, FuncId(0), None, "main".into(), Span::dummy());
+        let l = t.add(RegionKind::Loop, FuncId(0), Some(f), "main#loop0".into(), Span::dummy());
+        t.add(RegionKind::LoopBody, FuncId(0), Some(l), "main#loop0@body".into(), Span::dummy());
+        t
+    }
+
+    #[test]
+    fn add_and_lookup() {
+        let t = table();
+        assert_eq!(t.len(), 3);
+        assert_eq!(t.info(RegionId(1)).kind, RegionKind::Loop);
+        assert_eq!(t.by_label("main#loop0@body"), Some(RegionId(2)));
+        assert_eq!(t.by_label("nope"), None);
+    }
+
+    #[test]
+    fn children_and_ancestors() {
+        let t = table();
+        assert_eq!(t.children(RegionId(0)), vec![RegionId(1)]);
+        let anc: Vec<_> = t.ancestors(RegionId(2)).collect();
+        assert_eq!(anc, vec![RegionId(2), RegionId(1), RegionId(0)]);
+    }
+
+    #[test]
+    fn kinds_display() {
+        assert_eq!(RegionKind::LoopBody.to_string(), "body");
+        assert_eq!(RegionKind::Func.to_string(), "func");
+    }
+}

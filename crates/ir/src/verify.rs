@@ -1,0 +1,237 @@
+//! IR and SSA well-formedness verification.
+//!
+//! Run after lowering and after `mem2reg`; all passes in this workspace
+//! keep the verifier green, and tests assert it.
+
+use crate::cfg::Cfg;
+use crate::dom::DomTree;
+use crate::func::Function;
+use crate::ids::{BlockId, ValueId};
+use crate::instr::{InstrKind, Terminator};
+use crate::module::Module;
+use std::collections::HashMap;
+use std::fmt;
+
+/// A verification failure.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct VerifyError {
+    /// Offending function name.
+    pub func: String,
+    /// Description of the violation.
+    pub message: String,
+}
+
+impl fmt::Display for VerifyError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "ir verification failed in `{}`: {}", self.func, self.message)
+    }
+}
+
+impl std::error::Error for VerifyError {}
+
+/// Verifies every function of a module. See [`verify_function`].
+///
+/// # Errors
+///
+/// Returns the first violation found.
+pub fn verify_module(m: &Module) -> Result<(), VerifyError> {
+    for f in &m.funcs {
+        verify_function(f)?;
+    }
+    Ok(())
+}
+
+/// Verifies structural and SSA invariants of one function:
+///
+/// * every block has a terminator and only branch targets in range;
+/// * each value is defined at most once across block instruction lists;
+/// * every operand of a reachable instruction is defined in a block that
+///   dominates the use (phi operands: dominates the incoming predecessor);
+/// * phis appear only at the head of a block, and their incoming
+///   predecessor sets equal the block's CFG predecessors;
+/// * region markers and `CdPush`/`CdPop` reference valid values.
+///
+/// # Errors
+///
+/// Returns the first violation found.
+pub fn verify_function(f: &Function) -> Result<(), VerifyError> {
+    let err = |msg: String| Err(VerifyError { func: f.name.clone(), message: msg });
+
+    // Terminators and target ranges.
+    for (bi, b) in f.blocks.iter().enumerate() {
+        let Some(term) = &b.term else {
+            return err(format!("bb{bi} has no terminator"));
+        };
+        for s in term.successors() {
+            if s.index() >= f.blocks.len() {
+                return err(format!("bb{bi} branches to out-of-range {s}"));
+            }
+        }
+    }
+
+    // Definition sites (unique).
+    let mut def_block: HashMap<ValueId, BlockId> = HashMap::new();
+    for (bi, b) in f.blocks.iter().enumerate() {
+        for &v in &b.instrs {
+            if v.index() >= f.values.len() {
+                return err(format!("bb{bi} lists out-of-range value {v}"));
+            }
+            if def_block.insert(v, BlockId::from_index(bi)).is_some() {
+                return err(format!("{v} is defined more than once"));
+            }
+        }
+    }
+
+    let cfg = Cfg::build(f);
+    let dom = DomTree::dominators(&cfg);
+
+    // Phi placement and operand dominance.
+    let mut ops = Vec::new();
+    for (bi, b) in f.blocks.iter().enumerate() {
+        let bid = BlockId::from_index(bi);
+        if !cfg.is_reachable(bid) {
+            continue;
+        }
+        let mut seen_non_phi = false;
+        for (pos, &v) in b.instrs.iter().enumerate() {
+            let vd = &f.values[v.index()];
+            match &vd.kind {
+                InstrKind::Phi { incoming } => {
+                    if seen_non_phi {
+                        return err(format!("{v} is a phi after non-phi instructions in bb{bi}"));
+                    }
+                    let mut preds: Vec<BlockId> = cfg.preds[bi]
+                        .iter()
+                        .copied()
+                        .filter(|p| cfg.is_reachable(*p))
+                        .collect();
+                    preds.sort();
+                    preds.dedup();
+                    let mut inc: Vec<BlockId> = incoming
+                        .iter()
+                        .map(|(p, _)| *p)
+                        .filter(|p| cfg.is_reachable(*p))
+                        .collect();
+                    inc.sort();
+                    inc.dedup();
+                    if preds != inc {
+                        return err(format!(
+                            "{v} phi incoming blocks {inc:?} do not match predecessors {preds:?} of bb{bi}"
+                        ));
+                    }
+                    for (p, val) in incoming {
+                        if !cfg.is_reachable(*p) {
+                            continue;
+                        }
+                        if let Some(db) = def_block.get(val) {
+                            if !dom.dominates(*db, *p) && *db != *p {
+                                return err(format!(
+                                    "phi {v} incoming {val} (defined in {db}) does not dominate edge from {p}"
+                                ));
+                            }
+                        }
+                    }
+                }
+                kind => {
+                    seen_non_phi = true;
+                    ops.clear();
+                    kind.operands(&mut ops);
+                    for o in &ops {
+                        if o.index() >= f.values.len() {
+                            return err(format!("{v} uses out-of-range {o}"));
+                        }
+                        match def_block.get(o) {
+                            None => {
+                                return err(format!("{v} in bb{bi} uses undefined value {o}"))
+                            }
+                            Some(db) => {
+                                let same_block_ok = *db == bid
+                                    && b.instrs.iter().position(|x| x == o)
+                                        .is_some_and(|p| p < pos);
+                                let strictly_dominates =
+                                    dom.dominates(*db, bid) && *db != bid;
+                                if !(same_block_ok || strictly_dominates) {
+                                    return err(format!(
+                                        "{v} in bb{bi} uses {o} defined in {db}, which does not dominate the use"
+                                    ));
+                                }
+                            }
+                        }
+                    }
+                }
+            }
+        }
+        // Terminator operands.
+        match b.term.as_ref().expect("checked") {
+            Terminator::CondBr { cond, .. } if !def_block.contains_key(cond) => {
+                return err(format!("bb{bi} branches on undefined {cond}"));
+            }
+            Terminator::Ret(Some(v)) if !def_block.contains_key(v) => {
+                return err(format!("bb{bi} returns undefined {v}"));
+            }
+            _ => {}
+        }
+    }
+    Ok(())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::lower::lower;
+    use crate::mem2reg::promote;
+
+    fn build(src: &str) -> Module {
+        let prog = kremlin_minic::compile_frontend(src).expect("frontend");
+        lower(&prog, "t.kc")
+    }
+
+    #[test]
+    fn lowered_code_verifies() {
+        let m = build(
+            "float a[16];\n\
+             float sum(float x[], int n) { float s = 0.0; for (int i = 0; i < n; i++) { s += x[i]; } return s; }\n\
+             int main() { for (int i = 0; i < 16; i++) { a[i] = (float) i; } return (int) sum(a, 16); }",
+        );
+        verify_module(&m).unwrap();
+    }
+
+    #[test]
+    fn mem2reg_output_verifies() {
+        let mut m = build(
+            "int fib(int n) { if (n < 2) { return n; } return fib(n - 1) + fib(n - 2); }\n\
+             int main() { int s = 0; for (int i = 0; i < 10; i++) { if (i % 3 == 0) { s += fib(i); } else { s -= 1; } } return s; }",
+        );
+        for f in &mut m.funcs {
+            promote(f);
+        }
+        verify_module(&m).unwrap();
+    }
+
+    #[test]
+    fn detects_double_definition() {
+        let mut m = build("int main() { return 1; }");
+        let v = m.funcs[0].blocks[0].instrs[0];
+        m.funcs[0].blocks[0].instrs.push(v);
+        let e = verify_module(&m).unwrap_err();
+        assert!(e.message.contains("more than once"), "{e}");
+    }
+
+    #[test]
+    fn detects_use_of_undefined_value() {
+        let mut m = build("int main() { return 1 + 2; }");
+        // Orphan the constant feeding the add.
+        let f = &mut m.funcs[0];
+        let add = *f.blocks[0].instrs.iter().next_back().unwrap();
+        let _ = add;
+        f.blocks[0].instrs.remove(0);
+        let e = verify_module(&m).unwrap_err();
+        assert!(e.message.contains("undefined value") || e.message.contains("uses"), "{e}");
+    }
+
+    #[test]
+    fn error_display_names_function() {
+        let e = VerifyError { func: "f".into(), message: "boom".into() };
+        assert_eq!(e.to_string(), "ir verification failed in `f`: boom");
+    }
+}

@@ -1,0 +1,405 @@
+//! Abstract syntax tree for mini-C.
+//!
+//! The AST is deliberately structured (no `goto`, loops and conditionals are
+//! properly nested). Kremlin's region model requires proper nesting of
+//! regions (§2.2 of the paper: "regions must not partially overlap"), and a
+//! structured AST lets the IR lowering place region and control-dependence
+//! markers by construction.
+
+use crate::span::Span;
+use crate::types::Type;
+
+/// A complete translation unit: globals plus functions.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Program {
+    /// Global variable declarations (zero-initialized; scalars may have a
+    /// constant initializer).
+    pub globals: Vec<GlobalDecl>,
+    /// Function definitions, in source order.
+    pub funcs: Vec<FuncDecl>,
+}
+
+/// A global variable declaration.
+#[derive(Debug, Clone, PartialEq)]
+pub struct GlobalDecl {
+    /// Variable name.
+    pub name: String,
+    /// Declared type (arrays must be fully sized).
+    pub ty: Type,
+    /// Optional constant scalar initializer.
+    pub init: Option<ConstInit>,
+    /// Source location.
+    pub span: Span,
+}
+
+/// Constant initializer for a scalar global.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub enum ConstInit {
+    /// Integer constant.
+    Int(i64),
+    /// Float constant.
+    Float(f64),
+}
+
+/// A function definition.
+#[derive(Debug, Clone, PartialEq)]
+pub struct FuncDecl {
+    /// Function name.
+    pub name: String,
+    /// Return type (`void` allowed).
+    pub ret: Type,
+    /// Parameters in order.
+    pub params: Vec<Param>,
+    /// Function body.
+    pub body: Block,
+    /// Source location of the whole definition.
+    pub span: Span,
+}
+
+/// A function parameter.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Param {
+    /// Parameter name.
+    pub name: String,
+    /// Parameter type; arrays may have an unsized first dimension.
+    pub ty: Type,
+    /// Source location.
+    pub span: Span,
+}
+
+/// A `{ ... }` block of statements.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Block {
+    /// The statements, in order.
+    pub stmts: Vec<Stmt>,
+    /// Source location including the braces.
+    pub span: Span,
+}
+
+/// A statement.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Stmt {
+    /// Local variable declaration, e.g. `int x = 3;` or `float a[8][8];`.
+    Decl {
+        /// Variable name.
+        name: String,
+        /// Declared type (arrays fully sized).
+        ty: Type,
+        /// Optional initializer (scalars only).
+        init: Option<Expr>,
+        /// Source location.
+        span: Span,
+    },
+    /// Assignment through an lvalue, e.g. `a[i] += x;`.
+    Assign {
+        /// Target of the assignment.
+        target: LValue,
+        /// Compound-assignment operator (plain `=` is `AssignOp::Set`).
+        op: AssignOp,
+        /// Right-hand side. For `x++` / `x--` this is the literal `1`.
+        value: Expr,
+        /// Source location.
+        span: Span,
+    },
+    /// An expression evaluated for its side effects (function calls).
+    Expr(Expr),
+    /// `if (cond) then else?`.
+    If {
+        /// Branch condition (int; nonzero is true).
+        cond: Expr,
+        /// Taken when `cond != 0`.
+        then_branch: Block,
+        /// Taken when `cond == 0`, if present.
+        else_branch: Option<Block>,
+        /// Source location.
+        span: Span,
+    },
+    /// `while (cond) body`.
+    While {
+        /// Loop condition.
+        cond: Expr,
+        /// Loop body.
+        body: Block,
+        /// Source location (used as the loop region's location).
+        span: Span,
+    },
+    /// `for (init; cond; step) body`.
+    For {
+        /// Optional init statement (decl or assignment).
+        init: Option<Box<Stmt>>,
+        /// Optional condition (absent means `true`).
+        cond: Option<Expr>,
+        /// Optional step (assignment).
+        step: Option<Box<Stmt>>,
+        /// Loop body.
+        body: Block,
+        /// Source location (used as the loop region's location).
+        span: Span,
+    },
+    /// `return e?;`.
+    Return {
+        /// Returned value, absent for `void` functions.
+        value: Option<Expr>,
+        /// Source location.
+        span: Span,
+    },
+    /// `break;` out of the innermost loop.
+    Break(Span),
+    /// `continue;` to the innermost loop's step/condition.
+    Continue(Span),
+    /// A nested block.
+    Block(Block),
+}
+
+impl Stmt {
+    /// The source span of this statement.
+    pub fn span(&self) -> Span {
+        match self {
+            Stmt::Decl { span, .. }
+            | Stmt::Assign { span, .. }
+            | Stmt::If { span, .. }
+            | Stmt::While { span, .. }
+            | Stmt::For { span, .. }
+            | Stmt::Return { span, .. } => *span,
+            Stmt::Expr(e) => e.span(),
+            Stmt::Break(s) | Stmt::Continue(s) => *s,
+            Stmt::Block(b) => b.span,
+        }
+    }
+}
+
+/// Assignment operators.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum AssignOp {
+    /// `=`
+    Set,
+    /// `+=` (also produced by `x++`)
+    Add,
+    /// `-=` (also produced by `x--`)
+    Sub,
+    /// `*=`
+    Mul,
+    /// `/=`
+    Div,
+}
+
+/// An assignable location: a variable with zero or more indices.
+#[derive(Debug, Clone, PartialEq)]
+pub struct LValue {
+    /// Base variable name.
+    pub name: String,
+    /// Index expressions, outermost first.
+    pub indices: Vec<Expr>,
+    /// Source location.
+    pub span: Span,
+}
+
+/// An expression.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Expr {
+    /// Integer literal.
+    IntLit(i64, Span),
+    /// Float literal.
+    FloatLit(f64, Span),
+    /// Variable reference (scalar read, or array value in call arguments /
+    /// index bases).
+    Var(String, Span),
+    /// Array indexing, `base[idx]`.
+    Index {
+        /// The indexed expression (a variable or another index).
+        base: Box<Expr>,
+        /// The index value.
+        index: Box<Expr>,
+        /// Source location.
+        span: Span,
+    },
+    /// A binary operation.
+    Binary {
+        /// The operator.
+        op: BinOp,
+        /// Left operand.
+        lhs: Box<Expr>,
+        /// Right operand.
+        rhs: Box<Expr>,
+        /// Source location.
+        span: Span,
+    },
+    /// A unary operation.
+    Unary {
+        /// The operator.
+        op: UnOp,
+        /// The operand.
+        operand: Box<Expr>,
+        /// Source location.
+        span: Span,
+    },
+    /// A function or intrinsic call.
+    Call {
+        /// Callee name.
+        callee: String,
+        /// Arguments in order.
+        args: Vec<Expr>,
+        /// Source location.
+        span: Span,
+    },
+    /// An explicit cast, `(int) e` or `(float) e`.
+    Cast {
+        /// Target type (scalar only).
+        to: Type,
+        /// The operand.
+        operand: Box<Expr>,
+        /// Source location.
+        span: Span,
+    },
+}
+
+impl Expr {
+    /// The source span of this expression.
+    pub fn span(&self) -> Span {
+        match self {
+            Expr::IntLit(_, s) | Expr::FloatLit(_, s) | Expr::Var(_, s) => *s,
+            Expr::Index { span, .. }
+            | Expr::Binary { span, .. }
+            | Expr::Unary { span, .. }
+            | Expr::Call { span, .. }
+            | Expr::Cast { span, .. } => *span,
+        }
+    }
+}
+
+/// Binary operators.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum BinOp {
+    /// `+`
+    Add,
+    /// `-`
+    Sub,
+    /// `*`
+    Mul,
+    /// `/`
+    Div,
+    /// `%` (integers only)
+    Rem,
+    /// `==`
+    Eq,
+    /// `!=`
+    Ne,
+    /// `<`
+    Lt,
+    /// `<=`
+    Le,
+    /// `>`
+    Gt,
+    /// `>=`
+    Ge,
+    /// `&&` (logical; both sides evaluated, see crate docs)
+    And,
+    /// `||` (logical; both sides evaluated, see crate docs)
+    Or,
+}
+
+impl BinOp {
+    /// True for `== != < <= > >=`.
+    pub fn is_comparison(self) -> bool {
+        matches!(self, BinOp::Eq | BinOp::Ne | BinOp::Lt | BinOp::Le | BinOp::Gt | BinOp::Ge)
+    }
+
+    /// True for `&&` and `||`.
+    pub fn is_logical(self) -> bool {
+        matches!(self, BinOp::And | BinOp::Or)
+    }
+
+    /// The surface syntax for this operator.
+    pub fn symbol(self) -> &'static str {
+        match self {
+            BinOp::Add => "+",
+            BinOp::Sub => "-",
+            BinOp::Mul => "*",
+            BinOp::Div => "/",
+            BinOp::Rem => "%",
+            BinOp::Eq => "==",
+            BinOp::Ne => "!=",
+            BinOp::Lt => "<",
+            BinOp::Le => "<=",
+            BinOp::Gt => ">",
+            BinOp::Ge => ">=",
+            BinOp::And => "&&",
+            BinOp::Or => "||",
+        }
+    }
+}
+
+/// Unary operators.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum UnOp {
+    /// Arithmetic negation.
+    Neg,
+    /// Logical not (`!`), int result.
+    Not,
+}
+
+impl UnOp {
+    /// The surface syntax for this operator.
+    pub fn symbol(self) -> &'static str {
+        match self {
+            UnOp::Neg => "-",
+            UnOp::Not => "!",
+        }
+    }
+}
+
+/// Names of built-in intrinsic functions available without declaration.
+///
+/// These mirror the handful of libm / libc functions the paper's benchmark
+/// kernels lean on.
+pub const INTRINSICS: &[(&str, &[crate::types::Scalar], crate::types::Scalar)] = {
+    use crate::types::Scalar::{Float, Int};
+    &[
+        ("sqrt", &[Float], Float),
+        ("fabs", &[Float], Float),
+        ("exp", &[Float], Float),
+        ("log", &[Float], Float),
+        ("sin", &[Float], Float),
+        ("cos", &[Float], Float),
+        ("pow", &[Float, Float], Float),
+        ("fmin", &[Float, Float], Float),
+        ("fmax", &[Float, Float], Float),
+        ("iabs", &[Int], Int),
+        ("imin", &[Int, Int], Int),
+        ("imax", &[Int, Int], Int),
+    ]
+};
+
+/// Looks up an intrinsic's signature by name.
+pub fn intrinsic_signature(
+    name: &str,
+) -> Option<(&'static [crate::types::Scalar], crate::types::Scalar)> {
+    INTRINSICS.iter().find(|(n, _, _)| *n == name).map(|(_, args, ret)| (*args, *ret))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn binop_classification() {
+        assert!(BinOp::Lt.is_comparison());
+        assert!(!BinOp::Add.is_comparison());
+        assert!(BinOp::And.is_logical());
+        assert_eq!(BinOp::Le.symbol(), "<=");
+    }
+
+    #[test]
+    fn intrinsics_lookup() {
+        let (args, ret) = intrinsic_signature("pow").unwrap();
+        assert_eq!(args.len(), 2);
+        assert_eq!(ret, crate::types::Scalar::Float);
+        assert!(intrinsic_signature("nope").is_none());
+    }
+
+    #[test]
+    fn stmt_span_passthrough() {
+        let s = Stmt::Break(Span::new(1, 2, 3, 3));
+        assert_eq!(s.span().line_start, 3);
+    }
+}

@@ -1,0 +1,71 @@
+//! Frontend diagnostics.
+
+use crate::span::Span;
+use std::fmt;
+
+/// An error produced while lexing, parsing, or type-checking a mini-C
+/// source file.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct FrontendError {
+    /// Which phase rejected the input.
+    pub phase: Phase,
+    /// Human-readable description (lowercase, no trailing punctuation).
+    pub message: String,
+    /// Source location of the offending construct.
+    pub span: Span,
+}
+
+/// The frontend phase that produced an error.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Phase {
+    /// Tokenization.
+    Lex,
+    /// Syntax analysis.
+    Parse,
+    /// Semantic analysis / type checking.
+    Type,
+}
+
+impl FrontendError {
+    /// Creates a lexer error.
+    pub fn lex(message: impl Into<String>, span: Span) -> Self {
+        FrontendError { phase: Phase::Lex, message: message.into(), span }
+    }
+
+    /// Creates a parser error.
+    pub fn parse(message: impl Into<String>, span: Span) -> Self {
+        FrontendError { phase: Phase::Parse, message: message.into(), span }
+    }
+
+    /// Creates a type error.
+    pub fn ty(message: impl Into<String>, span: Span) -> Self {
+        FrontendError { phase: Phase::Type, message: message.into(), span }
+    }
+}
+
+impl fmt::Display for FrontendError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let phase = match self.phase {
+            Phase::Lex => "lex",
+            Phase::Parse => "parse",
+            Phase::Type => "type",
+        };
+        write!(f, "{} error at {}: {}", phase, self.span, self.message)
+    }
+}
+
+impl std::error::Error for FrontendError {}
+
+/// Convenience alias used throughout the frontend.
+pub type Result<T> = std::result::Result<T, FrontendError>;
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_includes_phase_and_span() {
+        let e = FrontendError::parse("expected `;`", Span::new(3, 4, 2, 2));
+        assert_eq!(format!("{e}"), "parse error at line 2: expected `;`");
+    }
+}

@@ -1,0 +1,378 @@
+//! Hand-written lexer for mini-C.
+//!
+//! Supports `//` line comments and `/* ... */` block comments, decimal
+//! integer literals, and floating literals with optional fraction and
+//! exponent parts.
+
+use crate::error::{FrontendError, Result};
+use crate::span::Span;
+use crate::token::{Token, TokenKind};
+
+/// Tokenizes an entire source string.
+///
+/// The returned vector always ends with a single [`TokenKind::Eof`] token.
+///
+/// # Errors
+///
+/// Returns a [`FrontendError`] on unterminated block comments, malformed
+/// numeric literals, or unexpected characters.
+///
+/// ```
+/// use kremlin_minic::lexer::lex;
+/// let toks = lex("int main() { return 3; }")?;
+/// assert_eq!(toks.len(), 10); // 9 tokens + EOF
+/// # Ok::<(), kremlin_minic::error::FrontendError>(())
+/// ```
+pub fn lex(src: &str) -> Result<Vec<Token>> {
+    Lexer::new(src).run()
+}
+
+struct Lexer<'a> {
+    src: &'a [u8],
+    pos: usize,
+    line: u32,
+    tokens: Vec<Token>,
+}
+
+impl<'a> Lexer<'a> {
+    fn new(src: &'a str) -> Self {
+        Lexer { src: src.as_bytes(), pos: 0, line: 1, tokens: Vec::new() }
+    }
+
+    fn peek(&self) -> u8 {
+        *self.src.get(self.pos).unwrap_or(&0)
+    }
+
+    fn peek2(&self) -> u8 {
+        *self.src.get(self.pos + 1).unwrap_or(&0)
+    }
+
+    fn bump(&mut self) -> u8 {
+        let c = self.peek();
+        self.pos += 1;
+        if c == b'\n' {
+            self.line += 1;
+        }
+        c
+    }
+
+    fn span_from(&self, start: usize, line_start: u32) -> Span {
+        Span::new(start as u32, self.pos as u32, line_start, self.line)
+    }
+
+    fn run(mut self) -> Result<Vec<Token>> {
+        loop {
+            self.skip_trivia()?;
+            let start = self.pos;
+            let line_start = self.line;
+            if self.pos >= self.src.len() {
+                self.tokens.push(Token {
+                    kind: TokenKind::Eof,
+                    span: self.span_from(start, line_start),
+                });
+                return Ok(self.tokens);
+            }
+            let kind = self.next_kind(start, line_start)?;
+            let span = self.span_from(start, line_start);
+            self.tokens.push(Token { kind, span });
+        }
+    }
+
+    fn skip_trivia(&mut self) -> Result<()> {
+        loop {
+            match (self.peek(), self.peek2()) {
+                (b' ' | b'\t' | b'\r' | b'\n', _) => {
+                    self.bump();
+                }
+                (b'/', b'/') => {
+                    while self.pos < self.src.len() && self.peek() != b'\n' {
+                        self.bump();
+                    }
+                }
+                (b'/', b'*') => {
+                    let start = self.pos;
+                    let line_start = self.line;
+                    self.bump();
+                    self.bump();
+                    loop {
+                        if self.pos >= self.src.len() {
+                            return Err(FrontendError::lex(
+                                "unterminated block comment",
+                                self.span_from(start, line_start),
+                            ));
+                        }
+                        if self.peek() == b'*' && self.peek2() == b'/' {
+                            self.bump();
+                            self.bump();
+                            break;
+                        }
+                        self.bump();
+                    }
+                }
+                _ => return Ok(()),
+            }
+        }
+    }
+
+    fn next_kind(&mut self, start: usize, line_start: u32) -> Result<TokenKind> {
+        let c = self.bump();
+        Ok(match c {
+            b'(' => TokenKind::LParen,
+            b')' => TokenKind::RParen,
+            b'{' => TokenKind::LBrace,
+            b'}' => TokenKind::RBrace,
+            b'[' => TokenKind::LBracket,
+            b']' => TokenKind::RBracket,
+            b';' => TokenKind::Semi,
+            b',' => TokenKind::Comma,
+            b'%' => TokenKind::Percent,
+            b'+' => match self.peek() {
+                b'+' => {
+                    self.bump();
+                    TokenKind::PlusPlus
+                }
+                b'=' => {
+                    self.bump();
+                    TokenKind::PlusAssign
+                }
+                _ => TokenKind::Plus,
+            },
+            b'-' => match self.peek() {
+                b'-' => {
+                    self.bump();
+                    TokenKind::MinusMinus
+                }
+                b'=' => {
+                    self.bump();
+                    TokenKind::MinusAssign
+                }
+                _ => TokenKind::Minus,
+            },
+            b'*' => {
+                if self.peek() == b'=' {
+                    self.bump();
+                    TokenKind::StarAssign
+                } else {
+                    TokenKind::Star
+                }
+            }
+            b'/' => {
+                if self.peek() == b'=' {
+                    self.bump();
+                    TokenKind::SlashAssign
+                } else {
+                    TokenKind::Slash
+                }
+            }
+            b'=' => {
+                if self.peek() == b'=' {
+                    self.bump();
+                    TokenKind::EqEq
+                } else {
+                    TokenKind::Assign
+                }
+            }
+            b'!' => {
+                if self.peek() == b'=' {
+                    self.bump();
+                    TokenKind::NotEq
+                } else {
+                    TokenKind::Not
+                }
+            }
+            b'<' => {
+                if self.peek() == b'=' {
+                    self.bump();
+                    TokenKind::Le
+                } else {
+                    TokenKind::Lt
+                }
+            }
+            b'>' => {
+                if self.peek() == b'=' {
+                    self.bump();
+                    TokenKind::Ge
+                } else {
+                    TokenKind::Gt
+                }
+            }
+            b'&' => {
+                if self.peek() == b'&' {
+                    self.bump();
+                    TokenKind::AndAnd
+                } else {
+                    return Err(FrontendError::lex(
+                        "bitwise `&` is not supported; use `&&`",
+                        self.span_from(start, line_start),
+                    ));
+                }
+            }
+            b'|' => {
+                if self.peek() == b'|' {
+                    self.bump();
+                    TokenKind::OrOr
+                } else {
+                    return Err(FrontendError::lex(
+                        "bitwise `|` is not supported; use `||`",
+                        self.span_from(start, line_start),
+                    ));
+                }
+            }
+            b'0'..=b'9' => self.number(start, line_start)?,
+            b'a'..=b'z' | b'A'..=b'Z' | b'_' => {
+                while matches!(self.peek(), b'a'..=b'z' | b'A'..=b'Z' | b'0'..=b'9' | b'_') {
+                    self.bump();
+                }
+                let text = std::str::from_utf8(&self.src[start..self.pos]).expect("ascii ident");
+                TokenKind::keyword(text).unwrap_or_else(|| TokenKind::Ident(text.to_owned()))
+            }
+            other => {
+                return Err(FrontendError::lex(
+                    format!("unexpected character `{}`", other as char),
+                    self.span_from(start, line_start),
+                ))
+            }
+        })
+    }
+
+    fn number(&mut self, start: usize, line_start: u32) -> Result<TokenKind> {
+        while self.peek().is_ascii_digit() {
+            self.bump();
+        }
+        let mut is_float = false;
+        if self.peek() == b'.' && self.peek2().is_ascii_digit() {
+            is_float = true;
+            self.bump();
+            while self.peek().is_ascii_digit() {
+                self.bump();
+            }
+        }
+        if matches!(self.peek(), b'e' | b'E') {
+            let save = (self.pos, self.line);
+            self.bump();
+            if matches!(self.peek(), b'+' | b'-') {
+                self.bump();
+            }
+            if self.peek().is_ascii_digit() {
+                is_float = true;
+                while self.peek().is_ascii_digit() {
+                    self.bump();
+                }
+            } else {
+                // Not an exponent after all (e.g. `3element` would error later).
+                self.pos = save.0;
+                self.line = save.1;
+            }
+        }
+        let text = std::str::from_utf8(&self.src[start..self.pos]).expect("ascii number");
+        if is_float {
+            text.parse::<f64>().map(TokenKind::Float).map_err(|_| {
+                FrontendError::lex(
+                    format!("invalid float literal `{text}`"),
+                    self.span_from(start, line_start),
+                )
+            })
+        } else {
+            text.parse::<i64>().map(TokenKind::Int).map_err(|_| {
+                FrontendError::lex(
+                    format!("integer literal `{text}` out of range"),
+                    self.span_from(start, line_start),
+                )
+            })
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn kinds(src: &str) -> Vec<TokenKind> {
+        lex(src).unwrap().into_iter().map(|t| t.kind).collect()
+    }
+
+    #[test]
+    fn lex_operators() {
+        use TokenKind::*;
+        assert_eq!(
+            kinds("+ ++ += - -- -= * *= / /= % = == != < <= > >= && || !"),
+            vec![
+                Plus, PlusPlus, PlusAssign, Minus, MinusMinus, MinusAssign, Star, StarAssign,
+                Slash, SlashAssign, Percent, Assign, EqEq, NotEq, Lt, Le, Gt, Ge, AndAnd, OrOr,
+                Not, Eof
+            ]
+        );
+    }
+
+    #[test]
+    fn lex_numbers() {
+        use TokenKind::*;
+        assert_eq!(
+            kinds("0 42 3.5 1e3 2.5e-2"),
+            vec![Int(0), Int(42), Float(3.5), Float(1000.0), Float(0.025), Eof]
+        );
+    }
+
+    #[test]
+    fn trailing_dot_is_separate() {
+        // `.` without a following digit is not part of the number, and is not
+        // a valid token on its own, so lexing fails overall.
+        assert!(lex("7 . 2").is_err());
+        assert!(lex("7.x").is_err());
+    }
+
+    #[test]
+    fn lex_idents_and_keywords() {
+        use TokenKind::*;
+        assert_eq!(
+            kinds("int x for foo_2 _bar while"),
+            vec![
+                KwInt,
+                Ident("x".into()),
+                KwFor,
+                Ident("foo_2".into()),
+                Ident("_bar".into()),
+                KwWhile,
+                Eof
+            ]
+        );
+    }
+
+    #[test]
+    fn comments_are_skipped_and_lines_tracked() {
+        let toks = lex("a // comment\nb /* multi\nline */ c").unwrap();
+        assert_eq!(toks.len(), 4);
+        assert_eq!(toks[0].span.line_start, 1);
+        assert_eq!(toks[1].span.line_start, 2);
+        assert_eq!(toks[2].span.line_start, 3);
+    }
+
+    #[test]
+    fn unterminated_comment_errors() {
+        assert!(lex("/* oops").is_err());
+    }
+
+    #[test]
+    fn unexpected_char_errors() {
+        let e = lex("int $x;").unwrap_err();
+        assert!(e.message.contains("unexpected character"));
+    }
+
+    #[test]
+    fn single_ampersand_rejected() {
+        assert!(lex("a & b").is_err());
+        assert!(lex("a | b").is_err());
+    }
+
+    #[test]
+    fn huge_int_rejected() {
+        assert!(lex("99999999999999999999999").is_err());
+    }
+
+    #[test]
+    fn eof_span_line() {
+        let toks = lex("a\nb\n").unwrap();
+        assert_eq!(toks.last().unwrap().kind, TokenKind::Eof);
+        assert_eq!(toks.last().unwrap().span.line_start, 3);
+    }
+}

@@ -1,0 +1,80 @@
+//! # kremlin-minic — the mini-C frontend
+//!
+//! Kremlin (PLDI 2011) profiles unmodified serial C programs by statically
+//! instrumenting them with LLVM. This reproduction replaces that toolchain
+//! with a self-contained frontend for **mini-C**, a C subset rich enough to
+//! express the paper's benchmark kernels: functions, `for`/`while` loops,
+//! `if`/`else`, `break`/`continue`, 64-bit `int` and `float` scalars, and
+//! fixed-size multi-dimensional arrays (passed by reference).
+//!
+//! Divergences from C, chosen to keep the dependence structure explicit:
+//!
+//! * `&&` / `||` evaluate **both** operands (no short-circuit control flow);
+//!   conditions are therefore pure data dependencies, while `if`/`while`
+//!   introduce the control dependencies Kremlin tracks.
+//! * No pointers, `goto`, `switch`, or structs. Loops and branches nest
+//!   properly, which is exactly the "proper nesting structure" Kremlin's
+//!   region model requires (paper §2.2).
+//! * `int` is `i64` and `float` is `f64`.
+//!
+//! The pipeline is [`parser::parse`] → [`typeck::check`] (which elaborates
+//! implicit `int`→`float` coercions into explicit casts) → IR lowering in
+//! the `kremlin-ir` crate.
+//!
+//! ```
+//! use kremlin_minic::compile_frontend;
+//! let prog = compile_frontend("int main() { return 2 + 2; }")?;
+//! assert_eq!(prog.funcs[0].name, "main");
+//! # Ok::<(), kremlin_minic::error::FrontendError>(())
+//! ```
+
+pub mod ast;
+pub mod error;
+pub mod lexer;
+pub mod parser;
+pub mod pretty;
+pub mod span;
+pub mod token;
+pub mod typeck;
+pub mod types;
+
+pub use ast::Program;
+pub use error::{FrontendError, Phase};
+pub use span::Span;
+pub use types::{Scalar, Type};
+
+/// Runs the full frontend: lex, parse, and type-check (with elaboration).
+///
+/// # Errors
+///
+/// Returns the first lexical, syntactic, or semantic error.
+pub fn compile_frontend(src: &str) -> error::Result<Program> {
+    typeck::check(parser::parse(src)?)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn frontend_pipeline() {
+        let p = compile_frontend(
+            "float acc = 0.0;\n\
+             void add(float x) { acc += x; }\n\
+             int main() { for (int i = 0; i < 3; i++) { add(1); } return 0; }",
+        )
+        .unwrap();
+        assert_eq!(p.funcs.len(), 2);
+        typeck::check_entry(&p).unwrap();
+    }
+
+    #[test]
+    fn frontend_reports_phase() {
+        let e = compile_frontend("int main() { return $; }").unwrap_err();
+        assert_eq!(e.phase, Phase::Lex);
+        let e = compile_frontend("int main() { return 0 }").unwrap_err();
+        assert_eq!(e.phase, Phase::Parse);
+        let e = compile_frontend("int main() { return x; }").unwrap_err();
+        assert_eq!(e.phase, Phase::Type);
+    }
+}

@@ -1,0 +1,292 @@
+//! Pretty printer: renders an AST back to parseable mini-C source.
+//!
+//! Used for debugging and for the parser round-trip property test
+//! (`parse(pretty(ast)) == ast` modulo spans).
+
+use crate::ast::*;
+use crate::types::Type;
+use std::fmt::Write;
+
+/// Renders a whole program.
+pub fn program(p: &Program) -> String {
+    let mut out = String::new();
+    for g in &p.globals {
+        global(&mut out, g);
+    }
+    for f in &p.funcs {
+        func(&mut out, f);
+    }
+    out
+}
+
+fn global(out: &mut String, g: &GlobalDecl) {
+    let _ = write!(out, "{}", decl_prefix(&g.ty, &g.name));
+    match g.init {
+        Some(ConstInit::Int(v)) => {
+            let _ = write!(out, " = {v}");
+        }
+        Some(ConstInit::Float(v)) => {
+            let _ = write!(out, " = {}", float_lit(v));
+        }
+        None => {}
+    }
+    out.push_str(";\n");
+}
+
+/// Renders a function definition.
+pub fn func(out: &mut String, f: &FuncDecl) {
+    let _ = write!(out, "{} {}(", f.ret, f.name);
+    for (i, p) in f.params.iter().enumerate() {
+        if i > 0 {
+            out.push_str(", ");
+        }
+        let _ = write!(out, "{}", decl_prefix(&p.ty, &p.name));
+    }
+    out.push_str(") ");
+    block(out, &f.body, 0);
+    out.push('\n');
+}
+
+/// `int x`, `float a[4][8]`, `int b[]` — the C declarator form.
+fn decl_prefix(ty: &Type, name: &str) -> String {
+    match ty {
+        Type::Scalar(s) => format!("{s} {name}"),
+        Type::Array { elem, dims } => {
+            let mut s = format!("{elem} {name}");
+            for d in dims {
+                match d {
+                    Some(n) => {
+                        let _ = write!(s, "[{n}]");
+                    }
+                    None => s.push_str("[]"),
+                }
+            }
+            s
+        }
+        Type::Void => format!("void {name}"),
+    }
+}
+
+fn indent(out: &mut String, level: usize) {
+    for _ in 0..level {
+        out.push_str("    ");
+    }
+}
+
+fn block(out: &mut String, b: &Block, level: usize) {
+    out.push_str("{\n");
+    for s in &b.stmts {
+        stmt(out, s, level + 1);
+    }
+    indent(out, level);
+    out.push('}');
+}
+
+fn stmt(out: &mut String, s: &Stmt, level: usize) {
+    indent(out, level);
+    match s {
+        Stmt::Decl { name, ty, init, .. } => {
+            out.push_str(&decl_prefix(ty, name));
+            if let Some(e) = init {
+                out.push_str(" = ");
+                expr(out, e);
+            }
+            out.push_str(";\n");
+        }
+        Stmt::Assign { target, op, value, .. } => {
+            lvalue(out, target);
+            let opstr = match op {
+                AssignOp::Set => " = ",
+                AssignOp::Add => " += ",
+                AssignOp::Sub => " -= ",
+                AssignOp::Mul => " *= ",
+                AssignOp::Div => " /= ",
+            };
+            out.push_str(opstr);
+            expr(out, value);
+            out.push_str(";\n");
+        }
+        Stmt::Expr(e) => {
+            expr(out, e);
+            out.push_str(";\n");
+        }
+        Stmt::If { cond, then_branch, else_branch, .. } => {
+            out.push_str("if (");
+            expr(out, cond);
+            out.push_str(") ");
+            block(out, then_branch, level);
+            if let Some(e) = else_branch {
+                out.push_str(" else ");
+                block(out, e, level);
+            }
+            out.push('\n');
+        }
+        Stmt::While { cond, body, .. } => {
+            out.push_str("while (");
+            expr(out, cond);
+            out.push_str(") ");
+            block(out, body, level);
+            out.push('\n');
+        }
+        Stmt::For { init, cond, step, body, .. } => {
+            out.push_str("for (");
+            if let Some(s) = init { inline_simple_stmt(out, s) }
+            out.push_str("; ");
+            if let Some(c) = cond {
+                expr(out, c);
+            }
+            out.push_str("; ");
+            if let Some(s) = step {
+                inline_simple_stmt(out, s);
+            }
+            out.push_str(") ");
+            block(out, body, level);
+            out.push('\n');
+        }
+        Stmt::Return { value, .. } => {
+            out.push_str("return");
+            if let Some(e) = value {
+                out.push(' ');
+                expr(out, e);
+            }
+            out.push_str(";\n");
+        }
+        Stmt::Break(_) => out.push_str("break;\n"),
+        Stmt::Continue(_) => out.push_str("continue;\n"),
+        Stmt::Block(b) => {
+            block(out, b, level);
+            out.push('\n');
+        }
+    }
+}
+
+/// Renders a statement without trailing `;\n`, for `for` clauses.
+fn inline_simple_stmt(out: &mut String, s: &Stmt) {
+    let mut tmp = String::new();
+    stmt(&mut tmp, s, 0);
+    let trimmed = tmp.trim_end().trim_end_matches(';');
+    out.push_str(trimmed);
+}
+
+fn lvalue(out: &mut String, lv: &LValue) {
+    out.push_str(&lv.name);
+    for idx in &lv.indices {
+        out.push('[');
+        expr(out, idx);
+        out.push(']');
+    }
+}
+
+/// Formats a float so it re-lexes as a float literal.
+fn float_lit(v: f64) -> String {
+    let s = format!("{v}");
+    if s.contains('.') || s.contains('e') || s.contains("inf") || s.contains("NaN") {
+        s
+    } else {
+        format!("{s}.0")
+    }
+}
+
+/// Renders an expression (fully parenthesized to sidestep precedence).
+pub fn expr(out: &mut String, e: &Expr) {
+    match e {
+        Expr::IntLit(v, _) => {
+            let _ = write!(out, "{v}");
+        }
+        Expr::FloatLit(v, _) => {
+            let _ = write!(out, "{}", float_lit(*v));
+        }
+        Expr::Var(name, _) => out.push_str(name),
+        Expr::Index { base, index, .. } => {
+            expr(out, base);
+            out.push('[');
+            expr(out, index);
+            out.push(']');
+        }
+        Expr::Binary { op, lhs, rhs, .. } => {
+            out.push('(');
+            expr(out, lhs);
+            let _ = write!(out, " {} ", op.symbol());
+            expr(out, rhs);
+            out.push(')');
+        }
+        Expr::Unary { op, operand, .. } => {
+            out.push('(');
+            out.push_str(op.symbol());
+            expr(out, operand);
+            out.push(')');
+        }
+        Expr::Call { callee, args, .. } => {
+            out.push_str(callee);
+            out.push('(');
+            for (i, a) in args.iter().enumerate() {
+                if i > 0 {
+                    out.push_str(", ");
+                }
+                expr(out, a);
+            }
+            out.push(')');
+        }
+        Expr::Cast { to, operand, .. } => {
+            let _ = write!(out, "(({to}) ");
+            expr(out, operand);
+            out.push(')');
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::parser::parse;
+
+    /// Strips spans so ASTs can be compared structurally.
+    fn reparse(src: &str) -> Program {
+        let p = parse(src).unwrap();
+        let printed = program(&p);
+        parse(&printed).unwrap_or_else(|e| panic!("reparse failed: {e}\n{printed}"))
+    }
+
+    #[test]
+    fn roundtrip_preserves_structure() {
+        let src = "float g[4][4];\n\
+                   int n = 10;\n\
+                   float f(float a[], int k) { return a[k] * 2.0; }\n\
+                   int main() {\n\
+                     float s = 0.0;\n\
+                     for (int i = 0; i < n; i++) {\n\
+                       if (i % 2 == 0 && i > 0) { s += f(g[0], i); } else { s -= 1.0; }\n\
+                     }\n\
+                     while (s > 0.0) { s /= 2.0; break; }\n\
+                     return (int) s;\n\
+                   }";
+        let a = reparse(src);
+        let b = reparse(&program(&a));
+        // Printing is a fixed point after one round.
+        assert_eq!(program(&a), program(&b));
+        assert_eq!(a.funcs.len(), 2);
+    }
+
+    #[test]
+    fn float_literals_relex_as_floats() {
+        assert_eq!(float_lit(3.0), "3.0");
+        assert_eq!(float_lit(0.5), "0.5");
+        // Rust's `Display` for f64 never uses scientific notation; huge
+        // values still need to re-lex as floats.
+        let huge = float_lit(1e300);
+        assert!(huge.ends_with(".0"));
+        assert_eq!(huge.parse::<f64>().unwrap(), 1e300);
+    }
+
+    #[test]
+    fn empty_for_clauses_roundtrip() {
+        let p = reparse("void f() { for (;;) { break; } }");
+        assert_eq!(p.funcs.len(), 1);
+    }
+
+    #[test]
+    fn cast_printing_parses_back() {
+        let p = reparse("int main() { float x = 1.5; return (int) x + 0; }");
+        assert_eq!(p.funcs.len(), 1);
+    }
+}

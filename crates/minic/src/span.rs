@@ -1,0 +1,88 @@
+//! Source positions and spans.
+//!
+//! Every token and AST node carries a [`Span`] so that diagnostics — and,
+//! more importantly for Kremlin, *region locations* in the parallelism plan
+//! (the `File (lines)` column of the paper's Figure 3) — can point back at
+//! the source.
+
+use std::fmt;
+
+/// A half-open byte range `[start, end)` into a source file, together with
+/// the 1-based line numbers of the endpoints.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Default)]
+pub struct Span {
+    /// Byte offset of the first character.
+    pub start: u32,
+    /// Byte offset one past the last character.
+    pub end: u32,
+    /// 1-based line number of `start`.
+    pub line_start: u32,
+    /// 1-based line number of the last character.
+    pub line_end: u32,
+}
+
+impl Span {
+    /// Creates a span covering `[start, end)` on the given lines.
+    pub fn new(start: u32, end: u32, line_start: u32, line_end: u32) -> Self {
+        Span { start, end, line_start, line_end }
+    }
+
+    /// A span with no extent, used for synthesized nodes.
+    pub fn dummy() -> Self {
+        Span::default()
+    }
+
+    /// The smallest span covering both `self` and `other`.
+    pub fn to(self, other: Span) -> Span {
+        Span {
+            start: self.start.min(other.start),
+            end: self.end.max(other.end),
+            line_start: self.line_start.min(other.line_start).max(1),
+            line_end: self.line_end.max(other.line_end),
+        }
+    }
+
+    /// Formats the line range like the paper's plan output, e.g. `49-58`.
+    pub fn line_range(&self) -> String {
+        if self.line_start == self.line_end {
+            format!("{}", self.line_start)
+        } else {
+            format!("{}-{}", self.line_start, self.line_end)
+        }
+    }
+}
+
+impl fmt::Display for Span {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "line {}", self.line_range())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn merge_spans() {
+        let a = Span::new(0, 4, 1, 1);
+        let b = Span::new(10, 12, 3, 3);
+        let c = a.to(b);
+        assert_eq!(c.start, 0);
+        assert_eq!(c.end, 12);
+        assert_eq!(c.line_start, 1);
+        assert_eq!(c.line_end, 3);
+    }
+
+    #[test]
+    fn line_range_formatting() {
+        assert_eq!(Span::new(0, 1, 7, 7).line_range(), "7");
+        assert_eq!(Span::new(0, 1, 49, 58).line_range(), "49-58");
+        assert_eq!(format!("{}", Span::new(0, 1, 2, 5)), "line 2-5");
+    }
+
+    #[test]
+    fn dummy_is_zero() {
+        let d = Span::dummy();
+        assert_eq!((d.start, d.end), (0, 0));
+    }
+}

@@ -1,0 +1,206 @@
+//! Token definitions for the mini-C lexer.
+
+use crate::span::Span;
+use std::fmt;
+
+/// A lexed token: a kind plus its source span.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Token {
+    /// What kind of token this is (including any literal payload).
+    pub kind: TokenKind,
+    /// Where it came from.
+    pub span: Span,
+}
+
+/// The kinds of token mini-C recognizes.
+#[derive(Debug, Clone, PartialEq)]
+pub enum TokenKind {
+    /// Integer literal, e.g. `42`.
+    Int(i64),
+    /// Floating-point literal, e.g. `3.25` or `1e-3`.
+    Float(f64),
+    /// Identifier, e.g. `main`, `lambda`.
+    Ident(String),
+
+    /// `int` keyword.
+    KwInt,
+    /// `float` keyword.
+    KwFloat,
+    /// `void` keyword.
+    KwVoid,
+    /// `if` keyword.
+    KwIf,
+    /// `else` keyword.
+    KwElse,
+    /// `while` keyword.
+    KwWhile,
+    /// `for` keyword.
+    KwFor,
+    /// `return` keyword.
+    KwReturn,
+    /// `break` keyword.
+    KwBreak,
+    /// `continue` keyword.
+    KwContinue,
+
+    /// `(`
+    LParen,
+    /// `)`
+    RParen,
+    /// `{`
+    LBrace,
+    /// `}`
+    RBrace,
+    /// `[`
+    LBracket,
+    /// `]`
+    RBracket,
+    /// `;`
+    Semi,
+    /// `,`
+    Comma,
+
+    /// `+`
+    Plus,
+    /// `-`
+    Minus,
+    /// `*`
+    Star,
+    /// `/`
+    Slash,
+    /// `%`
+    Percent,
+    /// `=`
+    Assign,
+    /// `+=`
+    PlusAssign,
+    /// `-=`
+    MinusAssign,
+    /// `*=`
+    StarAssign,
+    /// `/=`
+    SlashAssign,
+    /// `++`
+    PlusPlus,
+    /// `--`
+    MinusMinus,
+    /// `==`
+    EqEq,
+    /// `!=`
+    NotEq,
+    /// `<`
+    Lt,
+    /// `<=`
+    Le,
+    /// `>`
+    Gt,
+    /// `>=`
+    Ge,
+    /// `&&`
+    AndAnd,
+    /// `||`
+    OrOr,
+    /// `!`
+    Not,
+
+    /// End of input.
+    Eof,
+}
+
+impl TokenKind {
+    /// The keyword for an identifier-shaped lexeme, if any.
+    pub fn keyword(ident: &str) -> Option<TokenKind> {
+        Some(match ident {
+            "int" => TokenKind::KwInt,
+            "float" => TokenKind::KwFloat,
+            "void" => TokenKind::KwVoid,
+            "if" => TokenKind::KwIf,
+            "else" => TokenKind::KwElse,
+            "while" => TokenKind::KwWhile,
+            "for" => TokenKind::KwFor,
+            "return" => TokenKind::KwReturn,
+            "break" => TokenKind::KwBreak,
+            "continue" => TokenKind::KwContinue,
+            _ => return None,
+        })
+    }
+
+    /// A short human-readable name used in diagnostics.
+    pub fn describe(&self) -> &'static str {
+        use TokenKind::*;
+        match self {
+            Int(_) => "integer literal",
+            Float(_) => "float literal",
+            Ident(_) => "identifier",
+            KwInt => "`int`",
+            KwFloat => "`float`",
+            KwVoid => "`void`",
+            KwIf => "`if`",
+            KwElse => "`else`",
+            KwWhile => "`while`",
+            KwFor => "`for`",
+            KwReturn => "`return`",
+            KwBreak => "`break`",
+            KwContinue => "`continue`",
+            LParen => "`(`",
+            RParen => "`)`",
+            LBrace => "`{`",
+            RBrace => "`}`",
+            LBracket => "`[`",
+            RBracket => "`]`",
+            Semi => "`;`",
+            Comma => "`,`",
+            Plus => "`+`",
+            Minus => "`-`",
+            Star => "`*`",
+            Slash => "`/`",
+            Percent => "`%`",
+            Assign => "`=`",
+            PlusAssign => "`+=`",
+            MinusAssign => "`-=`",
+            StarAssign => "`*=`",
+            SlashAssign => "`/=`",
+            PlusPlus => "`++`",
+            MinusMinus => "`--`",
+            EqEq => "`==`",
+            NotEq => "`!=`",
+            Lt => "`<`",
+            Le => "`<=`",
+            Gt => "`>`",
+            Ge => "`>=`",
+            AndAnd => "`&&`",
+            OrOr => "`||`",
+            Not => "`!`",
+            Eof => "end of input",
+        }
+    }
+}
+
+impl fmt::Display for TokenKind {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            TokenKind::Int(v) => write!(f, "{v}"),
+            TokenKind::Float(v) => write!(f, "{v}"),
+            TokenKind::Ident(s) => write!(f, "{s}"),
+            other => write!(f, "{}", other.describe()),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn keywords_resolve() {
+        assert_eq!(TokenKind::keyword("for"), Some(TokenKind::KwFor));
+        assert_eq!(TokenKind::keyword("float"), Some(TokenKind::KwFloat));
+        assert_eq!(TokenKind::keyword("main"), None);
+    }
+
+    #[test]
+    fn describe_is_nonempty() {
+        assert!(!TokenKind::PlusAssign.describe().is_empty());
+        assert_eq!(format!("{}", TokenKind::Ident("x".into())), "x");
+    }
+}

@@ -1,0 +1,713 @@
+//! Type checker and elaborator for mini-C.
+//!
+//! [`check`] validates a parsed [`Program`] and returns an *elaborated*
+//! program in which every implicit `int` → `float` coercion has been made
+//! explicit via [`Expr::Cast`]. Downstream passes (IR lowering) can then
+//! synthesize types locally without re-implementing the coercion rules.
+
+use crate::ast::*;
+use crate::error::{FrontendError, Result};
+use crate::span::Span;
+use crate::types::{Scalar, Type};
+use std::collections::HashMap;
+
+/// Type-checks a program and inserts explicit casts for all implicit
+/// conversions.
+///
+/// # Errors
+///
+/// Returns the first semantic error found (undeclared variables, arity or
+/// type mismatches, invalid array usage, `break` outside loops, missing
+/// returns, duplicate definitions).
+///
+/// ```
+/// let prog = kremlin_minic::parser::parse("int main() { float x = 1; return 0; }")?;
+/// let prog = kremlin_minic::typeck::check(prog)?;
+/// # Ok::<(), kremlin_minic::error::FrontendError>(())
+/// ```
+pub fn check(program: Program) -> Result<Program> {
+    Checker::new(&program)?.run(program)
+}
+
+/// Validates that `program` has a `int main()` entry point.
+///
+/// # Errors
+///
+/// Returns an error if `main` is missing, takes parameters, or does not
+/// return `int`.
+pub fn check_entry(program: &Program) -> Result<()> {
+    let main = program
+        .funcs
+        .iter()
+        .find(|f| f.name == "main")
+        .ok_or_else(|| FrontendError::ty("missing `main` function", Span::dummy()))?;
+    if !main.params.is_empty() {
+        return Err(FrontendError::ty("`main` must take no parameters", main.span));
+    }
+    if main.ret != Type::INT {
+        return Err(FrontendError::ty("`main` must return int", main.span));
+    }
+    Ok(())
+}
+
+#[derive(Clone)]
+struct FuncSig {
+    params: Vec<Type>,
+    ret: Type,
+}
+
+struct Checker {
+    funcs: HashMap<String, FuncSig>,
+    globals: HashMap<String, Type>,
+    scopes: Vec<HashMap<String, Type>>,
+    current_ret: Type,
+    loop_depth: u32,
+}
+
+impl Checker {
+    fn new(program: &Program) -> Result<Self> {
+        let mut funcs = HashMap::new();
+        for f in &program.funcs {
+            if intrinsic_signature(&f.name).is_some() {
+                return Err(FrontendError::ty(
+                    format!("function `{}` shadows a built-in intrinsic", f.name),
+                    f.span,
+                ));
+            }
+            let sig = FuncSig {
+                params: f.params.iter().map(|p| p.ty.clone()).collect(),
+                ret: f.ret.clone(),
+            };
+            if funcs.insert(f.name.clone(), sig).is_some() {
+                return Err(FrontendError::ty(
+                    format!("duplicate function `{}`", f.name),
+                    f.span,
+                ));
+            }
+        }
+        let mut globals = HashMap::new();
+        for g in &program.globals {
+            if let Type::Array { dims, .. } = &g.ty {
+                if dims.iter().any(Option::is_none) {
+                    return Err(FrontendError::ty("global arrays must be fully sized", g.span));
+                }
+            }
+            if let (Some(init), Some(scalar)) = (&g.init, g.ty.as_scalar()) {
+                let ok = matches!(
+                    (init, scalar),
+                    (ConstInit::Int(_), Scalar::Int) | (ConstInit::Float(_), Scalar::Float)
+                ) || matches!((init, scalar), (ConstInit::Int(_), Scalar::Float));
+                if !ok {
+                    return Err(FrontendError::ty(
+                        "global initializer type does not match declaration",
+                        g.span,
+                    ));
+                }
+            }
+            if globals.insert(g.name.clone(), g.ty.clone()).is_some() {
+                return Err(FrontendError::ty(format!("duplicate global `{}`", g.name), g.span));
+            }
+        }
+        Ok(Checker {
+            funcs,
+            globals,
+            scopes: Vec::new(),
+            current_ret: Type::Void,
+            loop_depth: 0,
+        })
+    }
+
+    fn run(mut self, program: Program) -> Result<Program> {
+        let mut globals = program.globals;
+        // Normalize float globals initialized with int constants.
+        for g in &mut globals {
+            if let (Some(ConstInit::Int(v)), Some(Scalar::Float)) = (&g.init, g.ty.as_scalar()) {
+                g.init = Some(ConstInit::Float(*v as f64));
+            }
+        }
+        let funcs = program
+            .funcs
+            .into_iter()
+            .map(|f| self.check_func(f))
+            .collect::<Result<Vec<_>>>()?;
+        Ok(Program { globals, funcs })
+    }
+
+    fn check_func(&mut self, f: FuncDecl) -> Result<FuncDecl> {
+        self.scopes.clear();
+        self.scopes.push(HashMap::new());
+        for p in &f.params {
+            if self.scopes[0].insert(p.name.clone(), p.ty.clone()).is_some() {
+                return Err(FrontendError::ty(
+                    format!("duplicate parameter `{}`", p.name),
+                    p.span,
+                ));
+            }
+        }
+        self.current_ret = f.ret.clone();
+        self.loop_depth = 0;
+        let body = self.check_block(f.body)?;
+        if f.ret != Type::Void && !block_always_returns(&body) {
+            return Err(FrontendError::ty(
+                format!("function `{}` may finish without returning a value", f.name),
+                f.span,
+            ));
+        }
+        Ok(FuncDecl { body, ..f })
+    }
+
+    fn lookup(&self, name: &str, span: Span) -> Result<Type> {
+        for scope in self.scopes.iter().rev() {
+            if let Some(ty) = scope.get(name) {
+                return Ok(ty.clone());
+            }
+        }
+        self.globals
+            .get(name)
+            .cloned()
+            .ok_or_else(|| FrontendError::ty(format!("undeclared variable `{name}`"), span))
+    }
+
+    fn declare(&mut self, name: &str, ty: Type, span: Span) -> Result<()> {
+        let scope = self.scopes.last_mut().expect("scope stack nonempty");
+        if scope.insert(name.to_owned(), ty).is_some() {
+            return Err(FrontendError::ty(
+                format!("`{name}` is already declared in this scope"),
+                span,
+            ));
+        }
+        Ok(())
+    }
+
+    fn check_block(&mut self, block: Block) -> Result<Block> {
+        self.scopes.push(HashMap::new());
+        let stmts = block
+            .stmts
+            .into_iter()
+            .map(|s| self.check_stmt(s))
+            .collect::<Result<Vec<_>>>()?;
+        self.scopes.pop();
+        Ok(Block { stmts, span: block.span })
+    }
+
+    fn check_stmt(&mut self, stmt: Stmt) -> Result<Stmt> {
+        match stmt {
+            Stmt::Decl { name, ty, init, span } => {
+                if let Type::Array { dims, .. } = &ty {
+                    if dims.iter().any(Option::is_none) {
+                        return Err(FrontendError::ty("local arrays must be fully sized", span));
+                    }
+                }
+                let init = match init {
+                    Some(e) => {
+                        let scalar = ty.as_scalar().ok_or_else(|| {
+                            FrontendError::ty("array locals cannot have initializers", span)
+                        })?;
+                        let (e, ety) = self.check_expr(e)?;
+                        Some(self.coerce(e, ety, scalar, span)?)
+                    }
+                    None => None,
+                };
+                self.declare(&name, ty.clone(), span)?;
+                Ok(Stmt::Decl { name, ty, init, span })
+            }
+            Stmt::Assign { target, op, value, span } => {
+                let (target, tscalar) = self.check_lvalue(target)?;
+                let (value, vty) = self.check_expr(value)?;
+                if op == AssignOp::Div && tscalar == Scalar::Int {
+                    // int /= e is fine; just check operand type below.
+                }
+                let value = self.coerce(value, vty, tscalar, span)?;
+                Ok(Stmt::Assign { target, op, value, span })
+            }
+            Stmt::Expr(e) => {
+                let span = e.span();
+                let (e, _) = self.check_call_expr(e, span)?;
+                Ok(Stmt::Expr(e))
+            }
+            Stmt::If { cond, then_branch, else_branch, span } => {
+                let cond = self.check_condition(cond)?;
+                let then_branch = self.check_block(then_branch)?;
+                let else_branch = match else_branch {
+                    Some(b) => Some(self.check_block(b)?),
+                    None => None,
+                };
+                Ok(Stmt::If { cond, then_branch, else_branch, span })
+            }
+            Stmt::While { cond, body, span } => {
+                let cond = self.check_condition(cond)?;
+                self.loop_depth += 1;
+                let body = self.check_block(body)?;
+                self.loop_depth -= 1;
+                Ok(Stmt::While { cond, body, span })
+            }
+            Stmt::For { init, cond, step, body, span } => {
+                // The init clause's declaration scopes over cond/step/body.
+                self.scopes.push(HashMap::new());
+                let init = match init {
+                    Some(s) => Some(Box::new(self.check_stmt(*s)?)),
+                    None => None,
+                };
+                let cond = match cond {
+                    Some(c) => Some(self.check_condition(c)?),
+                    None => None,
+                };
+                let step = match step {
+                    Some(s) => Some(Box::new(self.check_stmt(*s)?)),
+                    None => None,
+                };
+                self.loop_depth += 1;
+                let body = self.check_block(body)?;
+                self.loop_depth -= 1;
+                self.scopes.pop();
+                Ok(Stmt::For { init, cond, step, body, span })
+            }
+            Stmt::Return { value, span } => {
+                let value = match (&self.current_ret, value) {
+                    (Type::Void, None) => None,
+                    (Type::Void, Some(e)) => {
+                        return Err(FrontendError::ty(
+                            "void function cannot return a value",
+                            e.span(),
+                        ))
+                    }
+                    (ret, None) => {
+                        return Err(FrontendError::ty(
+                            format!("expected a return value of type {ret}"),
+                            span,
+                        ))
+                    }
+                    (ret, Some(e)) => {
+                        let scalar = ret.as_scalar().ok_or_else(|| {
+                            FrontendError::ty("functions cannot return arrays", span)
+                        })?;
+                        let (e, ety) = self.check_expr(e)?;
+                        Some(self.coerce(e, ety, scalar, span)?)
+                    }
+                };
+                Ok(Stmt::Return { value, span })
+            }
+            Stmt::Break(span) => {
+                if self.loop_depth == 0 {
+                    return Err(FrontendError::ty("`break` outside of a loop", span));
+                }
+                Ok(Stmt::Break(span))
+            }
+            Stmt::Continue(span) => {
+                if self.loop_depth == 0 {
+                    return Err(FrontendError::ty("`continue` outside of a loop", span));
+                }
+                Ok(Stmt::Continue(span))
+            }
+            Stmt::Block(b) => Ok(Stmt::Block(self.check_block(b)?)),
+        }
+    }
+
+    fn check_condition(&mut self, cond: Expr) -> Result<Expr> {
+        let span = cond.span();
+        let (cond, ty) = self.check_expr(cond)?;
+        match ty {
+            Type::Scalar(Scalar::Int) => Ok(cond),
+            other => Err(FrontendError::ty(
+                format!("condition must be int, found {other}"),
+                span,
+            )),
+        }
+    }
+
+    fn check_lvalue(&mut self, lv: LValue) -> Result<(LValue, Scalar)> {
+        let base_ty = self.lookup(&lv.name, lv.span)?;
+        let mut ty = base_ty;
+        let mut indices = Vec::with_capacity(lv.indices.len());
+        for idx in lv.indices {
+            let ispan = idx.span();
+            let (idx, ity) = self.check_expr(idx)?;
+            if ity != Type::INT {
+                return Err(FrontendError::ty("array index must be int", ispan));
+            }
+            ty = ty.index_once().ok_or_else(|| {
+                FrontendError::ty(format!("cannot index a value of type {ty}"), ispan)
+            })?;
+            indices.push(idx);
+        }
+        let scalar = ty.as_scalar().ok_or_else(|| {
+            FrontendError::ty(
+                format!("assignment target must be fully indexed (has type {ty})"),
+                lv.span,
+            )
+        })?;
+        Ok((LValue { name: lv.name, indices, span: lv.span }, scalar))
+    }
+
+    fn coerce(&self, e: Expr, from: Type, to: Scalar, span: Span) -> Result<Expr> {
+        match (from.as_scalar(), to) {
+            (Some(f), t) if f == t => Ok(e),
+            (Some(Scalar::Int), Scalar::Float) => Ok(Expr::Cast {
+                to: Type::FLOAT,
+                operand: Box::new(e),
+                span,
+            }),
+            (Some(Scalar::Float), Scalar::Int) => Err(FrontendError::ty(
+                "implicit float to int conversion; use an explicit `(int)` cast",
+                span,
+            )),
+            _ => Err(FrontendError::ty(
+                format!("expected {to}, found {from}"),
+                span,
+            )),
+        }
+    }
+
+    /// Checks a call in statement position (result may be discarded).
+    fn check_call_expr(&mut self, e: Expr, span: Span) -> Result<(Expr, Type)> {
+        match e {
+            Expr::Call { .. } => self.check_expr(e),
+            _ => Err(FrontendError::ty("expected a call expression", span)),
+        }
+    }
+
+    fn check_expr(&mut self, e: Expr) -> Result<(Expr, Type)> {
+        match e {
+            Expr::IntLit(v, s) => Ok((Expr::IntLit(v, s), Type::INT)),
+            Expr::FloatLit(v, s) => Ok((Expr::FloatLit(v, s), Type::FLOAT)),
+            Expr::Var(name, s) => {
+                let ty = self.lookup(&name, s)?;
+                Ok((Expr::Var(name, s), ty))
+            }
+            Expr::Index { base, index, span } => {
+                let (base, bty) = self.check_expr(*base)?;
+                let ispan = index.span();
+                let (index, ity) = self.check_expr(*index)?;
+                if ity != Type::INT {
+                    return Err(FrontendError::ty("array index must be int", ispan));
+                }
+                let ty = bty.index_once().ok_or_else(|| {
+                    FrontendError::ty(format!("cannot index a value of type {bty}"), span)
+                })?;
+                Ok((Expr::Index { base: Box::new(base), index: Box::new(index), span }, ty))
+            }
+            Expr::Binary { op, lhs, rhs, span } => {
+                let (lhs, lt) = self.check_expr(*lhs)?;
+                let (rhs, rt) = self.check_expr(*rhs)?;
+                let ls = lt.as_scalar().ok_or_else(|| {
+                    FrontendError::ty("arrays cannot be used in arithmetic", span)
+                })?;
+                let rs = rt.as_scalar().ok_or_else(|| {
+                    FrontendError::ty("arrays cannot be used in arithmetic", span)
+                })?;
+                if op == BinOp::Rem || op.is_logical() {
+                    if ls != Scalar::Int || rs != Scalar::Int {
+                        return Err(FrontendError::ty(
+                            format!("`{}` requires int operands", op.symbol()),
+                            span,
+                        ));
+                    }
+                    let e = Expr::Binary { op, lhs: Box::new(lhs), rhs: Box::new(rhs), span };
+                    return Ok((e, Type::INT));
+                }
+                let common = if ls == Scalar::Float || rs == Scalar::Float {
+                    Scalar::Float
+                } else {
+                    Scalar::Int
+                };
+                let lhs = self.coerce(lhs, lt, common, span)?;
+                let rhs = self.coerce(rhs, rt, common, span)?;
+                let result = if op.is_comparison() { Type::INT } else { Type::Scalar(common) };
+                let e = Expr::Binary { op, lhs: Box::new(lhs), rhs: Box::new(rhs), span };
+                Ok((e, result))
+            }
+            Expr::Unary { op, operand, span } => {
+                let (operand, ty) = self.check_expr(*operand)?;
+                let s = ty.as_scalar().ok_or_else(|| {
+                    FrontendError::ty("arrays cannot be used in arithmetic", span)
+                })?;
+                match op {
+                    UnOp::Not => {
+                        if s != Scalar::Int {
+                            return Err(FrontendError::ty("`!` requires an int operand", span));
+                        }
+                        Ok((Expr::Unary { op, operand: Box::new(operand), span }, Type::INT))
+                    }
+                    UnOp::Neg => {
+                        Ok((Expr::Unary { op, operand: Box::new(operand), span }, Type::Scalar(s)))
+                    }
+                }
+            }
+            Expr::Call { callee, args, span } => self.check_call(callee, args, span),
+            Expr::Cast { to, operand, span } => {
+                let (operand, ty) = self.check_expr(*operand)?;
+                let to_scalar = to.as_scalar().ok_or_else(|| {
+                    FrontendError::ty("cast target must be a scalar type", span)
+                })?;
+                if ty.as_scalar().is_none() {
+                    return Err(FrontendError::ty("cannot cast an array", span));
+                }
+                if ty.as_scalar() == Some(to_scalar) {
+                    // Identity cast: drop it.
+                    return Ok((operand, to));
+                }
+                Ok((Expr::Cast { to: to.clone(), operand: Box::new(operand), span }, to))
+            }
+        }
+    }
+
+    fn check_call(&mut self, callee: String, args: Vec<Expr>, span: Span) -> Result<(Expr, Type)> {
+        if let Some((param_scalars, ret)) = intrinsic_signature(&callee) {
+            if args.len() != param_scalars.len() {
+                return Err(FrontendError::ty(
+                    format!(
+                        "intrinsic `{callee}` expects {} argument(s), got {}",
+                        param_scalars.len(),
+                        args.len()
+                    ),
+                    span,
+                ));
+            }
+            let mut out = Vec::with_capacity(args.len());
+            for (a, &want) in args.into_iter().zip(param_scalars) {
+                let aspan = a.span();
+                let (a, ty) = self.check_expr(a)?;
+                out.push(self.coerce(a, ty, want, aspan)?);
+            }
+            return Ok((Expr::Call { callee, args: out, span }, Type::Scalar(ret)));
+        }
+        let sig = self
+            .funcs
+            .get(&callee)
+            .cloned()
+            .ok_or_else(|| FrontendError::ty(format!("undefined function `{callee}`"), span))?;
+        if args.len() != sig.params.len() {
+            return Err(FrontendError::ty(
+                format!(
+                    "function `{callee}` expects {} argument(s), got {}",
+                    sig.params.len(),
+                    args.len()
+                ),
+                span,
+            ));
+        }
+        let mut out = Vec::with_capacity(args.len());
+        for (a, want) in args.into_iter().zip(&sig.params) {
+            let aspan = a.span();
+            let (a, ty) = self.check_expr(a)?;
+            match want {
+                Type::Scalar(s) => out.push(self.coerce(a, ty, *s, aspan)?),
+                Type::Array { elem, dims } => {
+                    let Type::Array { elem: ae, dims: adims } = &ty else {
+                        return Err(FrontendError::ty(
+                            format!("expected an array argument of type {want}, found {ty}"),
+                            aspan,
+                        ));
+                    };
+                    let inner_ok = adims.len() == dims.len()
+                        && adims[1..]
+                            .iter()
+                            .zip(&dims[1..])
+                            .all(|(a, b)| a == b)
+                        && (dims[0].is_none() || dims[0] == adims[0]);
+                    if *ae != *elem || !inner_ok {
+                        return Err(FrontendError::ty(
+                            format!("array argument type {ty} does not match parameter {want}"),
+                            aspan,
+                        ));
+                    }
+                    if !matches!(a, Expr::Var(..)) {
+                        return Err(FrontendError::ty(
+                            "array arguments must be whole variables",
+                            aspan,
+                        ));
+                    }
+                    out.push(a);
+                }
+                Type::Void => unreachable!("void parameters rejected by the parser"),
+            }
+        }
+        Ok((Expr::Call { callee, args: out, span }, sig.ret))
+    }
+}
+
+/// Conservative "all paths return" analysis used to reject value-returning
+/// functions that can fall off the end.
+fn block_always_returns(b: &Block) -> bool {
+    b.stmts.iter().any(stmt_always_returns)
+}
+
+fn stmt_always_returns(s: &Stmt) -> bool {
+    match s {
+        Stmt::Return { .. } => true,
+        Stmt::If { then_branch, else_branch: Some(e), .. } => {
+            block_always_returns(then_branch) && block_always_returns(e)
+        }
+        Stmt::Block(b) => block_always_returns(b),
+        _ => false,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::parser::parse;
+
+    fn check_ok(src: &str) -> Program {
+        check(parse(src).unwrap()).unwrap_or_else(|e| panic!("typeck failed: {e}\n{src}"))
+    }
+
+    fn check_err(src: &str) -> FrontendError {
+        check(parse(src).unwrap()).expect_err("expected a type error")
+    }
+
+    #[test]
+    fn inserts_int_to_float_cast() {
+        let p = check_ok("int main() { float x = 1 + 2; return 0; }");
+        let Stmt::Decl { init: Some(Expr::Cast { to, .. }), .. } = &p.funcs[0].body.stmts[0]
+        else {
+            panic!("expected inserted cast");
+        };
+        assert_eq!(*to, Type::FLOAT);
+    }
+
+    #[test]
+    fn mixed_arithmetic_coerces_int_side() {
+        let p = check_ok("int main() { float x = 1.5; float y = x + 2; return 0; }");
+        let Stmt::Decl { init: Some(Expr::Binary { rhs, .. }), .. } = &p.funcs[0].body.stmts[1]
+        else {
+            panic!("expected binary");
+        };
+        assert!(matches!(rhs.as_ref(), Expr::Cast { .. }));
+    }
+
+    #[test]
+    fn float_to_int_requires_explicit_cast() {
+        let e = check_err("int main() { int x = 1.5; return 0; }");
+        assert!(e.message.contains("explicit"), "{e}");
+        check_ok("int main() { int x = (int) 1.5; return 0; }");
+    }
+
+    #[test]
+    fn undeclared_and_duplicate_vars() {
+        assert!(check_err("int main() { return x; }").message.contains("undeclared"));
+        assert!(check_err("int main() { int a; int a; return 0; }")
+            .message
+            .contains("already declared"));
+        // Shadowing in an inner scope is allowed.
+        check_ok("int main() { int a = 1; { int a = 2; } return a; }");
+    }
+
+    #[test]
+    fn for_init_scope_ends_with_loop() {
+        let e = check_err("int main() { for (int i = 0; i < 3; i++) { } return i; }");
+        assert!(e.message.contains("undeclared"));
+    }
+
+    #[test]
+    fn array_rules() {
+        check_ok("float a[4][4]; int main() { a[1][2] = 3.0; float x = a[0][0]; return 0; }");
+        assert!(check_err("float a[4]; int main() { a = 1.0; return 0; }")
+            .message
+            .contains("fully indexed"));
+        assert!(check_err("float a[4]; int main() { float x = a[1.5]; return 0; }")
+            .message
+            .contains("index must be int"));
+        assert!(check_err("float a[4]; int main() { float x = a[0][1]; return 0; }")
+            .message
+            .contains("cannot index"));
+    }
+
+    #[test]
+    fn call_checking() {
+        check_ok(
+            "float dot(float a[], float b[], int n) { return a[0]*b[0]; }\n\
+             float x[8]; float y[8];\n\
+             int main() { float d = dot(x, y, 8); return 0; }",
+        );
+        assert!(check_err(
+            "void f(int a) { } int main() { f(1, 2); return 0; }"
+        )
+        .message
+        .contains("expects 1 argument"));
+        assert!(check_err(
+            "void f(float a[][4]) { } float m[4][8]; int main() { f(m); return 0; }"
+        )
+        .message
+        .contains("does not match"));
+    }
+
+    #[test]
+    fn intrinsic_checking() {
+        check_ok("int main() { float s = sqrt(2); return imax(1, 2); }");
+        assert!(check_err("int main() { return sqrt(1.0, 2.0); }")
+            .message
+            .contains("expects 1 argument"));
+        // intrinsic returns float; implicit narrowing rejected
+        assert!(check_err("int main() { int x = sqrt(4.0); return 0; }")
+            .message
+            .contains("explicit"));
+    }
+
+    #[test]
+    fn conditions_must_be_int() {
+        assert!(check_err("int main() { if (1.5) { } return 0; }")
+            .message
+            .contains("condition must be int"));
+        check_ok("int main() { float x = 0.5; if (x > 0.0) { } return 0; }");
+    }
+
+    #[test]
+    fn rem_and_logical_require_int() {
+        assert!(check_err("int main() { float x = 1.0; int y = 3 % 2 && 1; return x % 2; }")
+            .message
+            .contains("requires"));
+        check_ok("int main() { int y = 7 % 3 && 1 || 0; return !y; }");
+    }
+
+    #[test]
+    fn missing_return_detected() {
+        let e = check_err("int f(int x) { if (x) { return 1; } }");
+        assert!(e.message.contains("without returning"));
+        check_ok("int f(int x) { if (x) { return 1; } else { return 2; } }");
+        check_ok("void g() { }");
+    }
+
+    #[test]
+    fn break_outside_loop() {
+        assert!(check_err("int main() { break; return 0; }").message.contains("outside"));
+        check_ok("int main() { while (1) { break; } return 0; }");
+    }
+
+    #[test]
+    fn return_type_checked() {
+        assert!(check_err("void f() { return 1; }").message.contains("void"));
+        assert!(check_err("int f() { return; }").message.contains("expected a return value"));
+    }
+
+    #[test]
+    fn entry_validation() {
+        let p = check_ok("int main() { return 0; }");
+        check_entry(&p).unwrap();
+        let p2 = check_ok("void notmain() { }");
+        assert!(check_entry(&p2).is_err());
+        let p3 = check_ok("int main(int a) { return a; }");
+        assert!(check_entry(&p3).is_err());
+    }
+
+    #[test]
+    fn identity_cast_dropped() {
+        let p = check_ok("int main() { int x = (int) 3; return x; }");
+        let Stmt::Decl { init: Some(init), .. } = &p.funcs[0].body.stmts[0] else { panic!() };
+        assert!(matches!(init, Expr::IntLit(3, _)));
+    }
+
+    #[test]
+    fn duplicate_functions_and_intrinsic_shadowing() {
+        assert!(check_err("void f() { } void f() { }").message.contains("duplicate"));
+        assert!(check_err("float sqrt(float x) { return x; }")
+            .message
+            .contains("shadows"));
+    }
+
+    #[test]
+    fn float_global_int_init_normalized() {
+        let p = check_ok("float x = 3; int main() { return 0; }");
+        assert_eq!(p.globals[0].init, Some(ConstInit::Float(3.0)));
+    }
+}

@@ -1,0 +1,159 @@
+//! The mini-C type system.
+
+use std::fmt;
+
+/// Scalar value types.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum Scalar {
+    /// 64-bit signed integer (`int`).
+    Int,
+    /// 64-bit IEEE float (`float`).
+    Float,
+}
+
+impl fmt::Display for Scalar {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Scalar::Int => write!(f, "int"),
+            Scalar::Float => write!(f, "float"),
+        }
+    }
+}
+
+/// A mini-C type: a scalar, a (possibly multi-dimensional) array of scalars,
+/// or `void` (function returns only).
+///
+/// Array parameters may leave their *first* dimension unspecified (`int a[]`,
+/// `float m[][16]`), matching C's array-to-pointer decay; all inner
+/// dimensions must be fixed so that index arithmetic is static.
+#[derive(Debug, Clone, PartialEq, Eq, Hash)]
+pub enum Type {
+    /// A scalar value.
+    Scalar(Scalar),
+    /// An array of scalars. `dims[0] == None` only for function parameters.
+    Array {
+        /// Element scalar type.
+        elem: Scalar,
+        /// Dimension sizes, outermost first.
+        dims: Vec<Option<u32>>,
+    },
+    /// Absence of a value; only valid as a function return type.
+    Void,
+}
+
+impl Type {
+    /// The `int` scalar type.
+    pub const INT: Type = Type::Scalar(Scalar::Int);
+    /// The `float` scalar type.
+    pub const FLOAT: Type = Type::Scalar(Scalar::Float);
+
+    /// Returns the scalar kind if this is a scalar type.
+    pub fn as_scalar(&self) -> Option<Scalar> {
+        match self {
+            Type::Scalar(s) => Some(*s),
+            _ => None,
+        }
+    }
+
+    /// Whether this is an array type.
+    pub fn is_array(&self) -> bool {
+        matches!(self, Type::Array { .. })
+    }
+
+    /// Number of scalar slots an array/local of this type occupies.
+    ///
+    /// # Panics
+    ///
+    /// Panics if called on a type with an unsized dimension or on `Void`.
+    pub fn slot_count(&self) -> u32 {
+        match self {
+            Type::Scalar(_) => 1,
+            Type::Array { dims, .. } => dims
+                .iter()
+                .map(|d| d.expect("slot_count on unsized array"))
+                .product::<u32>()
+                .max(1),
+            Type::Void => panic!("slot_count on void"),
+        }
+    }
+
+    /// The element type obtained by applying one index to an array.
+    pub fn index_once(&self) -> Option<Type> {
+        match self {
+            Type::Array { elem, dims } if dims.len() == 1 => Some(Type::Scalar(*elem)),
+            Type::Array { elem, dims } => Some(Type::Array {
+                elem: *elem,
+                dims: dims[1..].to_vec(),
+            }),
+            _ => None,
+        }
+    }
+
+    /// Stride, in scalar slots, between consecutive elements of the
+    /// outermost dimension. `None` if any inner dimension is unsized.
+    pub fn outer_stride(&self) -> Option<u32> {
+        match self {
+            Type::Array { dims, .. } => {
+                dims[1..].iter().map(|d| d.map(|v| v as u64)).try_fold(1u64, |acc, d| {
+                    d.map(|v| acc * v)
+                })
+                .map(|v| v as u32)
+            }
+            _ => None,
+        }
+    }
+}
+
+impl fmt::Display for Type {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Type::Scalar(s) => write!(f, "{s}"),
+            Type::Array { elem, dims } => {
+                write!(f, "{elem}")?;
+                for d in dims {
+                    match d {
+                        Some(n) => write!(f, "[{n}]")?,
+                        None => write!(f, "[]")?,
+                    }
+                }
+                Ok(())
+            }
+            Type::Void => write!(f, "void"),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display() {
+        assert_eq!(Type::INT.to_string(), "int");
+        let a = Type::Array { elem: Scalar::Float, dims: vec![None, Some(8)] };
+        assert_eq!(a.to_string(), "float[][8]");
+    }
+
+    #[test]
+    fn slot_count_and_stride() {
+        let a = Type::Array { elem: Scalar::Int, dims: vec![Some(4), Some(8)] };
+        assert_eq!(a.slot_count(), 32);
+        assert_eq!(a.outer_stride(), Some(8));
+        assert_eq!(Type::INT.slot_count(), 1);
+    }
+
+    #[test]
+    fn index_once_peels_dims() {
+        let a = Type::Array { elem: Scalar::Int, dims: vec![Some(4), Some(8)] };
+        let b = a.index_once().unwrap();
+        assert_eq!(b, Type::Array { elem: Scalar::Int, dims: vec![Some(8)] });
+        assert_eq!(b.index_once().unwrap(), Type::INT);
+        assert_eq!(Type::INT.index_once(), None);
+    }
+
+    #[test]
+    fn unsized_outer_dim_still_has_stride() {
+        let a = Type::Array { elem: Scalar::Float, dims: vec![None, Some(16)] };
+        assert_eq!(a.outer_stride(), Some(16));
+    }
+}

@@ -1,0 +1,175 @@
+//! Baseline "planners" for the paper's Figure 9 comparison.
+//!
+//! Figure 9 measures how plan size shrinks as information is added:
+//!
+//! 1. **work only** — what a gprof user has: the serial hotspot list
+//!    (regions above a coverage threshold), ~59% of all regions;
+//! 2. **+ self-parallelism** — drop low-parallelism regions, ~25.4%;
+//! 3. **full planner** — the OpenMP personality, ~3.0%.
+//!
+//! Both baselines emit ordinary [`Plan`]s so the comparison harness treats
+//! all three uniformly.
+
+use crate::estimate::program_speedup;
+use crate::plan::{Plan, PlanEntry, PlanKind};
+use crate::Personality;
+use kremlin_hcpa::ParallelismProfile;
+use kremlin_ir::{RegionId, RegionKind};
+use std::collections::HashSet;
+
+/// gprof-style hotspot list: every loop/function above a work-coverage
+/// threshold, ordered by coverage.
+#[derive(Debug, Clone, Copy)]
+pub struct WorkOnlyPlanner {
+    /// Minimum coverage to appear in the list.
+    pub min_coverage: f64,
+}
+
+impl Default for WorkOnlyPlanner {
+    fn default() -> Self {
+        // 0.1%: aligned with the full planner's DOALL speedup threshold so
+        // the Figure 9 stages shrink monotonically.
+        WorkOnlyPlanner { min_coverage: 0.001 }
+    }
+}
+
+/// Work + self-parallelism filter: the hotspot list restricted to regions
+/// whose self-parallelism clears the OpenMP threshold.
+#[derive(Debug, Clone, Copy)]
+pub struct SelfPFilterPlanner {
+    /// Minimum coverage (as [`WorkOnlyPlanner`]).
+    pub min_coverage: f64,
+    /// Minimum self-parallelism (paper: 5.0).
+    pub sp_min: f64,
+}
+
+impl Default for SelfPFilterPlanner {
+    fn default() -> Self {
+        SelfPFilterPlanner { min_coverage: 0.001, sp_min: 5.0 }
+    }
+}
+
+fn hotspot_entries(
+    profile: &ParallelismProfile,
+    exclude: &HashSet<RegionId>,
+    min_coverage: f64,
+    sp_min: Option<f64>,
+) -> Vec<PlanEntry> {
+    let mut entries: Vec<PlanEntry> = profile
+        .iter()
+        .filter(|s| {
+            matches!(s.kind, RegionKind::Loop | RegionKind::Func)
+                && !exclude.contains(&s.region)
+                && s.coverage >= min_coverage
+                && sp_min.map(|m| s.self_p >= m).unwrap_or(true)
+        })
+        .map(|s| PlanEntry {
+            region: s.region,
+            label: s.label.clone(),
+            location: s.location.clone(),
+            self_p: s.self_p,
+            coverage: s.coverage,
+            est_speedup: program_speedup(s, profile.root_work),
+            kind: if s.is_doall {
+                if s.is_reduction {
+                    PlanKind::Reduction
+                } else {
+                    PlanKind::Doall
+                }
+            } else {
+                PlanKind::Doacross
+            },
+        })
+        .collect();
+    entries.sort_by(|a, b| {
+        b.coverage.partial_cmp(&a.coverage).unwrap_or(std::cmp::Ordering::Equal)
+    });
+    entries
+}
+
+impl Personality for WorkOnlyPlanner {
+    fn name(&self) -> &'static str {
+        "work-only"
+    }
+
+    fn plan(&self, profile: &ParallelismProfile, exclude: &HashSet<RegionId>) -> Plan {
+        Plan {
+            personality: self.name().into(),
+            entries: hotspot_entries(profile, exclude, self.min_coverage, None),
+        }
+    }
+}
+
+impl Personality for SelfPFilterPlanner {
+    fn name(&self) -> &'static str {
+        "self-parallelism"
+    }
+
+    fn plan(&self, profile: &ParallelismProfile, exclude: &HashSet<RegionId>) -> Plan {
+        Plan {
+            personality: self.name().into(),
+            entries: hotspot_entries(profile, exclude, self.min_coverage, Some(self.sp_min)),
+        }
+    }
+}
+
+/// Number of regions a plan size can be compared against: executed loop
+/// and function regions (loop bodies are not separately actionable).
+pub fn plannable_region_count(profile: &ParallelismProfile) -> usize {
+    profile
+        .iter()
+        .filter(|s| matches!(s.kind, RegionKind::Loop | RegionKind::Func))
+        .count()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::testutil::profile_src;
+
+    const SRC: &str = "float a[512]; float x[512];\n\
+        int main() {\n\
+          for (int i = 0; i < 512; i++) { a[i] = sqrt((float) i); }\n\
+          x[0] = 1.0;\n\
+          for (int i = 1; i < 512; i++) { x[i] = x[i - 1] * 0.5 + a[i]; }\n\
+          return (int) x[100];\n\
+        }";
+
+    #[test]
+    fn fig9_staircase_holds() {
+        let (_, profile) = profile_src(SRC);
+        let none = HashSet::new();
+        let work = WorkOnlyPlanner::default().plan(&profile, &none);
+        let filt = SelfPFilterPlanner::default().plan(&profile, &none);
+        let full = crate::OpenMpPlanner::default().plan(&profile, &none);
+        // Monotone shrinkage: work-only ⊇ +self-p ⊇ full-ish.
+        assert!(work.len() >= filt.len());
+        assert!(filt.len() >= full.len());
+        // The work-only list contains the *serial* recurrence loop (a
+        // gprof user would waste time there); the SP filter drops it.
+        assert!(work.len() > filt.len(), "SP filter must remove the serial hotspot");
+        let total = plannable_region_count(&profile);
+        assert!(total >= work.len());
+    }
+
+    #[test]
+    fn hotspots_ordered_by_coverage() {
+        let (_, profile) = profile_src(SRC);
+        let plan = WorkOnlyPlanner::default().plan(&profile, &HashSet::new());
+        for w in plan.entries.windows(2) {
+            assert!(w[0].coverage >= w[1].coverage);
+        }
+        assert!(!plan.is_empty());
+    }
+
+    #[test]
+    fn exclusion_respected() {
+        let (_, profile) = profile_src(SRC);
+        let plan = WorkOnlyPlanner::default().plan(&profile, &HashSet::new());
+        let first = plan.entries[0].region;
+        let mut ex = HashSet::new();
+        ex.insert(first);
+        let plan2 = WorkOnlyPlanner::default().plan(&profile, &ex);
+        assert!(!plan2.contains(first));
+    }
+}

@@ -1,0 +1,206 @@
+//! The Cilk++ planner personality (paper §5.2).
+//!
+//! Cilk++'s work-stealing runtime supports **nested** and fine-grained
+//! parallelism with far lower overhead than OpenMP's fork-join, so this
+//! personality: (a) drops the no-nesting constraint, (b) lowers the
+//! self-parallelism and speedup thresholds, and (c) also recommends
+//! *function* regions (spawnable tasks), not just loops.
+
+use crate::plan::{Plan, PlanEntry, PlanKind};
+use crate::Personality;
+use kremlin_hcpa::RegionStats;
+use kremlin_ir::{RegionId, RegionKind};
+use std::collections::HashSet;
+
+/// Tunable thresholds of the Cilk++ personality.
+#[derive(Debug, Clone, Copy)]
+pub struct CilkParams {
+    /// Minimum self-parallelism (lower than OpenMP's 5.0).
+    pub sp_min: f64,
+    /// Minimum ideal whole-program speedup.
+    pub min_speedup: f64,
+    /// Minimum average work per dynamic instance — spawning tiny tasks
+    /// never pays, even in Cilk.
+    pub min_instance_work: u64,
+}
+
+impl Default for CilkParams {
+    fn default() -> Self {
+        CilkParams { sp_min: 2.0, min_speedup: 1.0005, min_instance_work: 200 }
+    }
+}
+
+/// The Cilk++ planner.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct CilkPlanner {
+    /// Threshold parameters.
+    pub params: CilkParams,
+}
+
+impl CilkPlanner {
+    /// `spawn_site_sp`: for function regions, the best self-parallelism
+    /// among the regions that invoke them — a function is a worthwhile
+    /// `cilk_spawn` when its *call sites* run in parallel, even if the
+    /// function body itself is serial.
+    fn eligible(
+        &self,
+        s: &RegionStats,
+        root_work: u64,
+        spawn_site_sp: f64,
+    ) -> Option<(PlanKind, f64)> {
+        let (kind, effective_sp) = match s.kind {
+            RegionKind::Loop => {
+                let k = if s.is_doall {
+                    if s.is_reduction {
+                        PlanKind::Reduction
+                    } else {
+                        PlanKind::Doall
+                    }
+                } else {
+                    PlanKind::Doacross
+                };
+                (k, s.self_p)
+            }
+            RegionKind::Func => (PlanKind::Task, s.self_p.max(spawn_site_sp)),
+            RegionKind::LoopBody => return None,
+        };
+        if effective_sp < self.params.sp_min {
+            return None;
+        }
+        if s.total_work / s.instances.max(1) < self.params.min_instance_work {
+            return None;
+        }
+        // Estimate with the effective SP: a serial function spawned from a
+        // parallel site still speeds the program up.
+        let saved = s.total_work as f64 * (1.0 - 1.0 / effective_sp);
+        let est = crate::estimate::combined_speedup(saved, root_work);
+        if est < self.params.min_speedup {
+            return None;
+        }
+        Some((kind, est))
+    }
+}
+
+impl Personality for CilkPlanner {
+    fn name(&self) -> &'static str {
+        "cilk"
+    }
+
+    fn plan(
+        &self,
+        profile: &kremlin_hcpa::ParallelismProfile,
+        exclude: &HashSet<RegionId>,
+    ) -> Plan {
+        // Best SP among each region's dynamic parents (spawn sites). A
+        // call inside a loop iteration has the loop *body* as its direct
+        // parent, but the parallelism across spawns lives at the body's
+        // enclosing loop — so body parents contribute their loop's SP.
+        let mut parents: std::collections::HashMap<RegionId, Vec<RegionId>> =
+            std::collections::HashMap::new();
+        for s in profile.iter() {
+            for c in profile.children(s.region) {
+                parents.entry(c).or_default().push(s.region);
+            }
+        }
+        let sp_of = |r: RegionId| profile.stats(r).map(|s| s.self_p).unwrap_or(1.0);
+        let mut parent_sp: std::collections::HashMap<RegionId, f64> =
+            std::collections::HashMap::new();
+        for (child, ps) in &parents {
+            let mut best = 1.0f64;
+            for &p in ps {
+                let p_sp = match profile.stats(p).map(|s| s.kind) {
+                    Some(RegionKind::LoopBody) => parents
+                        .get(&p)
+                        .into_iter()
+                        .flatten()
+                        .map(|&g| sp_of(g))
+                        .fold(1.0, f64::max),
+                    _ => sp_of(p),
+                };
+                best = best.max(p_sp);
+            }
+            parent_sp.insert(*child, best);
+        }
+
+        let mut entries: Vec<PlanEntry> = profile
+            .iter()
+            .filter(|s| !exclude.contains(&s.region))
+            .filter(|s| profile.root != Some(s.region)) // main itself is not a task
+            .filter_map(|s| {
+                let site = parent_sp.get(&s.region).copied().unwrap_or(1.0);
+                let (kind, est) = self.eligible(s, profile.root_work, site)?;
+                Some(PlanEntry {
+                    region: s.region,
+                    label: s.label.clone(),
+                    location: s.location.clone(),
+                    self_p: s.self_p,
+                    coverage: s.coverage,
+                    est_speedup: est,
+                    kind,
+                })
+            })
+            .collect();
+        entries.sort_by(|a, b| {
+            b.est_speedup.partial_cmp(&a.est_speedup).unwrap_or(std::cmp::Ordering::Equal)
+        });
+        Plan { personality: self.name().into(), entries }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::testutil::profile_src;
+    use crate::OpenMpPlanner;
+
+    const NEST: &str = "float m[48][48];\n\
+        int main() {\n\
+          for (int i = 0; i < 48; i++) {\n\
+            for (int j = 0; j < 48; j++) { m[i][j] = sqrt((float)(i * j + 1)); }\n\
+          }\n\
+          return (int) m[1][2];\n\
+        }";
+
+    #[test]
+    fn cilk_allows_nesting_where_openmp_does_not() {
+        let (_, profile) = profile_src(NEST);
+        let none = HashSet::new();
+        let cilk = CilkPlanner::default().plan(&profile, &none);
+        let omp = OpenMpPlanner::default().plan(&profile, &none);
+        assert!(
+            cilk.len() > omp.len(),
+            "cilk plan ({}) should nest beyond openmp ({})",
+            cilk.len(),
+            omp.len()
+        );
+        // Both loop levels of the nest appear in the Cilk plan.
+        assert!(cilk.len() >= 2, "{cilk}");
+    }
+
+    #[test]
+    fn function_regions_become_tasks() {
+        let (unit, profile) = profile_src(
+            "float work(float x) { float s = 0.0; for (int i = 0; i < 64; i++) { s += sqrt(x + (float) i); } return s; }\n\
+             float out[32];\n\
+             int main() { for (int i = 0; i < 32; i++) { out[i] = work((float) i); } return (int) out[2]; }",
+        );
+        let plan = CilkPlanner::default().plan(&profile, &HashSet::new());
+        let work_region = unit.module.regions.by_label("work").unwrap();
+        let has_task =
+            plan.entries.iter().any(|e| e.region == work_region && e.kind == PlanKind::Task);
+        assert!(has_task, "work() should be a spawnable task: {plan}");
+    }
+
+    #[test]
+    fn tiny_regions_rejected() {
+        let (_, profile) = profile_src(
+            "int inc(int x) { return x + 1; }\n\
+             int main() { int s = 0; for (int i = 0; i < 32; i++) { s += inc(i); } return s; }",
+        );
+        let plan = CilkPlanner::default().plan(&profile, &HashSet::new());
+        assert!(
+            plan.entries.iter().all(|e| e.kind != PlanKind::Task),
+            "1-instruction function must not be spawned: {plan}"
+        );
+    }
+}

@@ -1,0 +1,102 @@
+//! Amdahl's-law speedup estimation (paper §4.3).
+//!
+//! If region `R` is parallelized, its execution time is bounded below by
+//! `ET(R)/SP(R)`; the whole-program time saved is therefore
+//! `W(R) · (1 − 1/SP(R))`, and the estimated program speedup is
+//! `T / (T − saved)`.
+//!
+//! Deliberately **uncapped** by core count: the paper found that capping
+//! estimated speedup at the machine's core count *hurt* plan quality
+//! (§5.1 — "including this constraint had a negative impact"), because it
+//! erases the distinction between `SP = N` and `SP ≫ N` regions; the
+//! machine cap belongs in the simulator, not the planner.
+
+use kremlin_hcpa::RegionStats;
+
+/// Ideal whole-program work saved by parallelizing `stats`'s region alone.
+pub fn time_saved(stats: &RegionStats) -> f64 {
+    if stats.self_p <= 1.0 {
+        return 0.0;
+    }
+    stats.total_work as f64 * (1.0 - 1.0 / stats.self_p)
+}
+
+/// Estimated whole-program speedup from parallelizing this region alone.
+pub fn program_speedup(stats: &RegionStats, root_work: u64) -> f64 {
+    let t = root_work as f64;
+    if t <= 0.0 {
+        return 1.0;
+    }
+    let saved = time_saved(stats).min(t - 1.0).max(0.0);
+    t / (t - saved)
+}
+
+/// Estimated whole-program speedup from a *set* of saved amounts
+/// (regions on disjoint paths, so savings add).
+pub fn combined_speedup(saved: f64, root_work: u64) -> f64 {
+    let t = root_work as f64;
+    if t <= 0.0 {
+        return 1.0;
+    }
+    let s = saved.min(t - 1.0).max(0.0);
+    t / (t - s)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use kremlin_ir::{RegionId, RegionKind};
+
+    fn stats(work: u64, sp: f64, coverage: f64) -> RegionStats {
+        RegionStats {
+            region: RegionId(1),
+            kind: RegionKind::Loop,
+            label: "l".into(),
+            location: "t.kc (1)".into(),
+            instances: 1,
+            total_work: work,
+            coverage,
+            self_p: sp,
+            total_p: sp,
+            avg_children: 8.0,
+            is_doall: true,
+            is_reduction: false,
+        }
+    }
+
+    #[test]
+    fn amdahl_basics() {
+        // Half the program, perfectly parallel: speedup -> 2.
+        let s = stats(500, 1e9, 0.5);
+        let sp = program_speedup(&s, 1000);
+        assert!((sp - 2.0).abs() < 0.01, "{sp}");
+        // Whole program, SP = 4: speedup -> 4.
+        let s = stats(1000, 4.0, 1.0);
+        let sp = program_speedup(&s, 1000);
+        assert!((sp - 4.0).abs() < 0.01, "{sp}");
+    }
+
+    #[test]
+    fn serial_region_saves_nothing() {
+        let s = stats(500, 1.0, 0.5);
+        assert_eq!(time_saved(&s), 0.0);
+        assert_eq!(program_speedup(&s, 1000), 1.0);
+    }
+
+    #[test]
+    fn saved_cannot_exceed_program() {
+        // Degenerate profile (region work > root work) must not divide by
+        // zero or go negative.
+        let s = stats(2000, 100.0, 2.0);
+        let sp = program_speedup(&s, 1000);
+        assert!(sp.is_finite() && sp >= 1.0);
+    }
+
+    #[test]
+    fn combined_savings_add() {
+        let sp = combined_speedup(750.0, 1000);
+        assert!((sp - 4.0).abs() < 0.01);
+        assert_eq!(combined_speedup(0.0, 1000), 1.0);
+        assert_eq!(combined_speedup(-5.0, 1000), 1.0);
+    }
+}

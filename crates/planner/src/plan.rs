@@ -1,0 +1,157 @@
+//! Parallelism plans: the ordered region lists Kremlin presents to users.
+
+use kremlin_ir::RegionId;
+use std::collections::HashSet;
+use std::fmt;
+
+/// What kind of parallelization a plan entry calls for.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum PlanKind {
+    /// Independent iterations (`#pragma omp parallel for`).
+    Doall,
+    /// Cross-iteration dependences needing synchronization
+    /// (DOACROSS/pipeline; much higher overhead, paper §5.1).
+    Doacross,
+    /// DOALL with a reduction accumulator (`reduction(...)` clause).
+    Reduction,
+    /// Task-parallel function (Cilk-style spawn).
+    Task,
+}
+
+impl fmt::Display for PlanKind {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            PlanKind::Doall => write!(f, "DOALL"),
+            PlanKind::Doacross => write!(f, "DOACROSS"),
+            PlanKind::Reduction => write!(f, "REDUCTION"),
+            PlanKind::Task => write!(f, "TASK"),
+        }
+    }
+}
+
+/// One recommended region.
+#[derive(Debug, Clone)]
+pub struct PlanEntry {
+    /// The region to parallelize.
+    pub region: RegionId,
+    /// Stable label (`main#L0`).
+    pub label: String,
+    /// Source location (`file.kc (49-58)`), the paper's `File (lines)`.
+    pub location: String,
+    /// Region self-parallelism (the `Self-P` column).
+    pub self_p: f64,
+    /// Fraction of program work covered (the `Cov.(%)` column, as `[0,1]`).
+    pub coverage: f64,
+    /// Estimated whole-program speedup from parallelizing this region
+    /// alone (orders the plan).
+    pub est_speedup: f64,
+    /// Parallelization kind.
+    pub kind: PlanKind,
+}
+
+/// An ordered parallelism plan.
+#[derive(Debug, Clone)]
+pub struct Plan {
+    /// The personality that produced it (e.g. `openmp`).
+    pub personality: String,
+    /// Recommendations, ordered by decreasing estimated program speedup.
+    pub entries: Vec<PlanEntry>,
+}
+
+impl Plan {
+    /// The set of recommended regions.
+    pub fn regions(&self) -> HashSet<RegionId> {
+        self.entries.iter().map(|e| e.region).collect()
+    }
+
+    /// Number of recommendations.
+    pub fn len(&self) -> usize {
+        self.entries.len()
+    }
+
+    /// Whether the plan is empty.
+    pub fn is_empty(&self) -> bool {
+        self.entries.is_empty()
+    }
+
+    /// Whether `r` is recommended.
+    pub fn contains(&self, r: RegionId) -> bool {
+        self.entries.iter().any(|e| e.region == r)
+    }
+
+    /// Renders the plan as the paper's Figure 3 table.
+    pub fn render(&self) -> String {
+        let mut out = String::new();
+        out.push_str(&format!(
+            "{:>3}  {:<28} {:>9} {:>8} {:>10} {:>9}\n",
+            "#", "File (lines)", "Self-P", "Cov.(%)", "Type", "Speedup"
+        ));
+        for (i, e) in self.entries.iter().enumerate() {
+            out.push_str(&format!(
+                "{:>3}  {:<28} {:>9.1} {:>8.2} {:>10} {:>8.2}x\n",
+                i + 1,
+                e.location,
+                e.self_p,
+                e.coverage * 100.0,
+                e.kind.to_string(),
+                e.est_speedup,
+            ));
+        }
+        if self.entries.is_empty() {
+            out.push_str("  (no profitable regions found)\n");
+        }
+        out
+    }
+}
+
+impl fmt::Display for Plan {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        writeln!(f, "parallelism plan [{}]", self.personality)?;
+        write!(f, "{}", self.render())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn entry(r: u32, speedup: f64) -> PlanEntry {
+        PlanEntry {
+            region: RegionId(r),
+            label: format!("main#L{r}"),
+            location: format!("t.kc ({r})"),
+            self_p: 10.0,
+            coverage: 0.5,
+            est_speedup: speedup,
+            kind: PlanKind::Doall,
+        }
+    }
+
+    #[test]
+    fn plan_queries() {
+        let p = Plan { personality: "openmp".into(), entries: vec![entry(1, 1.9), entry(2, 1.2)] };
+        assert_eq!(p.len(), 2);
+        assert!(p.contains(RegionId(1)));
+        assert!(!p.contains(RegionId(3)));
+        assert_eq!(p.regions().len(), 2);
+    }
+
+    #[test]
+    fn render_contains_columns() {
+        let p = Plan { personality: "openmp".into(), entries: vec![entry(1, 1.9)] };
+        let s = p.render();
+        assert!(s.contains("Self-P"));
+        assert!(s.contains("Cov.(%)"));
+        assert!(s.contains("DOALL"));
+        assert!(s.contains("t.kc (1)"));
+        let d = format!("{p}");
+        assert!(d.contains("openmp"));
+    }
+
+    #[test]
+    fn empty_plan_renders_notice() {
+        let p = Plan { personality: "openmp".into(), entries: vec![] };
+        assert!(p.render().contains("no profitable regions"));
+        assert!(p.is_empty());
+    }
+}

@@ -1,0 +1,402 @@
+//! # kremlin-sim — analytic multicore execution model
+//!
+//! The paper evaluates plans by actually parallelizing benchmarks and
+//! running them on a 32-core AMD 8380 NUMA machine, reporting the best of
+//! {1, 2, 4, 8, 16, 32} cores (§6.1). No such machine is available here,
+//! so this crate substitutes an analytic model applied to the *compressed
+//! dynamic region graph* from profiling:
+//!
+//! * a parallelized region's time is `T_serial / min(SP, C)`, the
+//!   self-parallelism bound from paper §4.3 capped by the core count —
+//!   the machine cap lives here, **not** in the planner (§5.1);
+//! * every parallel invocation pays a fork–join overhead `α + β·C`,
+//!   reduction loops pay an extra combine cost, and DOACROSS loops pay a
+//!   per-iteration synchronization cost (the overheads that motivate the
+//!   planner's thresholds);
+//! * a NUMA locality penalty grows with core count, so speedup curves
+//!   bend and "performance can decline as locality effects start to trump
+//!   the benefits" (§6.1) — best-of-cores picks an interior optimum;
+//! * under the OpenMP runtime model, regions nested inside an active
+//!   parallel region execute serially (nesting "overhead is often too
+//!   high to be effective", §5.1); the Cilk model allows nesting.
+//!
+//! Evaluation never decompresses the profile: times are memoized per
+//! dictionary entry, so simulating a billion-iteration program costs a
+//! few thousand entry evaluations.
+
+use kremlin_compress::{Dictionary, EntryId};
+use kremlin_hcpa::ParallelismProfile;
+use kremlin_ir::{RegionId, RegionKind, RegionTable};
+use std::collections::{HashMap, HashSet};
+
+/// Machine and runtime-system parameters.
+#[derive(Debug, Clone, Copy)]
+pub struct MachineModel {
+    /// Core counts swept; the best one is reported (paper §6.1).
+    pub core_counts: [u32; 6],
+    /// Fork–join base overhead per parallel invocation (cycles).
+    pub fork_join_base: f64,
+    /// Fork–join per-core overhead (cycles per core).
+    pub fork_join_per_core: f64,
+    /// Extra overhead per invocation of a reduction loop, per core.
+    pub reduction_per_core: f64,
+    /// Per-iteration synchronization cost of DOACROSS loops (cycles).
+    pub doacross_sync: f64,
+    /// Locality/NUMA efficiency loss per extra core (fractional).
+    pub locality_penalty: f64,
+    /// Whether nested parallel regions actually run in parallel
+    /// (true for the Cilk model, false for OpenMP).
+    pub allow_nesting: bool,
+}
+
+impl Default for MachineModel {
+    fn default() -> Self {
+        MachineModel {
+            core_counts: [1, 2, 4, 8, 16, 32],
+            fork_join_base: 600.0,
+            fork_join_per_core: 25.0,
+            reduction_per_core: 40.0,
+            doacross_sync: 40.0,
+            locality_penalty: 0.0005,
+            allow_nesting: false,
+        }
+    }
+}
+
+/// Result of evaluating one plan on the model.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct PlanEvaluation {
+    /// Serial (unparallelized) execution time.
+    pub serial_time: f64,
+    /// Best parallel execution time across the core sweep.
+    pub parallel_time: f64,
+    /// Core count achieving it.
+    pub best_cores: u32,
+    /// `serial_time / parallel_time`.
+    pub speedup: f64,
+}
+
+/// The simulator, bound to one profile.
+pub struct Simulator<'p> {
+    dict: &'p Dictionary,
+    regions: &'p RegionTable,
+    sp: Vec<f64>,
+    doall: Vec<bool>,
+    reduction: Vec<bool>,
+    model: MachineModel,
+}
+
+impl<'p> Simulator<'p> {
+    /// Creates a simulator over a profile. Region classifications (DOALL,
+    /// reduction) come from the profile's aggregated stats.
+    pub fn new(
+        profile: &'p ParallelismProfile,
+        regions: &'p RegionTable,
+        model: MachineModel,
+    ) -> Self {
+        let dict = &profile.dict;
+        let sp = dict.self_parallelism();
+        let n = regions.len();
+        let mut doall = vec![false; n];
+        let mut reduction = vec![false; n];
+        for s in profile.iter() {
+            doall[s.region.index()] = s.is_doall;
+            reduction[s.region.index()] = s.is_reduction;
+        }
+        Simulator { dict, regions, sp, doall, reduction, model }
+    }
+
+    /// Serial execution time (the root's work).
+    pub fn serial_time(&self) -> f64 {
+        self.dict.root().map(|r| self.dict.entry(r).work as f64).unwrap_or(0.0)
+    }
+
+    /// Execution time with `plan` regions parallelized on `cores` cores.
+    pub fn time_with_plan(&self, plan: &HashSet<RegionId>, cores: u32) -> f64 {
+        let Some(root) = self.dict.root() else { return 0.0 };
+        let mut memo: HashMap<(EntryId, bool), f64> = HashMap::new();
+        self.entry_time(root, false, plan, cores, &mut memo)
+    }
+
+    /// Evaluates a plan: sweeps the configured core counts and reports the
+    /// best, mirroring the paper's methodology.
+    pub fn evaluate(&self, plan: &HashSet<RegionId>) -> PlanEvaluation {
+        let serial = self.serial_time();
+        let mut best_time = f64::INFINITY;
+        let mut best_cores = 1;
+        for &c in &self.model.core_counts {
+            let t = self.time_with_plan(plan, c);
+            if t < best_time {
+                best_time = t;
+                best_cores = c;
+            }
+        }
+        // An empty plan on one core is exactly serial execution.
+        PlanEvaluation {
+            serial_time: serial,
+            parallel_time: best_time,
+            best_cores,
+            speedup: if best_time > 0.0 { serial / best_time } else { 1.0 },
+        }
+    }
+
+    /// Speedup as a function of core count for a fixed plan — the raw
+    /// series behind the paper's "configurations of 1, 2, 4, 8, 16, and
+    /// 32 cores" methodology (§6.1). Returns `(cores, speedup)` pairs in
+    /// sweep order.
+    pub fn speedup_curve(&self, plan: &HashSet<RegionId>) -> Vec<(u32, f64)> {
+        let serial = self.serial_time();
+        self.model
+            .core_counts
+            .iter()
+            .map(|&c| {
+                let t = self.time_with_plan(plan, c);
+                (c, if t > 0.0 { serial / t } else { 1.0 })
+            })
+            .collect()
+    }
+
+    /// Marginal-benefit curve (paper Figures 7/8): evaluates growing
+    /// prefixes of `ordered` and returns, per prefix length `k` in
+    /// `0..=len`, the fraction of execution time eliminated relative to
+    /// serial.
+    pub fn marginal_curve(&self, ordered: &[RegionId]) -> Vec<f64> {
+        let serial = self.serial_time();
+        let mut out = Vec::with_capacity(ordered.len() + 1);
+        let mut set = HashSet::new();
+        out.push(0.0);
+        for &r in ordered {
+            set.insert(r);
+            let t = self.evaluate(&set).parallel_time;
+            out.push(((serial - t) / serial).max(-1.0));
+        }
+        out
+    }
+
+    fn entry_time(
+        &self,
+        e: EntryId,
+        in_parallel: bool,
+        plan: &HashSet<RegionId>,
+        cores: u32,
+        memo: &mut HashMap<(EntryId, bool), f64>,
+    ) -> f64 {
+        if let Some(&t) = memo.get(&(e, in_parallel)) {
+            return t;
+        }
+        let entry = self.dict.entry(e);
+        let region = RegionId(entry.static_id);
+        let selected = plan.contains(&region);
+        let runs_parallel = selected && (!in_parallel || self.model.allow_nesting);
+
+        // Children execute inside this region; if this region is (or we
+        // already are) parallel, they are in a parallel context.
+        let child_ctx = in_parallel || runs_parallel;
+        let children_time: f64 = entry
+            .children
+            .iter()
+            .map(|(c, n)| *n as f64 * self.entry_time(*c, child_ctx, plan, cores, memo))
+            .sum();
+        let body = entry.self_work(self.dict) as f64 + children_time;
+
+        let t = if runs_parallel && cores > 1 {
+            let sp = self.sp[e.index()].max(1.0);
+            let speedup = sp.min(cores as f64);
+            let mut t = body / speedup;
+            // NUMA/locality: memory contention grows with the number of
+            // cores touching the data — an additive term proportional to
+            // the region's work and the extra cores, which bends the
+            // speedup curve and creates the interior best-core optima the
+            // paper observes ("performance can decline as locality effects
+            // start to trump the benefits", §6.1).
+            t += body * self.model.locality_penalty * (cores as f64 - 1.0);
+            // Overheads.
+            let mut overhead =
+                self.model.fork_join_base + self.model.fork_join_per_core * cores as f64;
+            if self.reduction[region.index().min(self.reduction.len() - 1)] {
+                overhead += self.model.reduction_per_core * cores as f64;
+            }
+            let is_loop = self.regions.info(region).kind == RegionKind::Loop;
+            if is_loop && !self.doall[region.index()] {
+                // DOACROSS: per-iteration synchronization, partially
+                // overlapped across cores.
+                overhead +=
+                    self.model.doacross_sync * entry.child_instances() as f64 / cores as f64;
+            }
+            t + overhead
+        } else if runs_parallel {
+            // "Parallelized" but running on one core: pure overhead.
+            body + self.model.fork_join_base
+        } else {
+            body
+        };
+        memo.insert((e, in_parallel), t);
+        t
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use kremlin_hcpa::{profile_unit, HcpaConfig};
+    use kremlin_ir::CompiledUnit;
+
+    fn setup(src: &str) -> (CompiledUnit, ParallelismProfile) {
+        let unit = kremlin_ir::compile(src, "t.kc").expect("compiles");
+        let outcome = profile_unit(&unit, HcpaConfig::default()).expect("profiles");
+        (unit, outcome.profile)
+    }
+
+    const BIG_DOALL: &str = "float a[4096];\n\
+        int main() {\n\
+          for (int i = 0; i < 4096; i++) { a[i] = sqrt((float) i) * 2.0 + exp((float) (i % 5)); }\n\
+          return (int) a[7];\n\
+        }";
+
+    #[test]
+    fn empty_plan_is_serial() {
+        let (unit, profile) = setup(BIG_DOALL);
+        let sim = Simulator::new(&profile, &unit.module.regions, MachineModel::default());
+        let eval = sim.evaluate(&HashSet::new());
+        assert_eq!(eval.serial_time, eval.parallel_time);
+        assert!((eval.speedup - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn doall_speeds_up_and_caps_at_cores() {
+        let (unit, profile) = setup(BIG_DOALL);
+        let sim = Simulator::new(&profile, &unit.module.regions, MachineModel::default());
+        let l0 = unit.module.regions.by_label("main#L0").unwrap();
+        let eval = sim.evaluate(&HashSet::from([l0]));
+        assert!(eval.speedup > 4.0, "big DOALL should speed up well: {eval:?}");
+        assert!(eval.speedup <= 32.0, "cannot beat the core count: {eval:?}");
+        assert!(eval.best_cores >= 8);
+    }
+
+    #[test]
+    fn serial_region_parallelization_only_adds_overhead() {
+        let (unit, profile) = setup(
+            "float x[512];\n\
+             int main() { x[0] = 1.0; for (int i = 1; i < 512; i++) { x[i] = x[i-1] * 0.9 + 1.0; } return (int) x[11]; }",
+        );
+        let sim = Simulator::new(&profile, &unit.module.regions, MachineModel::default());
+        let l0 = unit.module.regions.by_label("main#L0").unwrap();
+        let eval = sim.evaluate(&HashSet::from([l0]));
+        // SP ≈ 1 → min(SP, C) ≈ 1 → no gain, pure overhead; best of the
+        // sweep is essentially serial.
+        assert!(eval.speedup <= 1.01, "{eval:?}");
+    }
+
+    #[test]
+    fn tiny_loop_is_hurt_by_overhead() {
+        let (unit, profile) = setup(
+            "float a[16];\n\
+             int main() { for (int i = 0; i < 16; i++) { a[i] = (float) i; } return (int) a[3]; }",
+        );
+        let sim = Simulator::new(&profile, &unit.module.regions, MachineModel::default());
+        let l0 = unit.module.regions.by_label("main#L0").unwrap();
+        let with = sim.time_with_plan(&HashSet::from([l0]), 8);
+        let without = sim.time_with_plan(&HashSet::new(), 8);
+        assert!(
+            with > without * 2.0,
+            "fork-join overhead must dominate a 16-iteration loop: {with} vs {without}"
+        );
+    }
+
+    #[test]
+    fn openmp_model_serializes_nested_selection() {
+        let (unit, profile) = setup(
+            "float m[64][64];\n\
+             int main() {\n\
+               for (int i = 0; i < 64; i++) { for (int j = 0; j < 64; j++) { m[i][j] = sqrt((float)(i + j)); } }\n\
+               return (int) m[1][2];\n\
+             }",
+        );
+        let l0 = unit.module.regions.by_label("main#L0").unwrap();
+        let l1 = unit.module.regions.by_label("main#L1").unwrap();
+        let omp = Simulator::new(&profile, &unit.module.regions, MachineModel::default());
+        let outer_only = omp.evaluate(&HashSet::from([l0]));
+        let both = omp.evaluate(&HashSet::from([l0, l1]));
+        // Under OpenMP, adding the inner loop to the plan only adds
+        // (serialized) overhead.
+        assert!(both.parallel_time >= outer_only.parallel_time, "{both:?} vs {outer_only:?}");
+
+        let cilk = Simulator::new(
+            &profile,
+            &unit.module.regions,
+            MachineModel { allow_nesting: true, ..MachineModel::default() },
+        );
+        let both_cilk = cilk.evaluate(&HashSet::from([l0, l1]));
+        assert!(both_cilk.speedup > 1.0);
+    }
+
+    #[test]
+    fn marginal_curve_is_cumulative() {
+        let (unit, profile) = setup(
+            "float a[2048]; float b[2048];\n\
+             int main() {\n\
+               for (int i = 0; i < 2048; i++) { a[i] = sqrt((float) i); }\n\
+               for (int i = 0; i < 2048; i++) { b[i] = exp(a[i] * 0.001); }\n\
+               return (int) b[9];\n\
+             }",
+        );
+        let sim = Simulator::new(&profile, &unit.module.regions, MachineModel::default());
+        let l0 = unit.module.regions.by_label("main#L0").unwrap();
+        let l1 = unit.module.regions.by_label("main#L1").unwrap();
+        let curve = sim.marginal_curve(&[l0, l1]);
+        assert_eq!(curve.len(), 3);
+        assert_eq!(curve[0], 0.0);
+        assert!(curve[1] > 0.2, "{curve:?}");
+        assert!(curve[2] > curve[1], "{curve:?}");
+        assert!(curve[2] < 1.0);
+    }
+
+    #[test]
+    fn doacross_pays_sync_costs() {
+        // A loop with limited cross-iteration parallelism (SP ~ small).
+        let (unit, profile) = setup(
+            "float x[1024];\n\
+             int main() {\n\
+               x[0] = 1.0; x[1] = 1.0; x[2] = 1.0; x[3] = 1.0;\n\
+               for (int i = 4; i < 1024; i++) { x[i] = x[i-4] * 0.9 + sqrt((float) i); }\n\
+               return (int) x[1000];\n\
+             }",
+        );
+        let sim = Simulator::new(&profile, &unit.module.regions, MachineModel::default());
+        let l0 = unit.module.regions.by_label("main#L0").unwrap();
+        let eval = sim.evaluate(&HashSet::from([l0]));
+        // Some speedup is possible (4 independent chains) but far from the
+        // core count.
+        assert!(eval.speedup < 6.0, "{eval:?}");
+    }
+
+    #[test]
+    fn speedup_curve_rises_then_bends() {
+        let (unit, profile) = setup(BIG_DOALL);
+        let sim = Simulator::new(&profile, &unit.module.regions, MachineModel::default());
+        let l0 = unit.module.regions.by_label("main#L0").unwrap();
+        let curve = sim.speedup_curve(&HashSet::from([l0]));
+        assert_eq!(curve.len(), 6);
+        assert_eq!(curve[0].0, 1);
+        // Strictly more cores help early on...
+        assert!(curve[1].1 > curve[0].1);
+        assert!(curve[3].1 > curve[1].1);
+        // ...and the curve is sublinear at the top (locality + overheads).
+        let eff_2 = curve[1].1 / 2.0;
+        let eff_32 = curve[5].1 / 32.0;
+        assert!(eff_32 < eff_2, "efficiency must decay: {curve:?}");
+    }
+
+    #[test]
+    fn locality_penalty_creates_interior_optimum() {
+        let (unit, profile) = setup(BIG_DOALL);
+        let heavy_numa = MachineModel { locality_penalty: 0.02, ..MachineModel::default() };
+        let sim = Simulator::new(&profile, &unit.module.regions, heavy_numa);
+        let l0 = unit.module.regions.by_label("main#L0").unwrap();
+        let eval = sim.evaluate(&HashSet::from([l0]));
+        assert!(
+            eval.best_cores < 32,
+            "with strong NUMA penalty the best configuration is interior: {eval:?}"
+        );
+    }
+}

@@ -1,0 +1,48 @@
+//! Profile compression in action (paper §4.4): profile a deeply
+//! iterative program and inspect the dictionary — dynamic region count,
+//! alphabet size, estimated raw vs compressed bytes — then scale the
+//! input and watch the ratio grow while the alphabet stays put.
+//!
+//! ```sh
+//! cargo run --example compression_stats
+//! ```
+
+use kremlin_repro::kremlin::Kremlin;
+
+fn program(reps: u32) -> String {
+    format!(
+        "float a[128];\n\
+         int main() {{\n\
+           for (int r = 0; r < {reps}; r++) {{\n\
+             for (int i = 0; i < 128; i++) {{ a[i] = a[i] * 0.99 + (float) (i % 7); }}\n\
+           }}\n\
+           return (int) a[100];\n\
+         }}"
+    )
+}
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    println!(
+        "{:>6} {:>12} {:>9} {:>11} {:>11} {:>9}",
+        "reps", "dyn regions", "alphabet", "raw bytes", "compressed", "ratio"
+    );
+    for reps in [4u32, 16, 64, 256] {
+        let analysis = Kremlin::new().analyze(&program(reps), "scale.kc")?;
+        let dict = &analysis.profile().dict;
+        println!(
+            "{reps:>6} {:>12} {:>9} {:>11} {:>11} {:>8.0}x",
+            dict.raw_summaries(),
+            dict.len(),
+            dict.raw_bytes(),
+            dict.compressed_bytes(),
+            dict.compression_ratio(),
+        );
+    }
+    println!(
+        "\nThe alphabet stops growing once every distinct region summary has \
+         been seen; from then on, more execution only increases the ratio — \
+         this is how the paper turned 54 GB traces into ~150 KB profiles, \
+         and why the planner can analyze them without decompressing."
+    );
+    Ok(())
+}

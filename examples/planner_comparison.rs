@@ -1,0 +1,49 @@
+//! Planner personalities side by side (paper §5): the OpenMP planner's
+//! nesting-free DP plan, the Cilk++ planner's nesting-aware plan, and the
+//! Figure 9 baselines, on the same profile — plus the exclusion-list
+//! workflow (§3: "they can rerun the planner with a list of excluded
+//! regions and receive an updated plan").
+//!
+//! ```sh
+//! cargo run --example planner_comparison
+//! ```
+
+use kremlin_repro::kremlin::{
+    CilkPlanner, Kremlin, OpenMpPlanner, Personality, SelfPFilterPlanner, WorkOnlyPlanner,
+};
+use std::collections::HashSet;
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    let w = kremlin_repro::workloads::by_name("mg").expect("mg workload");
+    let analysis = Kremlin::new().analyze(w.source, &w.file_name())?;
+    let profile = analysis.profile();
+    let none = HashSet::new();
+
+    let personalities: Vec<Box<dyn Personality>> = vec![
+        Box::new(WorkOnlyPlanner::default()),
+        Box::new(SelfPFilterPlanner::default()),
+        Box::new(OpenMpPlanner::default()),
+        Box::new(CilkPlanner::default()),
+    ];
+    for p in &personalities {
+        let plan = p.plan(profile, &none);
+        println!("--- personality `{}`: {} region(s)", p.name(), plan.len());
+        println!("{}", plan.render());
+    }
+
+    // Exclusion workflow: the user cannot restructure the top
+    // recommendation, so they exclude it and re-plan.
+    let omp = OpenMpPlanner::default();
+    let plan = omp.plan(profile, &none);
+    if let Some(first) = plan.entries.first() {
+        println!(
+            "excluding `{}` (user: \"too hard to restructure\") and re-planning:",
+            first.label
+        );
+        let exclude: HashSet<_> = [first.region].into_iter().collect();
+        let replanned = omp.plan(profile, &exclude);
+        println!("{replanned}");
+        assert!(!replanned.contains(first.region));
+    }
+    Ok(())
+}

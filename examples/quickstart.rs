@@ -1,0 +1,77 @@
+//! Quickstart: profile a serial program and get a ranked parallelism
+//! plan — the paper's three-command session as a library call.
+//!
+//! ```sh
+//! cargo run --example quickstart
+//! ```
+
+use kremlin_repro::kremlin::Kremlin;
+
+const PROGRAM: &str = r#"
+// A little image pipeline: a parallel brightness pass, a parallel
+// convolution, and a serial running-average pass.
+float img[64][64];
+float out[64][64];
+float hist[64];
+
+void brighten() {
+    for (int i = 0; i < 64; i++) {
+        for (int j = 0; j < 64; j++) {
+            img[i][j] = img[i][j] * 1.1 + 3.0;
+        }
+    }
+}
+
+void convolve() {
+    for (int i = 1; i < 63; i++) {
+        for (int j = 1; j < 63; j++) {
+            out[i][j] = (img[i-1][j] + img[i+1][j] + img[i][j-1] + img[i][j+1]) * 0.2
+                + img[i][j] * 0.2;
+        }
+    }
+}
+
+// Serial: each row's statistic depends on the previous row's.
+void row_stats() {
+    hist[0] = out[0][0];
+    for (int i = 1; i < 64; i++) {
+        hist[i] = hist[i-1] * 0.9 + out[i][i] * 0.1;
+    }
+}
+
+int main() {
+    for (int i = 0; i < 64; i++) {
+        for (int j = 0; j < 64; j++) { img[i][j] = (float) ((i * j) % 17); }
+    }
+    brighten();
+    convolve();
+    row_stats();
+    return (int) hist[63];
+}
+"#;
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    // 1. Compile, instrument, execute, and profile (paper Figure 4).
+    let analysis = Kremlin::new().analyze(PROGRAM, "pipeline.kc")?;
+    println!(
+        "profiled {} dynamic regions across {} executed instructions\n",
+        analysis.outcome.stats.dynamic_regions, analysis.outcome.run.instrs_executed
+    );
+
+    // 2. Ask the OpenMP personality which regions to parallelize first.
+    let plan = analysis.plan_openmp();
+    println!("{plan}");
+
+    // 3. Estimate what following the plan buys (best of 1..32 cores).
+    let eval = analysis.evaluate(&plan);
+    println!(
+        "following the plan: {:.2}x estimated speedup on {} cores",
+        eval.speedup, eval.best_cores
+    );
+
+    // The serial row_stats loop is correctly absent from the plan.
+    let serial = analysis.region("row_stats#L0")?;
+    assert!(!plan.contains(serial), "serial loop must not be recommended");
+    println!("\n(row_stats#L0 was analyzed and correctly rejected: its SP is ~1)");
+    Ok(())
+}

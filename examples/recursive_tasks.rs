@@ -1,0 +1,67 @@
+//! Recursion and task parallelism: HCPA handles recursive programs (each
+//! activation is a dynamic region instance at its own depth), and the
+//! Cilk++ personality recommends divide-and-conquer functions as
+//! spawnable tasks — the workload class Kremlin's original Cilk++ planner
+//! was built for (paper §5.2).
+//!
+//! ```sh
+//! cargo run --release --example recursive_tasks
+//! ```
+
+use kremlin_repro::kremlin::Kremlin;
+
+const PROGRAM: &str = r#"
+float data[512];
+
+// Divide-and-conquer reduction: the two halves are independent — a
+// classic cilk_spawn opportunity invisible to loop-only planners.
+float range_energy(int lo, int hi) {
+    if (hi - lo <= 8) {
+        float s = 0.0;
+        for (int i = lo; i < hi; i++) {
+            s += sqrt(fabs(data[i]) + 0.01) * data[i];
+        }
+        return s;
+    }
+    int mid = (lo + hi) / 2;
+    float left = range_energy(lo, mid);
+    float right = range_energy(mid, hi);
+    return left + right;
+}
+
+int main() {
+    for (int i = 0; i < 512; i++) {
+        data[i] = (float) ((i * 37) % 101) * 0.1;
+    }
+    float total = 0.0;
+    for (int rep = 0; rep < 4; rep++) {
+        total += range_energy(0, 512);
+    }
+    return (int) total % 97;
+}
+"#;
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    let analysis = Kremlin::new().analyze(PROGRAM, "dnc.kc")?;
+    println!(
+        "profiled {} dynamic regions, max nesting depth {} (recursion!)\n",
+        analysis.outcome.stats.dynamic_regions, analysis.outcome.stats.max_depth
+    );
+
+    let region = analysis.region("range_energy")?;
+    let stats = analysis.profile().stats(region).expect("executed");
+    println!(
+        "range_energy: {} activations, self-parallelism {:.1} (the two \
+         recursive calls overlap)\n",
+        stats.instances, stats.self_p
+    );
+
+    println!("OpenMP personality (loops only):\n{}", analysis.plan_openmp().render());
+    let cilk = analysis.plan_cilk();
+    println!("Cilk++ personality (sees the task):\n{}", cilk.render());
+    assert!(
+        cilk.contains(region),
+        "the Cilk planner should recommend spawning range_energy"
+    );
+    Ok(())
+}

@@ -1,0 +1,15 @@
+//! Integration-test and example host package for the kremlin-rs workspace.
+//!
+//! All functionality lives in the `crates/` members; this crate simply
+//! re-exports the public façade so examples and integration tests can use a
+//! single import root.
+
+pub use kremlin;
+pub use kremlin_compress as compress;
+pub use kremlin_hcpa as hcpa;
+pub use kremlin_interp as interp;
+pub use kremlin_ir as ir;
+pub use kremlin_minic as minic;
+pub use kremlin_planner as planner;
+pub use kremlin_sim as sim;
+pub use kremlin_workloads as workloads;
