@@ -8,8 +8,10 @@
 //! * **dictionary compression** — interning on region exit vs the
 //!   (hypothetical) cost of recording raw summaries, emulated by pushing
 //!   records into a vector.
+//!
+//! Hand-rolled `fn main` timer harness (`kremlin_bench::timer`).
 
-use criterion::{criterion_group, criterion_main, Criterion};
+use kremlin_bench::timer::Group;
 use kremlin_hcpa::{HcpaConfig, Profiler};
 use kremlin_interp::{run_with_hook, MachineConfig};
 
@@ -34,32 +36,23 @@ fn profile_with(window: usize, break_deps: bool, unit: &kremlin_ir::CompiledUnit
     let _ = p.finish();
 }
 
-fn bench(c: &mut Criterion) {
+fn main() {
     let unit = kremlin_ir::compile(SRC, "abl.kc").expect("compiles");
-    let mut g = c.benchmark_group("ablations");
+    let mut g = Group::new("ablations");
 
     for window in [4usize, 8, 16, 32] {
-        g.bench_function(format!("hcpa_window_{window}"), |b| {
-            b.iter(|| profile_with(window, true, &unit))
-        });
+        g.bench(&format!("hcpa_window_{window}"), || profile_with(window, true, &unit));
     }
 
-    g.bench_function("hcpa_no_dep_breaking", |b| b.iter(|| profile_with(16, false, &unit)));
+    g.bench("hcpa_no_dep_breaking", || profile_with(16, false, &unit));
 
     // Raw-summary emulation: what the profiler would write without the
     // dictionary (one record per dynamic region).
-    g.bench_function("raw_summary_stream_emulation", |b| {
-        b.iter(|| {
-            let mut raw: Vec<(u32, u64, u64)> = Vec::new();
-            for i in 0..30_000u64 {
-                raw.push(((i % 7) as u32, 40 + i % 3, 20 + i % 3));
-            }
-            raw.len()
-        })
+    g.bench("raw_summary_stream_emulation", || {
+        let mut raw: Vec<(u32, u64, u64)> = Vec::new();
+        for i in 0..30_000u64 {
+            raw.push(((i % 7) as u32, 40 + i % 3, 20 + i % 3));
+        }
+        raw.len()
     });
-
-    g.finish();
 }
-
-criterion_group!(benches, bench);
-criterion_main!(benches);

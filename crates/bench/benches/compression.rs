@@ -3,8 +3,10 @@
 //! (instance counts, self-parallelism) whose cost depends on the
 //! *alphabet* size rather than the dynamic region count — the property
 //! that turned "minutes" of planning into "small fractions of a second".
+//!
+//! Hand-rolled `fn main` timer harness (`kremlin_bench::timer`).
 
-use criterion::{criterion_group, criterion_main, BatchSize, Criterion};
+use kremlin_bench::timer::Group;
 use kremlin_compress::Dictionary;
 
 /// Builds a dictionary shaped like a profiled triple nest:
@@ -31,26 +33,17 @@ fn build_dict(reps: u64) -> Dictionary {
     d
 }
 
-fn bench(c: &mut Criterion) {
-    let mut g = c.benchmark_group("compression");
+fn main() {
+    let mut g = Group::new("compression");
 
-    g.bench_function("intern_100k_summaries", |b| {
-        b.iter(|| build_dict(1500)) // ~100k interns
-    });
+    g.bench("intern_100k_summaries", || build_dict(1500)); // ~100k interns
 
     let d = build_dict(1500);
-    g.bench_function("instance_counts_on_alphabet", |b| b.iter(|| d.instance_counts()));
-    g.bench_function("self_parallelism_on_alphabet", |b| b.iter(|| d.self_parallelism()));
+    g.bench("instance_counts_on_alphabet", || d.instance_counts());
+    g.bench("self_parallelism_on_alphabet", || d.self_parallelism());
 
     // Scaling: doubling the dynamic stream should *not* double analysis
     // cost (alphabet barely grows).
     let d2 = build_dict(3000);
-    g.bench_function("self_parallelism_on_2x_stream", |b| {
-        b.iter_batched(|| &d2, |d| d.self_parallelism(), BatchSize::SmallInput)
-    });
-
-    g.finish();
+    g.bench("self_parallelism_on_2x_stream", || d2.self_parallelism());
 }
-
-criterion_group!(benches, bench);
-criterion_main!(benches);

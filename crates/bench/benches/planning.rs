@@ -3,35 +3,27 @@
 //! evaluation in the simulator. Planning operates on the compressed
 //! profile, so all of these are microseconds even for programs that
 //! executed millions of instructions.
+//!
+//! Hand-rolled `fn main` timer harness (`kremlin_bench::timer`).
 
-use criterion::{criterion_group, criterion_main, Criterion};
 use kremlin::Kremlin;
+use kremlin_bench::timer::Group;
 use kremlin_planner::{CilkPlanner, OpenMpPlanner, Personality, WorkOnlyPlanner};
 use kremlin_sim::{MachineModel, Simulator};
 use std::collections::HashSet;
 
-fn bench(c: &mut Criterion) {
+fn main() {
     let w = kremlin_workloads::by_name("lu").expect("lu exists");
     let analysis = Kremlin::new().analyze(w.source, "lu.kc").expect("analyzes");
     let profile = analysis.profile();
     let none = HashSet::new();
 
-    let mut g = c.benchmark_group("planning");
-    g.bench_function("openmp_planner", |b| {
-        b.iter(|| OpenMpPlanner::default().plan(profile, &none))
-    });
-    g.bench_function("cilk_planner", |b| {
-        b.iter(|| CilkPlanner::default().plan(profile, &none))
-    });
-    g.bench_function("work_only_baseline", |b| {
-        b.iter(|| WorkOnlyPlanner::default().plan(profile, &none))
-    });
+    let mut g = Group::new("planning");
+    g.bench("openmp_planner", || OpenMpPlanner::default().plan(profile, &none));
+    g.bench("cilk_planner", || CilkPlanner::default().plan(profile, &none));
+    g.bench("work_only_baseline", || WorkOnlyPlanner::default().plan(profile, &none));
 
     let plan = OpenMpPlanner::default().plan(profile, &none).regions();
     let sim = Simulator::new(profile, &analysis.unit.module.regions, MachineModel::default());
-    g.bench_function("simulate_plan_core_sweep", |b| b.iter(|| sim.evaluate(&plan)));
-    g.finish();
+    g.bench("simulate_plan_core_sweep", || sim.evaluate(&plan));
 }
-
-criterion_group!(benches, bench);
-criterion_main!(benches);

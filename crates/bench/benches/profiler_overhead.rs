@@ -3,9 +3,12 @@
 //! ones. Our equivalents: plain interpretation (no hook) vs HCPA
 //! profiling of the same program — the ratio of the two medians is the
 //! overhead factor to quote.
+//!
+//! Hand-rolled `fn main` timer harness (`kremlin_bench::timer`); the
+//! workspace builds with no external crates.
 
-use criterion::{criterion_group, criterion_main, Criterion};
-use kremlin_hcpa::{HcpaConfig, Profiler};
+use kremlin_bench::timer::Group;
+use kremlin_hcpa::{BaselineProfiler, HcpaConfig, Profiler};
 use kremlin_interp::{run, run_with_hook, MachineConfig};
 
 const SRC: &str = "float a[256]; float b[256];\n\
@@ -17,37 +20,32 @@ const SRC: &str = "float a[256]; float b[256];\n\
       return (int) b[200];\n\
     }";
 
-fn bench(c: &mut Criterion) {
+fn main() {
     let unit = kremlin_ir::compile(SRC, "bench.kc").expect("compiles");
-    let mut g = c.benchmark_group("profiler_overhead");
+    let mut g = Group::new("profiler_overhead");
 
-    g.bench_function("plain_interpretation", |b| {
-        b.iter(|| run(&unit.module).expect("runs"))
+    g.bench("plain_interpretation", || run(&unit.module).expect("runs"));
+
+    g.bench("hcpa_profiling", || {
+        let mut p = Profiler::new(&unit.module, HcpaConfig::default());
+        run_with_hook(&unit.module, &mut p, MachineConfig::default()).expect("runs");
+        p.finish()
     });
 
-    g.bench_function("hcpa_profiling", |b| {
-        b.iter(|| {
-            let mut p = Profiler::new(&unit.module, HcpaConfig::default());
-            run_with_hook(&unit.module, &mut p, MachineConfig::default()).expect("runs");
-            p.finish()
-        })
+    g.bench("hcpa_profiling_seed_baseline", || {
+        let mut p = BaselineProfiler::new(&unit.module, HcpaConfig::default());
+        run_with_hook(&unit.module, &mut p, MachineConfig::default()).expect("runs");
+        p.finish()
     });
 
     // The depth window dominates per-instruction cost; a narrow window is
     // the cheap configuration the paper's depth-range flag enables.
-    g.bench_function("hcpa_profiling_window4", |b| {
-        b.iter(|| {
-            let mut p = Profiler::new(
-                &unit.module,
-                HcpaConfig { window: 4, ..HcpaConfig::default() },
-            );
-            run_with_hook(&unit.module, &mut p, MachineConfig::default()).expect("runs");
-            p.finish()
-        })
+    g.bench("hcpa_profiling_window4", || {
+        let mut p = Profiler::new(
+            &unit.module,
+            HcpaConfig { window: 4, ..HcpaConfig::default() },
+        );
+        run_with_hook(&unit.module, &mut p, MachineConfig::default()).expect("runs");
+        p.finish()
     });
-
-    g.finish();
 }
-
-criterion_group!(benches, bench);
-criterion_main!(benches);

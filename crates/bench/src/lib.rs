@@ -20,6 +20,12 @@
 //! plus Criterion micro-benchmarks (`profiler_overhead`, `compression`,
 //! `planning`) for the performance claims.
 
+pub mod progen;
+pub mod rng;
+pub mod timer;
+
+pub use rng::XorShift;
+
 use kremlin::{Analysis, Kremlin, KremlinError, MachineModel, Personality, Plan, PlanEvaluation};
 use kremlin_ir::RegionId;
 use kremlin_planner::OpenMpPlanner;

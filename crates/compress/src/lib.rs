@@ -428,18 +428,48 @@ mod tests {
 #[cfg(test)]
 mod proptests {
     use super::*;
-    use proptest::prelude::*;
 
-    /// A random region stream: a forest description as (static_id, work
-    /// increments, fanouts) that we fold into a dictionary bottom-up.
-    fn tree_strategy() -> impl Strategy<Value = Vec<(u32, u64, u64, usize)>> {
-        // (static id, self work, cp fraction seed, child picks)
-        proptest::collection::vec((0u32..12, 1u64..500, 1u64..100, 0usize..4), 1..40)
+    /// Minimal xorshift64* PRNG so these seeded property tests need no
+    /// external crates (mirrors `kremlin_bench::rng::XorShift`, which this
+    /// crate cannot depend on without a cycle).
+    struct Rng(u64);
+
+    impl Rng {
+        fn next(&mut self) -> u64 {
+            let mut x = self.0;
+            x ^= x >> 12;
+            x ^= x << 25;
+            x ^= x >> 27;
+            self.0 = x;
+            x.wrapping_mul(0x2545_F491_4F6C_DD1D)
+        }
+
+        fn range(&mut self, lo: u64, hi: u64) -> u64 {
+            lo + ((self.next() as u128 * (hi - lo) as u128) >> 64) as u64
+        }
     }
 
-    proptest! {
-        #[test]
-        fn dictionary_invariants_hold_on_random_streams(spec in tree_strategy()) {
+    /// A random region stream: a forest description as
+    /// (static id, self work, cp fraction seed, child picks) that we fold
+    /// into a dictionary bottom-up.
+    fn random_spec(rng: &mut Rng) -> Vec<(u32, u64, u64, usize)> {
+        let len = rng.range(1, 40) as usize;
+        (0..len)
+            .map(|_| {
+                (
+                    rng.range(0, 12) as u32,
+                    rng.range(1, 500),
+                    rng.range(1, 100),
+                    rng.range(0, 4) as usize,
+                )
+            })
+            .collect()
+    }
+
+    #[test]
+    fn dictionary_invariants_hold_on_random_streams() {
+        for case in 0..64u64 {
+            let spec = random_spec(&mut Rng(0xD1C7 + case * 0x9E37_79B9));
             let mut d = Dictionary::new();
             let mut pool: Vec<EntryId> = Vec::new();
             for (sid, self_work, cp_seed, n_children) in spec {
@@ -466,32 +496,31 @@ mod proptests {
             // instance counts of the root's closure are positive; compression
             // accounting is consistent.
             let counts = d.instance_counts();
-            prop_assert_eq!(counts[root.index()], 1);
+            assert_eq!(counts[root.index()], 1);
             let tp = d.total_parallelism();
             for (id, e) in d.iter() {
-                prop_assert!(e.cp <= e.work.max(1));
-                prop_assert!(tp[id.index()] >= 0.99);
-                prop_assert!(e.self_work(&d) <= e.work);
+                assert!(e.cp <= e.work.max(1));
+                assert!(tp[id.index()] >= 0.99);
+                assert!(e.self_work(&d) <= e.work);
             }
             // Raw accounting is linear in the stream; the dictionary is
             // not (re-interning the same stream leaves the alphabet and
             // the compressed size untouched while raw bytes double).
-            prop_assert_eq!(d.raw_bytes(), 28 * d.raw_summaries());
+            assert_eq!(d.raw_bytes(), 28 * d.raw_summaries());
             let len_before = d.len();
             let compressed_before = d.compressed_bytes();
             let raw_before = d.raw_bytes();
-            let entries: Vec<Entry> =
-                d.iter().map(|(_, e)| e.clone()).collect();
+            let entries: Vec<Entry> = d.iter().map(|(_, e)| e.clone()).collect();
             for e in entries {
                 d.intern(e.static_id, e.work, e.cp, e.children);
             }
-            prop_assert_eq!(d.len(), len_before);
-            prop_assert_eq!(d.compressed_bytes(), compressed_before);
-            prop_assert!(d.raw_bytes() > raw_before);
+            assert_eq!(d.len(), len_before);
+            assert_eq!(d.compressed_bytes(), compressed_before);
+            assert!(d.raw_bytes() > raw_before);
             // Re-interning the root summary yields the same character.
             let e0 = d.entry(root).clone();
             let again = d.intern(e0.static_id, e0.work, e0.cp, e0.children.clone());
-            prop_assert_eq!(again, root);
+            assert_eq!(again, root, "case {case}");
         }
     }
 }

@@ -1,0 +1,7 @@
+/root/repo/target/debug/deps/cli-24b726673e1d9660.d: crates/core/tests/cli.rs
+
+/root/repo/target/debug/deps/cli-24b726673e1d9660: crates/core/tests/cli.rs
+
+crates/core/tests/cli.rs:
+
+# env-dep:CARGO_BIN_EXE_kremlin=/root/repo/target/debug/kremlin

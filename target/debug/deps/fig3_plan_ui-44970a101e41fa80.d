@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/fig3_plan_ui-44970a101e41fa80.d: crates/bench/src/bin/fig3_plan_ui.rs
+
+/root/repo/target/debug/deps/fig3_plan_ui-44970a101e41fa80: crates/bench/src/bin/fig3_plan_ui.rs
+
+crates/bench/src/bin/fig3_plan_ui.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/fig5_self_parallelism-9e956f5229242205.d: crates/bench/src/bin/fig5_self_parallelism.rs
+
+/root/repo/target/debug/deps/fig5_self_parallelism-9e956f5229242205: crates/bench/src/bin/fig5_self_parallelism.rs
+
+crates/bench/src/bin/fig5_self_parallelism.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/fig6a_plan_size-5571aed624be744b.d: crates/bench/src/bin/fig6a_plan_size.rs
+
+/root/repo/target/debug/deps/fig6a_plan_size-5571aed624be744b: crates/bench/src/bin/fig6a_plan_size.rs
+
+crates/bench/src/bin/fig6a_plan_size.rs:

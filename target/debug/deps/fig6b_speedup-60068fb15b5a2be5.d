@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/fig6b_speedup-60068fb15b5a2be5.d: crates/bench/src/bin/fig6b_speedup.rs
+
+/root/repo/target/debug/deps/fig6b_speedup-60068fb15b5a2be5: crates/bench/src/bin/fig6b_speedup.rs
+
+crates/bench/src/bin/fig6b_speedup.rs:

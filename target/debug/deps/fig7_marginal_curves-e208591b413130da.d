@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/fig7_marginal_curves-e208591b413130da.d: crates/bench/src/bin/fig7_marginal_curves.rs
+
+/root/repo/target/debug/deps/fig7_marginal_curves-e208591b413130da: crates/bench/src/bin/fig7_marginal_curves.rs
+
+crates/bench/src/bin/fig7_marginal_curves.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/fig8_prioritization-37d5fd6a12a07e82.d: crates/bench/src/bin/fig8_prioritization.rs
+
+/root/repo/target/debug/deps/fig8_prioritization-37d5fd6a12a07e82: crates/bench/src/bin/fig8_prioritization.rs
+
+crates/bench/src/bin/fig8_prioritization.rs:

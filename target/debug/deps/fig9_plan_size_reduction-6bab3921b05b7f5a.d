@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/fig9_plan_size_reduction-6bab3921b05b7f5a.d: crates/bench/src/bin/fig9_plan_size_reduction.rs
+
+/root/repo/target/debug/deps/fig9_plan_size_reduction-6bab3921b05b7f5a: crates/bench/src/bin/fig9_plan_size_reduction.rs
+
+crates/bench/src/bin/fig9_plan_size_reduction.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/kremlin-0e87abc4d52d395b.d: crates/core/src/bin/kremlin.rs
+
+/root/repo/target/debug/deps/kremlin-0e87abc4d52d395b: crates/core/src/bin/kremlin.rs
+
+crates/core/src/bin/kremlin.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/kremlin-3f23ecb97d5076f1.d: crates/core/src/lib.rs crates/core/src/persist.rs crates/core/src/report.rs
+
+/root/repo/target/debug/deps/libkremlin-3f23ecb97d5076f1.rlib: crates/core/src/lib.rs crates/core/src/persist.rs crates/core/src/report.rs
+
+/root/repo/target/debug/deps/libkremlin-3f23ecb97d5076f1.rmeta: crates/core/src/lib.rs crates/core/src/persist.rs crates/core/src/report.rs
+
+crates/core/src/lib.rs:
+crates/core/src/persist.rs:
+crates/core/src/report.rs:

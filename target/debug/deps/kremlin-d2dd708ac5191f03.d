@@ -1,0 +1,7 @@
+/root/repo/target/debug/deps/kremlin-d2dd708ac5191f03.d: crates/core/src/lib.rs crates/core/src/persist.rs crates/core/src/report.rs
+
+/root/repo/target/debug/deps/kremlin-d2dd708ac5191f03: crates/core/src/lib.rs crates/core/src/persist.rs crates/core/src/report.rs
+
+crates/core/src/lib.rs:
+crates/core/src/persist.rs:
+crates/core/src/report.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/kremlin-dda914d87b9794f9.d: crates/core/src/bin/kremlin.rs
+
+/root/repo/target/debug/deps/kremlin-dda914d87b9794f9: crates/core/src/bin/kremlin.rs
+
+crates/core/src/bin/kremlin.rs:

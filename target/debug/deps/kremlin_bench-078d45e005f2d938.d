@@ -1,0 +1,10 @@
+/root/repo/target/debug/deps/kremlin_bench-078d45e005f2d938.d: crates/bench/src/lib.rs crates/bench/src/progen.rs crates/bench/src/rng.rs crates/bench/src/timer.rs
+
+/root/repo/target/debug/deps/libkremlin_bench-078d45e005f2d938.rlib: crates/bench/src/lib.rs crates/bench/src/progen.rs crates/bench/src/rng.rs crates/bench/src/timer.rs
+
+/root/repo/target/debug/deps/libkremlin_bench-078d45e005f2d938.rmeta: crates/bench/src/lib.rs crates/bench/src/progen.rs crates/bench/src/rng.rs crates/bench/src/timer.rs
+
+crates/bench/src/lib.rs:
+crates/bench/src/progen.rs:
+crates/bench/src/rng.rs:
+crates/bench/src/timer.rs:

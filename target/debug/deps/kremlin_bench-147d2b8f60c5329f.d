@@ -1,0 +1,8 @@
+/root/repo/target/debug/deps/kremlin_bench-147d2b8f60c5329f.d: crates/bench/src/lib.rs crates/bench/src/progen.rs crates/bench/src/rng.rs crates/bench/src/timer.rs
+
+/root/repo/target/debug/deps/kremlin_bench-147d2b8f60c5329f: crates/bench/src/lib.rs crates/bench/src/progen.rs crates/bench/src/rng.rs crates/bench/src/timer.rs
+
+crates/bench/src/lib.rs:
+crates/bench/src/progen.rs:
+crates/bench/src/rng.rs:
+crates/bench/src/timer.rs:

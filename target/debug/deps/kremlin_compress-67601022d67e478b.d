@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/kremlin_compress-67601022d67e478b.d: crates/compress/src/lib.rs
+
+/root/repo/target/debug/deps/kremlin_compress-67601022d67e478b: crates/compress/src/lib.rs
+
+crates/compress/src/lib.rs:

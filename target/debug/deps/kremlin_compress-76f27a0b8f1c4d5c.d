@@ -1,0 +1,7 @@
+/root/repo/target/debug/deps/kremlin_compress-76f27a0b8f1c4d5c.d: crates/compress/src/lib.rs
+
+/root/repo/target/debug/deps/libkremlin_compress-76f27a0b8f1c4d5c.rlib: crates/compress/src/lib.rs
+
+/root/repo/target/debug/deps/libkremlin_compress-76f27a0b8f1c4d5c.rmeta: crates/compress/src/lib.rs
+
+crates/compress/src/lib.rs:

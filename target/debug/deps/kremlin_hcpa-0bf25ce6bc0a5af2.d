@@ -1,0 +1,11 @@
+/root/repo/target/debug/deps/kremlin_hcpa-0bf25ce6bc0a5af2.d: crates/hcpa/src/lib.rs crates/hcpa/src/cost.rs crates/hcpa/src/profile.rs crates/hcpa/src/profiler.rs crates/hcpa/src/shadow.rs
+
+/root/repo/target/debug/deps/libkremlin_hcpa-0bf25ce6bc0a5af2.rlib: crates/hcpa/src/lib.rs crates/hcpa/src/cost.rs crates/hcpa/src/profile.rs crates/hcpa/src/profiler.rs crates/hcpa/src/shadow.rs
+
+/root/repo/target/debug/deps/libkremlin_hcpa-0bf25ce6bc0a5af2.rmeta: crates/hcpa/src/lib.rs crates/hcpa/src/cost.rs crates/hcpa/src/profile.rs crates/hcpa/src/profiler.rs crates/hcpa/src/shadow.rs
+
+crates/hcpa/src/lib.rs:
+crates/hcpa/src/cost.rs:
+crates/hcpa/src/profile.rs:
+crates/hcpa/src/profiler.rs:
+crates/hcpa/src/shadow.rs:

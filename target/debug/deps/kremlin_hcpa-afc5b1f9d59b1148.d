@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/kremlin_hcpa-afc5b1f9d59b1148.d: crates/hcpa/src/lib.rs crates/hcpa/src/cost.rs crates/hcpa/src/profile.rs crates/hcpa/src/profiler.rs crates/hcpa/src/shadow.rs
+
+/root/repo/target/debug/deps/kremlin_hcpa-afc5b1f9d59b1148: crates/hcpa/src/lib.rs crates/hcpa/src/cost.rs crates/hcpa/src/profile.rs crates/hcpa/src/profiler.rs crates/hcpa/src/shadow.rs
+
+crates/hcpa/src/lib.rs:
+crates/hcpa/src/cost.rs:
+crates/hcpa/src/profile.rs:
+crates/hcpa/src/profiler.rs:
+crates/hcpa/src/shadow.rs:

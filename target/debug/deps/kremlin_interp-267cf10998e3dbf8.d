@@ -1,0 +1,10 @@
+/root/repo/target/debug/deps/kremlin_interp-267cf10998e3dbf8.d: crates/interp/src/lib.rs crates/interp/src/error.rs crates/interp/src/hooks.rs crates/interp/src/machine.rs crates/interp/src/memory.rs crates/interp/src/value.rs
+
+/root/repo/target/debug/deps/kremlin_interp-267cf10998e3dbf8: crates/interp/src/lib.rs crates/interp/src/error.rs crates/interp/src/hooks.rs crates/interp/src/machine.rs crates/interp/src/memory.rs crates/interp/src/value.rs
+
+crates/interp/src/lib.rs:
+crates/interp/src/error.rs:
+crates/interp/src/hooks.rs:
+crates/interp/src/machine.rs:
+crates/interp/src/memory.rs:
+crates/interp/src/value.rs:

@@ -1,0 +1,12 @@
+/root/repo/target/debug/deps/kremlin_interp-487e2c983f84f612.d: crates/interp/src/lib.rs crates/interp/src/error.rs crates/interp/src/hooks.rs crates/interp/src/machine.rs crates/interp/src/memory.rs crates/interp/src/value.rs
+
+/root/repo/target/debug/deps/libkremlin_interp-487e2c983f84f612.rlib: crates/interp/src/lib.rs crates/interp/src/error.rs crates/interp/src/hooks.rs crates/interp/src/machine.rs crates/interp/src/memory.rs crates/interp/src/value.rs
+
+/root/repo/target/debug/deps/libkremlin_interp-487e2c983f84f612.rmeta: crates/interp/src/lib.rs crates/interp/src/error.rs crates/interp/src/hooks.rs crates/interp/src/machine.rs crates/interp/src/memory.rs crates/interp/src/value.rs
+
+crates/interp/src/lib.rs:
+crates/interp/src/error.rs:
+crates/interp/src/hooks.rs:
+crates/interp/src/machine.rs:
+crates/interp/src/memory.rs:
+crates/interp/src/value.rs:

@@ -1,0 +1,22 @@
+/root/repo/target/debug/deps/kremlin_ir-0c37b41e5e0fdc0d.d: crates/ir/src/lib.rs crates/ir/src/cfg.rs crates/ir/src/controldep.rs crates/ir/src/dom.rs crates/ir/src/func.rs crates/ir/src/ids.rs crates/ir/src/indvar.rs crates/ir/src/instr.rs crates/ir/src/loops.rs crates/ir/src/lower.rs crates/ir/src/mem2reg.rs crates/ir/src/module.rs crates/ir/src/opt.rs crates/ir/src/printer.rs crates/ir/src/regions.rs crates/ir/src/verify.rs
+
+/root/repo/target/debug/deps/libkremlin_ir-0c37b41e5e0fdc0d.rlib: crates/ir/src/lib.rs crates/ir/src/cfg.rs crates/ir/src/controldep.rs crates/ir/src/dom.rs crates/ir/src/func.rs crates/ir/src/ids.rs crates/ir/src/indvar.rs crates/ir/src/instr.rs crates/ir/src/loops.rs crates/ir/src/lower.rs crates/ir/src/mem2reg.rs crates/ir/src/module.rs crates/ir/src/opt.rs crates/ir/src/printer.rs crates/ir/src/regions.rs crates/ir/src/verify.rs
+
+/root/repo/target/debug/deps/libkremlin_ir-0c37b41e5e0fdc0d.rmeta: crates/ir/src/lib.rs crates/ir/src/cfg.rs crates/ir/src/controldep.rs crates/ir/src/dom.rs crates/ir/src/func.rs crates/ir/src/ids.rs crates/ir/src/indvar.rs crates/ir/src/instr.rs crates/ir/src/loops.rs crates/ir/src/lower.rs crates/ir/src/mem2reg.rs crates/ir/src/module.rs crates/ir/src/opt.rs crates/ir/src/printer.rs crates/ir/src/regions.rs crates/ir/src/verify.rs
+
+crates/ir/src/lib.rs:
+crates/ir/src/cfg.rs:
+crates/ir/src/controldep.rs:
+crates/ir/src/dom.rs:
+crates/ir/src/func.rs:
+crates/ir/src/ids.rs:
+crates/ir/src/indvar.rs:
+crates/ir/src/instr.rs:
+crates/ir/src/loops.rs:
+crates/ir/src/lower.rs:
+crates/ir/src/mem2reg.rs:
+crates/ir/src/module.rs:
+crates/ir/src/opt.rs:
+crates/ir/src/printer.rs:
+crates/ir/src/regions.rs:
+crates/ir/src/verify.rs:

@@ -1,0 +1,14 @@
+/root/repo/target/debug/deps/kremlin_minic-a2a50e6a0c876302.d: crates/minic/src/lib.rs crates/minic/src/ast.rs crates/minic/src/error.rs crates/minic/src/lexer.rs crates/minic/src/parser.rs crates/minic/src/pretty.rs crates/minic/src/span.rs crates/minic/src/token.rs crates/minic/src/typeck.rs crates/minic/src/types.rs
+
+/root/repo/target/debug/deps/kremlin_minic-a2a50e6a0c876302: crates/minic/src/lib.rs crates/minic/src/ast.rs crates/minic/src/error.rs crates/minic/src/lexer.rs crates/minic/src/parser.rs crates/minic/src/pretty.rs crates/minic/src/span.rs crates/minic/src/token.rs crates/minic/src/typeck.rs crates/minic/src/types.rs
+
+crates/minic/src/lib.rs:
+crates/minic/src/ast.rs:
+crates/minic/src/error.rs:
+crates/minic/src/lexer.rs:
+crates/minic/src/parser.rs:
+crates/minic/src/pretty.rs:
+crates/minic/src/span.rs:
+crates/minic/src/token.rs:
+crates/minic/src/typeck.rs:
+crates/minic/src/types.rs:

@@ -1,0 +1,16 @@
+/root/repo/target/debug/deps/kremlin_minic-ffa5efc88747e588.d: crates/minic/src/lib.rs crates/minic/src/ast.rs crates/minic/src/error.rs crates/minic/src/lexer.rs crates/minic/src/parser.rs crates/minic/src/pretty.rs crates/minic/src/span.rs crates/minic/src/token.rs crates/minic/src/typeck.rs crates/minic/src/types.rs
+
+/root/repo/target/debug/deps/libkremlin_minic-ffa5efc88747e588.rlib: crates/minic/src/lib.rs crates/minic/src/ast.rs crates/minic/src/error.rs crates/minic/src/lexer.rs crates/minic/src/parser.rs crates/minic/src/pretty.rs crates/minic/src/span.rs crates/minic/src/token.rs crates/minic/src/typeck.rs crates/minic/src/types.rs
+
+/root/repo/target/debug/deps/libkremlin_minic-ffa5efc88747e588.rmeta: crates/minic/src/lib.rs crates/minic/src/ast.rs crates/minic/src/error.rs crates/minic/src/lexer.rs crates/minic/src/parser.rs crates/minic/src/pretty.rs crates/minic/src/span.rs crates/minic/src/token.rs crates/minic/src/typeck.rs crates/minic/src/types.rs
+
+crates/minic/src/lib.rs:
+crates/minic/src/ast.rs:
+crates/minic/src/error.rs:
+crates/minic/src/lexer.rs:
+crates/minic/src/parser.rs:
+crates/minic/src/pretty.rs:
+crates/minic/src/span.rs:
+crates/minic/src/token.rs:
+crates/minic/src/typeck.rs:
+crates/minic/src/types.rs:

@@ -1,0 +1,12 @@
+/root/repo/target/debug/deps/kremlin_planner-3699d9b5af7bf200.d: crates/planner/src/lib.rs crates/planner/src/baseline.rs crates/planner/src/cilk.rs crates/planner/src/estimate.rs crates/planner/src/openmp.rs crates/planner/src/plan.rs
+
+/root/repo/target/debug/deps/libkremlin_planner-3699d9b5af7bf200.rlib: crates/planner/src/lib.rs crates/planner/src/baseline.rs crates/planner/src/cilk.rs crates/planner/src/estimate.rs crates/planner/src/openmp.rs crates/planner/src/plan.rs
+
+/root/repo/target/debug/deps/libkremlin_planner-3699d9b5af7bf200.rmeta: crates/planner/src/lib.rs crates/planner/src/baseline.rs crates/planner/src/cilk.rs crates/planner/src/estimate.rs crates/planner/src/openmp.rs crates/planner/src/plan.rs
+
+crates/planner/src/lib.rs:
+crates/planner/src/baseline.rs:
+crates/planner/src/cilk.rs:
+crates/planner/src/estimate.rs:
+crates/planner/src/openmp.rs:
+crates/planner/src/plan.rs:

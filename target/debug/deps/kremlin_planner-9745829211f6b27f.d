@@ -1,0 +1,10 @@
+/root/repo/target/debug/deps/kremlin_planner-9745829211f6b27f.d: crates/planner/src/lib.rs crates/planner/src/baseline.rs crates/planner/src/cilk.rs crates/planner/src/estimate.rs crates/planner/src/openmp.rs crates/planner/src/plan.rs
+
+/root/repo/target/debug/deps/kremlin_planner-9745829211f6b27f: crates/planner/src/lib.rs crates/planner/src/baseline.rs crates/planner/src/cilk.rs crates/planner/src/estimate.rs crates/planner/src/openmp.rs crates/planner/src/plan.rs
+
+crates/planner/src/lib.rs:
+crates/planner/src/baseline.rs:
+crates/planner/src/cilk.rs:
+crates/planner/src/estimate.rs:
+crates/planner/src/openmp.rs:
+crates/planner/src/plan.rs:

@@ -1,0 +1,7 @@
+/root/repo/target/debug/deps/kremlin_repro-3d73820f1bce70b8.d: src/lib.rs
+
+/root/repo/target/debug/deps/libkremlin_repro-3d73820f1bce70b8.rlib: src/lib.rs
+
+/root/repo/target/debug/deps/libkremlin_repro-3d73820f1bce70b8.rmeta: src/lib.rs
+
+src/lib.rs:

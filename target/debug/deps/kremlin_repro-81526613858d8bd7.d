@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/kremlin_repro-81526613858d8bd7.d: src/lib.rs
+
+/root/repo/target/debug/deps/kremlin_repro-81526613858d8bd7: src/lib.rs
+
+src/lib.rs:

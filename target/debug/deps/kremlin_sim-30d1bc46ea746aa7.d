@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/kremlin_sim-30d1bc46ea746aa7.d: crates/simulator/src/lib.rs
+
+/root/repo/target/debug/deps/kremlin_sim-30d1bc46ea746aa7: crates/simulator/src/lib.rs
+
+crates/simulator/src/lib.rs:

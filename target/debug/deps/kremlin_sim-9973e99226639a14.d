@@ -1,0 +1,7 @@
+/root/repo/target/debug/deps/kremlin_sim-9973e99226639a14.d: crates/simulator/src/lib.rs
+
+/root/repo/target/debug/deps/libkremlin_sim-9973e99226639a14.rlib: crates/simulator/src/lib.rs
+
+/root/repo/target/debug/deps/libkremlin_sim-9973e99226639a14.rmeta: crates/simulator/src/lib.rs
+
+crates/simulator/src/lib.rs:

@@ -1,0 +1,19 @@
+/root/repo/target/debug/deps/kremlin_workloads-91704ea441094043.d: crates/workloads/src/lib.rs crates/workloads/src/../kc/ammp.kc crates/workloads/src/../kc/art.kc crates/workloads/src/../kc/equake.kc crates/workloads/src/../kc/bt.kc crates/workloads/src/../kc/cg.kc crates/workloads/src/../kc/ep.kc crates/workloads/src/../kc/ft.kc crates/workloads/src/../kc/is.kc crates/workloads/src/../kc/lu.kc crates/workloads/src/../kc/mg.kc crates/workloads/src/../kc/sp.kc crates/workloads/src/../kc/tracking.kc
+
+/root/repo/target/debug/deps/libkremlin_workloads-91704ea441094043.rlib: crates/workloads/src/lib.rs crates/workloads/src/../kc/ammp.kc crates/workloads/src/../kc/art.kc crates/workloads/src/../kc/equake.kc crates/workloads/src/../kc/bt.kc crates/workloads/src/../kc/cg.kc crates/workloads/src/../kc/ep.kc crates/workloads/src/../kc/ft.kc crates/workloads/src/../kc/is.kc crates/workloads/src/../kc/lu.kc crates/workloads/src/../kc/mg.kc crates/workloads/src/../kc/sp.kc crates/workloads/src/../kc/tracking.kc
+
+/root/repo/target/debug/deps/libkremlin_workloads-91704ea441094043.rmeta: crates/workloads/src/lib.rs crates/workloads/src/../kc/ammp.kc crates/workloads/src/../kc/art.kc crates/workloads/src/../kc/equake.kc crates/workloads/src/../kc/bt.kc crates/workloads/src/../kc/cg.kc crates/workloads/src/../kc/ep.kc crates/workloads/src/../kc/ft.kc crates/workloads/src/../kc/is.kc crates/workloads/src/../kc/lu.kc crates/workloads/src/../kc/mg.kc crates/workloads/src/../kc/sp.kc crates/workloads/src/../kc/tracking.kc
+
+crates/workloads/src/lib.rs:
+crates/workloads/src/../kc/ammp.kc:
+crates/workloads/src/../kc/art.kc:
+crates/workloads/src/../kc/equake.kc:
+crates/workloads/src/../kc/bt.kc:
+crates/workloads/src/../kc/cg.kc:
+crates/workloads/src/../kc/ep.kc:
+crates/workloads/src/../kc/ft.kc:
+crates/workloads/src/../kc/is.kc:
+crates/workloads/src/../kc/lu.kc:
+crates/workloads/src/../kc/mg.kc:
+crates/workloads/src/../kc/sp.kc:
+crates/workloads/src/../kc/tracking.kc:

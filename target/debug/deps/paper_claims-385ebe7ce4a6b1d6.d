@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/paper_claims-385ebe7ce4a6b1d6.d: tests/paper_claims.rs
+
+/root/repo/target/debug/deps/paper_claims-385ebe7ce4a6b1d6: tests/paper_claims.rs
+
+tests/paper_claims.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/pipeline-3180b19222a6c2ac.d: tests/pipeline.rs
+
+/root/repo/target/debug/deps/pipeline-3180b19222a6c2ac: tests/pipeline.rs
+
+tests/pipeline.rs:

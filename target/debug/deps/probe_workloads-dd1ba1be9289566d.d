@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/probe_workloads-dd1ba1be9289566d.d: crates/bench/src/bin/probe_workloads.rs
+
+/root/repo/target/debug/deps/probe_workloads-dd1ba1be9289566d: crates/bench/src/bin/probe_workloads.rs
+
+crates/bench/src/bin/probe_workloads.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/props-bc775020a77ddf26.d: tests/props.rs
+
+/root/repo/target/debug/deps/props-bc775020a77ddf26: tests/props.rs
+
+tests/props.rs:

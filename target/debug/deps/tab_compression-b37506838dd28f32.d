@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/tab_compression-b37506838dd28f32.d: crates/bench/src/bin/tab_compression.rs
+
+/root/repo/target/debug/deps/tab_compression-b37506838dd28f32: crates/bench/src/bin/tab_compression.rs
+
+crates/bench/src/bin/tab_compression.rs:

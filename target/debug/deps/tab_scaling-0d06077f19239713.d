@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/tab_scaling-0d06077f19239713.d: crates/bench/src/bin/tab_scaling.rs
+
+/root/repo/target/debug/deps/tab_scaling-0d06077f19239713: crates/bench/src/bin/tab_scaling.rs
+
+crates/bench/src/bin/tab_scaling.rs:

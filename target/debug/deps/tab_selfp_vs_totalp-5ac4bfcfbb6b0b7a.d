@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/tab_selfp_vs_totalp-5ac4bfcfbb6b0b7a.d: crates/bench/src/bin/tab_selfp_vs_totalp.rs
+
+/root/repo/target/debug/deps/tab_selfp_vs_totalp-5ac4bfcfbb6b0b7a: crates/bench/src/bin/tab_selfp_vs_totalp.rs
+
+crates/bench/src/bin/tab_selfp_vs_totalp.rs:

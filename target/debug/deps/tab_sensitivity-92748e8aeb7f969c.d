@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/tab_sensitivity-92748e8aeb7f969c.d: crates/bench/src/bin/tab_sensitivity.rs
+
+/root/repo/target/debug/deps/tab_sensitivity-92748e8aeb7f969c: crates/bench/src/bin/tab_sensitivity.rs
+
+crates/bench/src/bin/tab_sensitivity.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/workloads-4b55378ecac805a0.d: tests/workloads.rs
+
+/root/repo/target/debug/deps/workloads-4b55378ecac805a0: tests/workloads.rs
+
+tests/workloads.rs:

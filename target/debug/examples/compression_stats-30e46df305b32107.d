@@ -1,0 +1,5 @@
+/root/repo/target/debug/examples/compression_stats-30e46df305b32107.d: examples/compression_stats.rs
+
+/root/repo/target/debug/examples/compression_stats-30e46df305b32107: examples/compression_stats.rs
+
+examples/compression_stats.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/examples/custom_personality-bd9049604a2303f2.d: examples/custom_personality.rs
+
+/root/repo/target/debug/examples/custom_personality-bd9049604a2303f2: examples/custom_personality.rs
+
+examples/custom_personality.rs:

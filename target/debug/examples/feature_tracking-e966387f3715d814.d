@@ -1,0 +1,5 @@
+/root/repo/target/debug/examples/feature_tracking-e966387f3715d814.d: examples/feature_tracking.rs
+
+/root/repo/target/debug/examples/feature_tracking-e966387f3715d814: examples/feature_tracking.rs
+
+examples/feature_tracking.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/examples/planner_comparison-68154144d2196214.d: examples/planner_comparison.rs
+
+/root/repo/target/debug/examples/planner_comparison-68154144d2196214: examples/planner_comparison.rs
+
+examples/planner_comparison.rs:

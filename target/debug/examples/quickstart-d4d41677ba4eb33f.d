@@ -1,0 +1,5 @@
+/root/repo/target/debug/examples/quickstart-d4d41677ba4eb33f.d: examples/quickstart.rs
+
+/root/repo/target/debug/examples/quickstart-d4d41677ba4eb33f: examples/quickstart.rs
+
+examples/quickstart.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/examples/recursive_tasks-87efad4db8d49ea2.d: examples/recursive_tasks.rs
+
+/root/repo/target/debug/examples/recursive_tasks-87efad4db8d49ea2: examples/recursive_tasks.rs
+
+examples/recursive_tasks.rs:

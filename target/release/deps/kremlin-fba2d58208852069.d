@@ -1,0 +1,9 @@
+/root/repo/target/release/deps/kremlin-fba2d58208852069.d: crates/core/src/lib.rs crates/core/src/persist.rs crates/core/src/report.rs
+
+/root/repo/target/release/deps/libkremlin-fba2d58208852069.rlib: crates/core/src/lib.rs crates/core/src/persist.rs crates/core/src/report.rs
+
+/root/repo/target/release/deps/libkremlin-fba2d58208852069.rmeta: crates/core/src/lib.rs crates/core/src/persist.rs crates/core/src/report.rs
+
+crates/core/src/lib.rs:
+crates/core/src/persist.rs:
+crates/core/src/report.rs:

@@ -1,0 +1,7 @@
+/root/repo/target/release/deps/kremlin_compress-0014e34c2c6bc0ac.d: crates/compress/src/lib.rs
+
+/root/repo/target/release/deps/libkremlin_compress-0014e34c2c6bc0ac.rlib: crates/compress/src/lib.rs
+
+/root/repo/target/release/deps/libkremlin_compress-0014e34c2c6bc0ac.rmeta: crates/compress/src/lib.rs
+
+crates/compress/src/lib.rs:

@@ -1,0 +1,11 @@
+/root/repo/target/release/deps/kremlin_hcpa-2734919ae8aefb67.d: crates/hcpa/src/lib.rs crates/hcpa/src/cost.rs crates/hcpa/src/profile.rs crates/hcpa/src/profiler.rs crates/hcpa/src/shadow.rs
+
+/root/repo/target/release/deps/libkremlin_hcpa-2734919ae8aefb67.rlib: crates/hcpa/src/lib.rs crates/hcpa/src/cost.rs crates/hcpa/src/profile.rs crates/hcpa/src/profiler.rs crates/hcpa/src/shadow.rs
+
+/root/repo/target/release/deps/libkremlin_hcpa-2734919ae8aefb67.rmeta: crates/hcpa/src/lib.rs crates/hcpa/src/cost.rs crates/hcpa/src/profile.rs crates/hcpa/src/profiler.rs crates/hcpa/src/shadow.rs
+
+crates/hcpa/src/lib.rs:
+crates/hcpa/src/cost.rs:
+crates/hcpa/src/profile.rs:
+crates/hcpa/src/profiler.rs:
+crates/hcpa/src/shadow.rs:

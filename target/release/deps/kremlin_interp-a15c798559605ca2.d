@@ -1,0 +1,12 @@
+/root/repo/target/release/deps/kremlin_interp-a15c798559605ca2.d: crates/interp/src/lib.rs crates/interp/src/error.rs crates/interp/src/hooks.rs crates/interp/src/machine.rs crates/interp/src/memory.rs crates/interp/src/value.rs
+
+/root/repo/target/release/deps/libkremlin_interp-a15c798559605ca2.rlib: crates/interp/src/lib.rs crates/interp/src/error.rs crates/interp/src/hooks.rs crates/interp/src/machine.rs crates/interp/src/memory.rs crates/interp/src/value.rs
+
+/root/repo/target/release/deps/libkremlin_interp-a15c798559605ca2.rmeta: crates/interp/src/lib.rs crates/interp/src/error.rs crates/interp/src/hooks.rs crates/interp/src/machine.rs crates/interp/src/memory.rs crates/interp/src/value.rs
+
+crates/interp/src/lib.rs:
+crates/interp/src/error.rs:
+crates/interp/src/hooks.rs:
+crates/interp/src/machine.rs:
+crates/interp/src/memory.rs:
+crates/interp/src/value.rs:

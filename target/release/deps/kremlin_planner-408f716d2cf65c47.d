@@ -1,0 +1,12 @@
+/root/repo/target/release/deps/kremlin_planner-408f716d2cf65c47.d: crates/planner/src/lib.rs crates/planner/src/baseline.rs crates/planner/src/cilk.rs crates/planner/src/estimate.rs crates/planner/src/openmp.rs crates/planner/src/plan.rs
+
+/root/repo/target/release/deps/libkremlin_planner-408f716d2cf65c47.rlib: crates/planner/src/lib.rs crates/planner/src/baseline.rs crates/planner/src/cilk.rs crates/planner/src/estimate.rs crates/planner/src/openmp.rs crates/planner/src/plan.rs
+
+/root/repo/target/release/deps/libkremlin_planner-408f716d2cf65c47.rmeta: crates/planner/src/lib.rs crates/planner/src/baseline.rs crates/planner/src/cilk.rs crates/planner/src/estimate.rs crates/planner/src/openmp.rs crates/planner/src/plan.rs
+
+crates/planner/src/lib.rs:
+crates/planner/src/baseline.rs:
+crates/planner/src/cilk.rs:
+crates/planner/src/estimate.rs:
+crates/planner/src/openmp.rs:
+crates/planner/src/plan.rs:

@@ -1,0 +1,7 @@
+/root/repo/target/release/deps/kremlin_repro-b6bec1077a294b13.d: src/lib.rs
+
+/root/repo/target/release/deps/libkremlin_repro-b6bec1077a294b13.rlib: src/lib.rs
+
+/root/repo/target/release/deps/libkremlin_repro-b6bec1077a294b13.rmeta: src/lib.rs
+
+src/lib.rs:

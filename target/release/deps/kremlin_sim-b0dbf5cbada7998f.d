@@ -1,0 +1,7 @@
+/root/repo/target/release/deps/kremlin_sim-b0dbf5cbada7998f.d: crates/simulator/src/lib.rs
+
+/root/repo/target/release/deps/libkremlin_sim-b0dbf5cbada7998f.rlib: crates/simulator/src/lib.rs
+
+/root/repo/target/release/deps/libkremlin_sim-b0dbf5cbada7998f.rmeta: crates/simulator/src/lib.rs
+
+crates/simulator/src/lib.rs:

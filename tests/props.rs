@@ -1,152 +1,121 @@
-//! Property-based tests (proptest) over generated programs and profiles.
+//! Property-style tests over generated programs and profiles.
 //!
 //! Program generation sticks to a well-typed subset by construction:
 //! random loop nests with random per-loop body statements drawn from
 //! DOALL updates, reductions, recurrences, and branches — enough to
 //! exercise the lexer/parser round-trip, interpreter determinism, and the
 //! HCPA invariants on arbitrary nesting structures.
+//!
+//! Formerly proptest-based; now driven by the in-repo seeded generator
+//! (`kremlin_bench::progen`) so the default workspace builds with zero
+//! external crates. Every case is reproducible: failures print the case
+//! seed and the generated source.
 
-use proptest::prelude::*;
+use kremlin_bench::{progen, XorShift};
 use std::collections::HashSet;
 
-/// One statement template inside a generated loop body.
-#[derive(Debug, Clone)]
-enum Body {
-    /// `a[i] = f(i)` — independent iterations.
-    Doall,
-    /// `s += a[i]` — reduction.
-    Reduce,
-    /// `a[i] = a[i-1] * c + 1` — loop-carried recurrence.
-    Recurrence,
-    /// `if (i % 2) { a[i] = ...; }` — control dependence.
-    Branch,
-}
+const CASES: u64 = 48;
 
-fn body_strategy() -> impl Strategy<Value = Body> {
-    prop_oneof![
-        Just(Body::Doall),
-        Just(Body::Reduce),
-        Just(Body::Recurrence),
-        Just(Body::Branch),
-    ]
-}
-
-/// A generated program: up to 3 sequential loop nests, each 1–2 deep,
-/// with 4–16 iterations per level.
-fn program_strategy() -> impl Strategy<Value = String> {
-    let nest = (body_strategy(), 1usize..3, 4u32..17).prop_map(|(body, depth, iters)| {
-        let stmt = |v: &str| match body {
-            Body::Doall => format!("a[{v}] = (float) {v} * 1.5 + 1.0;"),
-            Body::Reduce => format!("s += a[{v}] * 0.5;"),
-            Body::Recurrence => {
-                format!("if ({v} > 0) {{ a[{v}] = a[{v} - 1] * 0.9 + 1.0; }}")
-            }
-            Body::Branch => {
-                format!("if ({v} % 2 == 0) {{ a[{v}] = 2.0; }} else {{ a[{v}] = 3.0; }}")
-            }
-        };
-        if depth == 1 {
-            format!(
-                "for (int i = 0; i < {iters}; i++) {{ {} }}",
-                stmt("i")
-            )
-        } else {
-            format!(
-                "for (int i = 0; i < {iters}; i++) {{ for (int j = 0; j < {iters}; j++) {{ {} }} }}",
-                stmt("j")
-            )
+/// Runs `check` over `CASES` generated programs, reporting the seed and
+/// source on failure.
+fn for_each_program(base_seed: u64, deep: bool, mut check: impl FnMut(&str)) {
+    for case in 0..CASES {
+        let seed = base_seed ^ (case.wrapping_mul(0x9E37_79B9_7F4A_7C15));
+        let src = progen::program(&mut XorShift::new(seed), deep);
+        let result = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| check(&src)));
+        if let Err(e) = result {
+            eprintln!("failing case seed {seed:#x}:\n{src}");
+            std::panic::resume_unwind(e);
         }
-    });
-    proptest::collection::vec(nest, 1..4).prop_map(|nests| {
-        format!(
-            "float a[32]; \n\
-             int main() {{ float s = 0.0; {} return (int) s; }}",
-            nests.join("\n")
-        )
-    })
+    }
 }
 
-proptest! {
-    #![proptest_config(ProptestConfig::with_cases(48))]
-
-    #[test]
-    fn generated_programs_compile_and_run(src in program_strategy()) {
-        let unit = kremlin_repro::ir::compile(&src, "gen.kc").expect("compiles");
+#[test]
+fn generated_programs_compile_and_run() {
+    for_each_program(0xC0FFEE, false, |src| {
+        let unit = kremlin_repro::ir::compile(src, "gen.kc").expect("compiles");
         kremlin_repro::ir::verify::verify_module(&unit.module).expect("verifies");
         let r = kremlin_repro::interp::run(&unit.module).expect("runs");
         // Deterministic.
         let r2 = kremlin_repro::interp::run(&unit.module).expect("runs");
-        prop_assert_eq!(r.exit, r2.exit);
-        prop_assert_eq!(r.instrs_executed, r2.instrs_executed);
-    }
+        assert_eq!(r.exit, r2.exit);
+        assert_eq!(r.instrs_executed, r2.instrs_executed);
+    });
+}
 
-    #[test]
-    fn hcpa_invariants_hold_on_generated_programs(src in program_strategy()) {
+#[test]
+fn hcpa_invariants_hold_on_generated_programs() {
+    for_each_program(0xBEEF, true, |src| {
         let analysis = kremlin_repro::kremlin::Kremlin::new()
-            .analyze(&src, "gen.kc")
+            .analyze(src, "gen.kc")
             .expect("analyzes");
         let dict = &analysis.profile().dict;
         let sp = dict.self_parallelism();
         let tp = dict.total_parallelism();
-        let counts = dict.instance_counts();
         for (id, e) in dict.iter() {
             // cp never exceeds work; work is conserved down the tree.
-            prop_assert!(e.cp <= e.work.max(1));
-            let child_work: u64 = e.children.iter().map(|(c, n)| n * dict.entry(*c).work).sum();
-            prop_assert!(e.work >= child_work);
+            assert!(e.cp <= e.work.max(1));
+            let child_work: u64 =
+                e.children.iter().map(|(c, n)| n * dict.entry(*c).work).sum();
+            assert!(e.work >= child_work);
             // 1 <= SP; leaf SP equals total parallelism.
-            prop_assert!(sp[id.index()] >= 0.99);
+            assert!(sp[id.index()] >= 0.99);
             if e.children.is_empty() {
-                prop_assert!((sp[id.index()] - tp[id.index()]).abs() < 1e-9);
+                assert!((sp[id.index()] - tp[id.index()]).abs() < 1e-9);
             }
-            let _ = counts;
         }
         // Profiling must not change semantics.
         let plain = kremlin_repro::interp::run(&analysis.unit.module).expect("runs");
-        prop_assert_eq!(plain.exit, analysis.outcome.run.exit);
-    }
+        assert_eq!(plain.exit, analysis.outcome.run.exit);
+    });
+}
 
-    #[test]
-    fn openmp_plans_are_antichains_on_generated_programs(src in program_strategy()) {
+#[test]
+fn openmp_plans_are_antichains_on_generated_programs() {
+    for_each_program(0xFACE, false, |src| {
         let analysis = kremlin_repro::kremlin::Kremlin::new()
-            .analyze(&src, "gen.kc")
+            .analyze(src, "gen.kc")
             .expect("analyzes");
         let plan = analysis.plan_openmp();
         let regions: HashSet<_> = plan.regions();
         for &r in &regions {
             let desc = analysis.profile().descendants(r);
             for &o in &regions {
-                prop_assert!(o == r || !desc.contains(&o));
+                assert!(o == r || !desc.contains(&o));
             }
         }
         // Every entry is estimated to help.
         for e in &plan.entries {
-            prop_assert!(e.est_speedup >= 1.0);
-            prop_assert!(e.self_p >= 5.0);
+            assert!(e.est_speedup >= 1.0);
+            assert!(e.self_p >= 5.0);
         }
-    }
+    });
+}
 
-    #[test]
-    fn parser_pretty_roundtrip(src in program_strategy()) {
-        let ast = kremlin_repro::minic::parser::parse(&src).expect("parses");
+#[test]
+fn parser_pretty_roundtrip() {
+    for_each_program(0xD00D, true, |src| {
+        let ast = kremlin_repro::minic::parser::parse(src).expect("parses");
         let printed = kremlin_repro::minic::pretty::program(&ast);
         let reparsed = kremlin_repro::minic::parser::parse(&printed).expect("reparses");
         let reprinted = kremlin_repro::minic::pretty::program(&reparsed);
-        prop_assert_eq!(printed, reprinted, "pretty-printing must be a fixed point");
-    }
+        assert_eq!(printed, reprinted, "pretty-printing must be a fixed point");
+    });
+}
 
-    #[test]
-    fn simulation_times_are_sane(src in program_strategy()) {
+#[test]
+fn simulation_times_are_sane() {
+    for_each_program(0xAB1E, false, |src| {
         let analysis = kremlin_repro::kremlin::Kremlin::new()
-            .analyze(&src, "gen.kc")
+            .analyze(src, "gen.kc")
             .expect("analyzes");
         let plan = analysis.plan_openmp();
         let eval = analysis.evaluate(&plan);
-        prop_assert!(eval.serial_time > 0.0);
-        prop_assert!(eval.parallel_time > 0.0);
-        prop_assert!(eval.parallel_time.is_finite());
+        assert!(eval.serial_time > 0.0);
+        assert!(eval.parallel_time > 0.0);
+        assert!(eval.parallel_time.is_finite());
         // Best-of-cores with an empty-plan option in the sweep can never
         // be worse than ~serial plus one fork-join.
-        prop_assert!(eval.parallel_time <= eval.serial_time * 1.5 + 10_000.0);
-    }
+        assert!(eval.parallel_time <= eval.serial_time * 1.5 + 10_000.0);
+    });
 }
