@@ -41,10 +41,7 @@ fn main() {
     // The depth window dominates per-instruction cost; a narrow window is
     // the cheap configuration the paper's depth-range flag enables.
     g.bench("hcpa_profiling_window4", || {
-        let mut p = Profiler::new(
-            &unit.module,
-            HcpaConfig { window: 4, ..HcpaConfig::default() },
-        );
+        let mut p = Profiler::new(&unit.module, HcpaConfig { window: 4, ..HcpaConfig::default() });
         run_with_hook(&unit.module, &mut p, MachineConfig::default()).expect("runs");
         p.finish()
     });

@@ -17,7 +17,14 @@ fn main() {
                     r.relative_speedup(), r.eval_kremlin.speedup, r.eval_kremlin.best_cores,
                     r.eval_manual.speedup, r.eval_manual.best_cores);
                 for e in &r.kremlin_plan.entries {
-                    println!("    K: {:24} sp={:8.1} cov={:6.2}% {:9} est={:.2}x", e.label, e.self_p, e.coverage*100.0, e.kind.to_string(), e.est_speedup);
+                    println!(
+                        "    K: {:24} sp={:8.1} cov={:6.2}% {:9} est={:.2}x",
+                        e.label,
+                        e.self_p,
+                        e.coverage * 100.0,
+                        e.kind.to_string(),
+                        e.est_speedup
+                    );
                 }
                 println!("    M: {:?}", manual_labels);
             }

@@ -8,14 +8,8 @@ use kremlin_bench::{all_reports, Table};
 
 fn main() {
     let reports = all_reports();
-    let mut t = Table::new(&[
-        "benchmark",
-        "dyn regions",
-        "alphabet",
-        "raw bytes",
-        "compressed",
-        "ratio",
-    ]);
+    let mut t =
+        Table::new(&["benchmark", "dyn regions", "alphabet", "raw bytes", "compressed", "ratio"]);
     let mut ratios = Vec::new();
     for r in &reports {
         let dict = &r.analysis.profile().dict;
@@ -33,7 +27,9 @@ fn main() {
     let geo = ratios.iter().product::<f64>().powf(1.0 / ratios.len() as f64);
     println!("§4.4 — region-summary compression (measured)\n");
     println!("{}", t.render());
-    println!("geometric-mean compression: {geo:.0}x   (paper average ~119,000x on full-size inputs)");
+    println!(
+        "geometric-mean compression: {geo:.0}x   (paper average ~119,000x on full-size inputs)"
+    );
     println!(
         "\nShape check: compression scales with dynamic repetition — loops \
          contribute thousands of identical summaries that intern to one \

@@ -9,8 +9,7 @@ use kremlin_bench::{all_reports_cached, Table};
 use kremlin_sim::{MachineModel, Simulator};
 
 fn main() {
-    let mut t =
-        Table::new(&["benchmark", "1", "2", "4", "8", "16", "32", "best"]);
+    let mut t = Table::new(&["benchmark", "1", "2", "4", "8", "16", "32", "best"]);
     for r in all_reports_cached() {
         let sim = Simulator::new(
             r.analysis.profile(),

@@ -30,10 +30,7 @@ fn main() {
             "doall 0.05%".into(),
             OpenMpParams { doall_min_speedup: 1.0005, ..OpenMpParams::default() },
         ),
-        (
-            "doall 0.2%".into(),
-            OpenMpParams { doall_min_speedup: 1.002, ..OpenMpParams::default() },
-        ),
+        ("doall 0.2%".into(), OpenMpParams { doall_min_speedup: 1.002, ..OpenMpParams::default() }),
         (
             "doacross 1.5%".into(),
             OpenMpParams { doacross_min_speedup: 1.015, ..OpenMpParams::default() },
@@ -42,14 +39,8 @@ fn main() {
             "doacross 6%".into(),
             OpenMpParams { doacross_min_speedup: 1.06, ..OpenMpParams::default() },
         ),
-        (
-            "grain 400".into(),
-            OpenMpParams { min_instance_work: 400, ..OpenMpParams::default() },
-        ),
-        (
-            "grain 1600".into(),
-            OpenMpParams { min_instance_work: 1600, ..OpenMpParams::default() },
-        ),
+        ("grain 400".into(), OpenMpParams { min_instance_work: 400, ..OpenMpParams::default() }),
+        ("grain 1600".into(), OpenMpParams { min_instance_work: 1600, ..OpenMpParams::default() }),
     ];
 
     let mut t = Table::new(&["parameter variant", "mean plan similarity", "mean size delta"]);

@@ -17,8 +17,10 @@
 //! | `tab_sensitivity` | §5.1 — planner threshold sensitivity |
 //! | `tab_scaling` | §6.1 — speedup-by-core-count series |
 //!
-//! plus Criterion micro-benchmarks (`profiler_overhead`, `compression`,
-//! `planning`) for the performance claims.
+//! plus `bench_profiler` (profiler hot-path + depth-sharding speedups,
+//! written to `BENCH_profiler.json`) and micro-benchmarks on a
+//! hand-rolled [`timer`] harness (`profiler_overhead`, `compression`,
+//! `planning`, `ablations`) for the performance claims.
 
 pub mod progen;
 pub mod rng;

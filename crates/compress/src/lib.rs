@@ -263,10 +263,7 @@ impl Dictionary {
     /// Estimated bytes of the dictionary: fixed fields plus 12 bytes per
     /// distinct child reference.
     pub fn compressed_bytes(&self) -> u64 {
-        self.entries
-            .iter()
-            .map(|e| 28 + 12 * e.children.len() as u64)
-            .sum()
+        self.entries.iter().map(|e| 28 + 12 * e.children.len() as u64).sum()
     }
 
     /// `raw_bytes / compressed_bytes` (the ~119,000× of paper §4.4).
@@ -474,16 +471,10 @@ mod proptests {
             let mut pool: Vec<EntryId> = Vec::new();
             for (sid, self_work, cp_seed, n_children) in spec {
                 // Pick up to n_children existing entries as children.
-                let children: Vec<(EntryId, u64)> = pool
-                    .iter()
-                    .rev()
-                    .take(n_children)
-                    .map(|&c| (c, 1 + (cp_seed % 3)))
-                    .collect();
-                let child_work: u64 =
-                    children.iter().map(|(c, n)| n * d.entry(*c).work).sum();
-                let child_cp: u64 =
-                    children.iter().map(|(c, n)| n * d.entry(*c).cp).sum();
+                let children: Vec<(EntryId, u64)> =
+                    pool.iter().rev().take(n_children).map(|&c| (c, 1 + (cp_seed % 3))).collect();
+                let child_work: u64 = children.iter().map(|(c, n)| n * d.entry(*c).work).sum();
+                let child_cp: u64 = children.iter().map(|(c, n)| n * d.entry(*c).cp).sum();
                 let work = self_work + child_work;
                 // cp between max(child cp contribution needed) and work.
                 let cp = (child_cp / 2 + self_work / 2).clamp(1, work.max(1));

@@ -10,6 +10,8 @@
 //!   --evaluate                    simulate the plan on the machine model
 //!   --runs=<n>                    profile n runs and aggregate (§2.4)
 //!   --window=<n>                  HCPA depth window (§4.2's flag)
+//!   --jobs=<n>                    depth-sharded parallel collection with
+//!                                 n worker threads (§4.2; alias --depth-shards)
 //!   --no-break-deps               disable induction/reduction breaking
 //!   --save-profile=<path>         write the parallelism profile
 //!   --load-profile=<path>         plan from a saved profile (skips execution)
@@ -32,6 +34,7 @@ struct Options {
     evaluate: bool,
     runs: usize,
     window: Option<usize>,
+    jobs: usize,
     break_deps: bool,
     save_profile: Option<String>,
     load_profile: Option<String>,
@@ -42,7 +45,7 @@ struct Options {
 fn usage() -> &'static str {
     "usage: kremlin <program.kc> [--personality=openmp|cilk|work-only|self-parallelism]\n\
      \x20              [--exclude=l1,l2] [--regions] [--evaluate] [--runs=N]\n\
-     \x20              [--window=N] [--no-break-deps]\n\
+     \x20              [--window=N] [--jobs=N|--depth-shards=N] [--no-break-deps]\n\
      \x20              [--save-profile=PATH] [--load-profile=PATH] [--dump-ir] [--report]"
 }
 
@@ -55,6 +58,7 @@ fn parse_args(args: &[String]) -> Result<Options, String> {
         evaluate: false,
         runs: 1,
         window: None,
+        jobs: 1,
         break_deps: true,
         save_profile: None,
         load_profile: None,
@@ -77,6 +81,13 @@ fn parse_args(args: &[String]) -> Result<Options, String> {
             }
         } else if let Some(v) = a.strip_prefix("--window=") {
             o.window = Some(v.parse().map_err(|_| format!("bad --window value `{v}`"))?);
+        } else if let Some(v) =
+            a.strip_prefix("--jobs=").or_else(|| a.strip_prefix("--depth-shards="))
+        {
+            o.jobs = v.parse().map_err(|_| format!("bad {a} value"))?;
+            if o.jobs == 0 {
+                return Err("--jobs must be at least 1".into());
+            }
         } else if a == "--no-break-deps" {
             o.break_deps = false;
         } else if let Some(v) = a.strip_prefix("--save-profile=") {
@@ -160,8 +171,13 @@ fn run() -> Result<(), String> {
     tool.hcpa.break_carried_deps = o.break_deps;
     let _ = HcpaConfig::default();
 
+    if o.jobs > 1 && o.runs > 1 {
+        return Err("--jobs and --runs cannot be combined".into());
+    }
     let analysis = if o.runs > 1 {
         tool.analyze_runs(&src, &name, o.runs)
+    } else if o.jobs > 1 {
+        tool.analyze_parallel(&src, &name, o.jobs)
     } else {
         tool.analyze(&src, &name)
     }

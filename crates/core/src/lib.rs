@@ -136,6 +136,39 @@ impl Kremlin {
         Ok(Analysis { unit, outcome })
     }
 
+    /// Like [`Kremlin::analyze`], but collects the profile with
+    /// depth-sharded parallel HCPA: `jobs` profiling passes with disjoint
+    /// (one-depth-overlapping) tracked depth ranges run on worker threads
+    /// and are stitched into one profile (paper §4.2's depth-range flag,
+    /// "facilitating parallel data collection").
+    ///
+    /// The stitched per-region statistics are bit-identical to
+    /// [`Kremlin::analyze`]'s; only the embedded dictionary is
+    /// shard-scoped, so prefer `analyze` when the simulator must replay
+    /// exact per-instance critical paths.
+    ///
+    /// # Errors
+    ///
+    /// As [`Kremlin::analyze`].
+    pub fn analyze_parallel(
+        &self,
+        src: &str,
+        name: &str,
+        jobs: usize,
+    ) -> Result<Analysis, KremlinError> {
+        let unit = kremlin_ir::compile(src, name)?;
+        let outcome = kremlin_hcpa::profile_unit_parallel(
+            &unit,
+            kremlin_hcpa::ParallelConfig {
+                jobs,
+                depth_hint: None,
+                hcpa: self.hcpa,
+                machine: self.machine,
+            },
+        )?;
+        Ok(Analysis { unit, outcome })
+    }
+
     /// Analyzes the same program over several inputs (here: several runs)
     /// and merges the profiles, the paper's §2.4 aggregation.
     ///
@@ -153,8 +186,7 @@ impl Kremlin {
         let mut profiles = Vec::with_capacity(runs);
         let mut last = None;
         for _ in 0..runs {
-            let outcome =
-                kremlin_hcpa::profile_unit_with_machine(&unit, self.hcpa, self.machine)?;
+            let outcome = kremlin_hcpa::profile_unit_with_machine(&unit, self.hcpa, self.machine)?;
             profiles.push(outcome.profile.clone());
             last = Some(outcome);
         }
@@ -259,6 +291,21 @@ mod tests {
         // Evaluating the plan beats serial.
         let eval = analysis.evaluate(&plan);
         assert!(eval.speedup > 1.2, "{eval:?}");
+    }
+
+    #[test]
+    fn parallel_analysis_matches_serial() {
+        let serial = Kremlin::new().analyze(DEMO, "demo.kc").unwrap();
+        let parallel = Kremlin::new().analyze_parallel(DEMO, "demo.kc", 3).unwrap();
+        assert!(
+            parallel.profile().identical_stats(serial.profile()),
+            "sharded analysis must reproduce the serial profile"
+        );
+        assert_eq!(
+            parallel.plan_openmp().regions(),
+            serial.plan_openmp().regions(),
+            "planning must not depend on how the profile was collected"
+        );
     }
 
     #[test]

@@ -107,9 +107,7 @@ pub fn save_profile(
 pub fn load_profile(text: &str) -> Result<SavedProfile, ProfileFormatError> {
     let err = |line: usize, message: String| ProfileFormatError { line, message };
     let mut lines = text.lines().enumerate();
-    let (_, first) = lines
-        .next()
-        .ok_or_else(|| err(1, "empty profile".into()))?;
+    let (_, first) = lines.next().ok_or_else(|| err(1, "empty profile".into()))?;
     if first.trim() != "kremlin-profile v1" {
         return Err(err(1, format!("unsupported header `{first}`")));
     }
@@ -306,10 +304,8 @@ mod tests {
         assert!(e.message.contains("unknown record"), "{e}");
         let e = load_profile("kremlin-profile v1\nregion 5 loop 1 2 x\n").unwrap_err();
         assert!(e.message.contains("dense"), "{e}");
-        let e = load_profile(
-            "kremlin-profile v1\nregion 0 loop 1 2 l\nentry 0 10 5 7:1\n",
-        )
-        .unwrap_err();
+        let e = load_profile("kremlin-profile v1\nregion 0 loop 1 2 l\nentry 0 10 5 7:1\n")
+            .unwrap_err();
         assert!(e.message.contains("not yet defined"), "{e}");
     }
 }

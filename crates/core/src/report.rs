@@ -37,11 +37,7 @@ pub fn render(analysis: &Analysis, personality: &dyn Personality, opts: ReportOp
     let plan = personality.plan(profile, &none);
 
     let _ = writeln!(out, "# Kremlin parallelism report — `{name}`\n");
-    let _ = writeln!(
-        out,
-        "- executed instructions: **{}**",
-        analysis.outcome.run.instrs_executed
-    );
+    let _ = writeln!(out, "- executed instructions: **{}**", analysis.outcome.run.instrs_executed);
     let _ = writeln!(out, "- program exit code: {}", analysis.outcome.run.exit);
     let _ = writeln!(
         out,
@@ -84,7 +80,8 @@ pub fn render(analysis: &Analysis, personality: &dyn Personality, opts: ReportOp
             );
         }
         if plan.len() > opts.max_plan_entries {
-            let _ = writeln!(out, "\n({} more entries omitted)", plan.len() - opts.max_plan_entries);
+            let _ =
+                writeln!(out, "\n({} more entries omitted)", plan.len() - opts.max_plan_entries);
         }
         let _ = writeln!(out);
     }
@@ -99,21 +96,18 @@ pub fn render(analysis: &Analysis, personality: &dyn Personality, opts: ReportOp
         for (i, e) in plan.entries.iter().take(opts.max_plan_entries).enumerate() {
             set.insert(e.region);
             let eval = sim.evaluate(&set);
-            let _ = writeln!(
-                out,
-                "| first {} | {:.2}x | {} |",
-                i + 1,
-                eval.speedup,
-                eval.best_cores
-            );
+            let _ =
+                writeln!(out, "| first {} | {:.2}x | {} |", i + 1, eval.speedup, eval.best_cores);
         }
         let _ = writeln!(out);
     }
 
     // ---- region profile -------------------------------------------------------
     let _ = writeln!(out, "## Region profile (top {} by coverage)\n", opts.max_regions);
-    let _ = writeln!(out, "| region | kind | instances | cov % | self-P | total-P | iters | class |");
-    let _ = writeln!(out, "|--------|------|-----------|-------|--------|---------|-------|-------|");
+    let _ =
+        writeln!(out, "| region | kind | instances | cov % | self-P | total-P | iters | class |");
+    let _ =
+        writeln!(out, "|--------|------|-----------|-------|--------|---------|-------|-------|");
     let mut regions: Vec<_> = profile.iter().collect();
     regions.sort_by(|a, b| b.coverage.total_cmp(&a.coverage));
     for s in regions.iter().take(opts.max_regions) {
@@ -221,13 +215,8 @@ mod tests {
             ReportOptions { max_plan_entries: 2, max_regions: 3, simulate: false },
         );
         assert!(report.contains("more entries omitted"));
-        let profile_section = report
-            .split("## Region profile")
-            .nth(1)
-            .unwrap()
-            .split("\n## ")
-            .next()
-            .unwrap();
+        let profile_section =
+            report.split("## Region profile").nth(1).unwrap().split("\n## ").next().unwrap();
         let table_rows = profile_section.lines().filter(|l| l.starts_with("| `")).count();
         assert_eq!(table_rows, 3, "region table not truncated:\n{profile_section}");
     }

@@ -41,13 +41,17 @@
 //! ```
 
 pub mod cost;
+pub mod parallel;
 pub mod profile;
 pub mod profiler;
+pub mod seed;
 pub mod shadow;
 
 pub use cost::CostModel;
+pub use parallel::{profile_unit_parallel, ParallelConfig, ShardSpec};
 pub use profile::{ParallelismProfile, RegionStats};
-pub use profiler::{HcpaConfig, Profiler, ProfilerStats};
+pub use profiler::{BaselineProfiler, HcpaConfig, Profiler, ProfilerCore, ProfilerStats};
+pub use seed::{profile_unit_seed, SeedProfiler};
 
 use kremlin_interp::{InterpError, MachineConfig, RunResult};
 use kremlin_ir::CompiledUnit;
@@ -70,7 +74,10 @@ pub struct ProfileOutcome {
 /// # Errors
 ///
 /// Propagates interpreter failures ([`InterpError`]).
-pub fn profile_unit(unit: &CompiledUnit, config: HcpaConfig) -> Result<ProfileOutcome, InterpError> {
+pub fn profile_unit(
+    unit: &CompiledUnit,
+    config: HcpaConfig,
+) -> Result<ProfileOutcome, InterpError> {
     profile_unit_with_machine(unit, config, MachineConfig::default())
 }
 
@@ -114,23 +121,17 @@ pub fn profile_unit_sliced(
 ) -> Result<ProfileOutcome, InterpError> {
     assert!(window >= 2, "window must cover a region and its children");
     let stride = window - 1;
-    let first = profile_unit(
-        unit,
-        HcpaConfig { window, min_depth: 0, ..HcpaConfig::default() },
-    )?;
+    let first = profile_unit(unit, HcpaConfig { window, min_depth: 0, ..HcpaConfig::default() })?;
     let max_depth = first.stats.max_depth;
     let mut slices = vec![first.profile.clone()];
     let mut lo = stride;
     while lo < max_depth {
-        let outcome = profile_unit(
-            unit,
-            HcpaConfig { window, min_depth: lo, ..HcpaConfig::default() },
-        )?;
+        let outcome =
+            profile_unit(unit, HcpaConfig { window, min_depth: lo, ..HcpaConfig::default() })?;
         slices.push(outcome.profile);
         lo += stride;
     }
-    let stitched =
-        ParallelismProfile::stitch(&slices, &first.stats.region_min_depth, window);
+    let stitched = ParallelismProfile::stitch(&slices, window);
     Ok(ProfileOutcome { profile: stitched, stats: first.stats, run: first.run })
 }
 
@@ -172,9 +173,10 @@ mod tests {
         let sliced = profile_unit_sliced(&unit, 3).unwrap();
         assert!(full.stats.max_depth > 3, "program must exceed one slice");
         for s in full.profile.iter() {
-            let t = sliced.profile.stats(s.region).unwrap_or_else(|| {
-                panic!("{} missing from stitched profile", s.label)
-            });
+            let t = sliced
+                .profile
+                .stats(s.region)
+                .unwrap_or_else(|| panic!("{} missing from stitched profile", s.label));
             assert_eq!(s.total_work, t.total_work, "{}", s.label);
             assert_eq!(s.instances, t.instances, "{}", s.label);
             assert!(

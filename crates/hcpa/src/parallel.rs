@@ -1,0 +1,313 @@
+//! Depth-sharded parallel HCPA collection.
+//!
+//! The paper's §4.2 depth-range flag "facilitat[es] parallel data
+//! collection for the HCPA": since shadow state for one depth range is
+//! independent of every other range, the profile can be collected as K
+//! runs with disjoint ranges and stitched. This module turns that into a
+//! first-class API: [`profile_unit_parallel`] plans the shard ranges,
+//! runs one interpreter + profiler pass per shard on its own
+//! `std::thread` worker, and stitches the slices with
+//! [`ParallelismProfile::stitch`].
+//!
+//! Shard ranges overlap by exactly one depth
+//! (`min_depth = k * stride`, `window = stride + 1`): a region's
+//! self-parallelism needs the availability times of both the region's
+//! depth *and its children's*, so the shard that owns depth `d` also
+//! tracks `d + 1`. With ranges planned this way the stitched profile is
+//! **bit-identical** to a single full-window pass
+//! ([`ParallelismProfile::identical_stats`]) whenever the depth estimate
+//! covers the real nesting depth — which [`profile_unit_parallel`]
+//! guarantees by measuring the depth with a cheap uninstrumented
+//! discovery pass when no hint is supplied.
+
+use crate::profile::ParallelismProfile;
+use crate::profiler::HcpaConfig;
+use crate::{profile_unit_with_machine, ProfileOutcome};
+use kremlin_interp::{ExecHook, InterpError, MachineConfig, RetCtx};
+use kremlin_ir::{CompiledUnit, FuncId, RegionId};
+
+/// One shard's tracked depth range.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct ShardSpec {
+    /// First tracked depth.
+    pub min_depth: usize,
+    /// Number of tracked depths. One more than the planning stride: each
+    /// shard also tracks the first depth of the next shard's range, so
+    /// every region's children are observed by the region's own shard.
+    pub window: usize,
+}
+
+/// Configuration for depth-sharded collection.
+#[derive(Debug, Clone, Copy)]
+pub struct ParallelConfig {
+    /// Number of depth shards, each run on its own worker thread.
+    pub jobs: usize,
+    /// Maximum region nesting depth of the program, if known (e.g.
+    /// `ProfilerStats::max_depth` from an earlier run). Sharding splits
+    /// this range rather than the nominal window, so shallow programs
+    /// don't leave most shards idle. When `None`, an uninstrumented
+    /// discovery pass measures it. An *underestimate* trades the
+    /// bit-identity guarantee for speed (depths beyond the estimate fall
+    /// into the last shard's range untracked).
+    pub depth_hint: Option<usize>,
+    /// The profiling configuration of the equivalent serial pass. Its
+    /// `window` is the total tracked-depth budget; `min_depth` must be 0
+    /// (sharding owns the depth ranges).
+    pub hcpa: HcpaConfig,
+    /// Interpreter limits for every pass.
+    pub machine: MachineConfig,
+}
+
+impl Default for ParallelConfig {
+    fn default() -> Self {
+        ParallelConfig {
+            jobs: 3,
+            depth_hint: None,
+            hcpa: HcpaConfig::default(),
+            machine: MachineConfig::default(),
+        }
+    }
+}
+
+/// Plans shard depth ranges: `depth` nesting levels, at most `window`
+/// of them tracked (matching the serial pass's clamp), split across at
+/// most `jobs` shards of one stride each, every shard overlapping the
+/// next by one depth.
+///
+/// Returns fewer than `jobs` shards when there aren't enough tracked
+/// depths to go around; at least one shard is always returned.
+#[must_use]
+pub fn plan_shards(depth: usize, window: usize, jobs: usize) -> Vec<ShardSpec> {
+    let eff = depth.clamp(1, window.max(1));
+    let jobs = jobs.max(1);
+    let stride = eff.div_ceil(jobs);
+    let mut shards = Vec::new();
+    for k in 0..jobs {
+        let min_depth = k * stride;
+        if min_depth >= eff {
+            break;
+        }
+        shards.push(ShardSpec { min_depth, window: (stride + 1).min(window - min_depth) });
+    }
+    shards
+}
+
+/// Counts region nesting depth without any shadow-state tracking: the
+/// discovery pre-pass that sizes shard ranges.
+#[derive(Debug, Default)]
+struct DepthProbe {
+    depth: usize,
+    max: usize,
+}
+
+impl DepthProbe {
+    #[inline]
+    fn enter(&mut self) {
+        self.depth += 1;
+        self.max = self.max.max(self.depth);
+    }
+}
+
+impl ExecHook for DepthProbe {
+    fn on_function_enter(&mut self, _func: FuncId, _region: RegionId) {
+        self.enter();
+    }
+
+    fn on_return(&mut self, _ctx: &RetCtx) {
+        self.depth -= 1;
+    }
+
+    fn on_region_enter(&mut self, _region: RegionId) {
+        self.enter();
+    }
+
+    fn on_region_exit(&mut self, _region: RegionId) {
+        self.depth -= 1;
+    }
+}
+
+/// Measures the maximum region nesting depth of `unit` with a plain
+/// (shadow-free) execution.
+///
+/// # Errors
+///
+/// Propagates interpreter failures.
+pub fn discover_depth(unit: &CompiledUnit, machine: MachineConfig) -> Result<usize, InterpError> {
+    let mut probe = DepthProbe::default();
+    kremlin_interp::run_with_hook(&unit.module, &mut probe, machine)?;
+    Ok(probe.max)
+}
+
+/// Profiles `unit` with depth-sharded parallel collection: K profiling
+/// passes with disjoint (one-depth-overlapping) tracked ranges, each on
+/// its own thread, stitched into one profile.
+///
+/// The stitched profile's per-region statistics are bit-identical to a
+/// single serial pass with `config.hcpa` (see
+/// [`ParallelismProfile::identical_stats`]); the returned stats
+/// aggregate shadow footprint across shards. Like
+/// [`crate::profile_unit_sliced`], the embedded dictionary is the
+/// shard-0 dictionary — run an unsliced profile when the simulator is
+/// needed.
+///
+/// # Errors
+///
+/// Propagates interpreter failures from the discovery pass or any shard.
+///
+/// # Panics
+///
+/// Panics if `config.hcpa.min_depth != 0` or `config.hcpa.window < 2`.
+pub fn profile_unit_parallel(
+    unit: &CompiledUnit,
+    config: ParallelConfig,
+) -> Result<ProfileOutcome, InterpError> {
+    assert_eq!(config.hcpa.min_depth, 0, "sharding owns the depth ranges");
+    assert!(config.hcpa.window >= 2, "window must cover a region and its children");
+    let depth = match config.depth_hint {
+        Some(d) => d,
+        None => discover_depth(unit, config.machine)?,
+    };
+    let shards = plan_shards(depth, config.hcpa.window, config.jobs);
+    if shards.len() <= 1 {
+        return profile_unit_with_machine(unit, config.hcpa, config.machine);
+    }
+    let stride = shards[0].window - 1;
+
+    let mut outcomes: Vec<Option<Result<ProfileOutcome, InterpError>>> = Vec::new();
+    outcomes.resize_with(shards.len(), || None);
+    std::thread::scope(|scope| {
+        for (shard, slot) in shards.iter().zip(outcomes.iter_mut()) {
+            let hcpa =
+                HcpaConfig { window: shard.window, min_depth: shard.min_depth, ..config.hcpa };
+            let machine = config.machine;
+            scope.spawn(move || {
+                *slot = Some(profile_unit_with_machine(unit, hcpa, machine));
+            });
+        }
+    });
+
+    let mut slices = Vec::with_capacity(outcomes.len());
+    let mut stats = None;
+    let mut run = None;
+    for outcome in outcomes {
+        let o = outcome.expect("shard worker finished")?;
+        match &mut stats {
+            None => {
+                stats = Some(o.stats);
+                run = Some(o.run);
+            }
+            Some(s) => {
+                debug_assert_eq!(run, Some(o.run), "shards disagree on execution");
+                s.shadow_pages += o.stats.shadow_pages;
+                s.shadow_live_pages += o.stats.shadow_live_pages;
+                s.shadow_bytes += o.stats.shadow_bytes;
+            }
+        }
+        slices.push(o.profile);
+    }
+    let stats = stats.expect("at least one shard");
+    let profile = ParallelismProfile::stitch(&slices, stride + 1);
+    Ok(ProfileOutcome { profile, stats, run: run.expect("at least one shard") })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::profile_unit;
+
+    const DEEP_SRC: &str = "float acc[16];\n\
+        float work(float x) { float s = 0.0; for (int k = 0; k < 6; k++) { s += sqrt(x + (float) k); } return s; }\n\
+        int main() {\n\
+          for (int i = 0; i < 6; i++) {\n\
+            for (int j = 0; j < 6; j++) {\n\
+              acc[j] += work((float) (i * j));\n\
+            }\n\
+          }\n\
+          return (int) acc[3];\n\
+        }";
+
+    #[test]
+    fn shard_plans_cover_the_depth_range_with_overlap() {
+        // 8 depths, 3 shards: stride 3.
+        assert_eq!(
+            plan_shards(8, 24, 3),
+            vec![
+                ShardSpec { min_depth: 0, window: 4 },
+                ShardSpec { min_depth: 3, window: 4 },
+                ShardSpec { min_depth: 6, window: 4 },
+            ]
+        );
+        // Depth beyond the window: shards split the window, the last one
+        // clipped to the serial clamp.
+        assert_eq!(
+            plan_shards(30, 8, 2),
+            vec![ShardSpec { min_depth: 0, window: 5 }, ShardSpec { min_depth: 4, window: 4 },]
+        );
+        // More workers than depths: surplus shards dropped.
+        assert_eq!(plan_shards(2, 24, 4).len(), 2);
+        assert_eq!(plan_shards(1, 24, 4).len(), 1);
+        // Degenerate inputs.
+        assert_eq!(plan_shards(0, 24, 3), vec![ShardSpec { min_depth: 0, window: 2 }]);
+        assert_eq!(plan_shards(5, 24, 1), vec![ShardSpec { min_depth: 0, window: 6 }]);
+        // Every consecutive pair overlaps by exactly one depth.
+        for (depth, window, jobs) in [(8, 24, 3), (30, 8, 2), (24, 24, 5), (7, 24, 7)] {
+            let shards = plan_shards(depth, window, jobs);
+            for w in shards.windows(2) {
+                assert_eq!(w[0].min_depth + w[0].window, w[1].min_depth + 1, "{shards:?}");
+            }
+        }
+    }
+
+    #[test]
+    fn depth_discovery_matches_profiler_max_depth() {
+        let unit = kremlin_ir::compile(DEEP_SRC, "deep.kc").unwrap();
+        let depth = discover_depth(&unit, MachineConfig::default()).unwrap();
+        let serial = profile_unit(&unit, HcpaConfig::default()).unwrap();
+        assert_eq!(depth, serial.stats.max_depth);
+    }
+
+    #[test]
+    fn sharded_profile_is_bit_identical_to_serial() {
+        let unit = kremlin_ir::compile(DEEP_SRC, "deep.kc").unwrap();
+        let serial = profile_unit(&unit, HcpaConfig::default()).unwrap();
+        for jobs in [2, 3, 4] {
+            let sharded =
+                profile_unit_parallel(&unit, ParallelConfig { jobs, ..ParallelConfig::default() })
+                    .unwrap();
+            assert!(
+                sharded.profile.identical_stats(&serial.profile),
+                "{jobs}-way sharded profile differs from serial"
+            );
+            assert_eq!(sharded.run, serial.run);
+            assert_eq!(sharded.stats.max_depth, serial.stats.max_depth);
+            assert_eq!(sharded.stats.instr_events, serial.stats.instr_events);
+        }
+    }
+
+    #[test]
+    fn depth_hint_skips_discovery_and_still_matches() {
+        let unit = kremlin_ir::compile(DEEP_SRC, "deep.kc").unwrap();
+        let serial = profile_unit(&unit, HcpaConfig::default()).unwrap();
+        let sharded = profile_unit_parallel(
+            &unit,
+            ParallelConfig {
+                jobs: 3,
+                depth_hint: Some(serial.stats.max_depth),
+                ..ParallelConfig::default()
+            },
+        )
+        .unwrap();
+        assert!(sharded.profile.identical_stats(&serial.profile));
+    }
+
+    #[test]
+    fn single_shard_falls_back_to_serial() {
+        let unit = kremlin_ir::compile("int main() { return 7; }", "t.kc").unwrap();
+        let out =
+            profile_unit_parallel(&unit, ParallelConfig { jobs: 4, ..ParallelConfig::default() })
+                .unwrap();
+        assert_eq!(out.run.exit, 7);
+        let serial = profile_unit(&unit, HcpaConfig::default()).unwrap();
+        assert!(out.profile.identical_stats(&serial.profile));
+    }
+}

@@ -7,9 +7,9 @@
 //! [`RegionId`], and derives the dynamic region graph (which static
 //! regions appeared as children of which).
 
-use kremlin_compress::Dictionary;
+use kremlin_compress::{Dictionary, EntryId};
 use kremlin_ir::{RegionId, RegionKind, RegionTable};
-use std::collections::HashSet;
+use std::collections::{BTreeMap, HashSet};
 
 /// Aggregated statistics for one static region.
 #[derive(Debug, Clone)]
@@ -42,11 +42,48 @@ pub struct RegionStats {
     pub is_reduction: bool,
 }
 
+/// Integer accumulator for one static region's instances at one nesting
+/// depth. Everything is exact integer arithmetic; floats appear only in
+/// the final [`RegionStats`] derivation, so accumulators from different
+/// runs (or depth-sharded slices) can be recombined without rounding
+/// drift.
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+struct DepthAcc {
+    instances: u64,
+    work: u64,
+    children_instances: u64,
+    /// Integer weight per distinct `(sp, tp)` bit pattern. Grouping by
+    /// *value* before the f64 reduction makes the aggregate independent of
+    /// how the dictionary partitioned instances into entries: depth-ranged
+    /// runs collapse untracked-depth descendants differently, refining or
+    /// coarsening the entry partition without changing any instance's
+    /// sp/tp — so stitched profiles come out bit-identical to full-window
+    /// ones.
+    groups: BTreeMap<(u64, u64), u128>,
+}
+
+impl DepthAcc {
+    fn add(&mut self, other: &DepthAcc) {
+        self.instances += other.instances;
+        self.work += other.work;
+        self.children_instances += other.children_instances;
+        for (&k, &w) in &other.groups {
+            *self.groups.entry(k).or_insert(0) += w;
+        }
+    }
+}
+
 /// The aggregated profile of one run.
 #[derive(Debug, Clone)]
 pub struct ParallelismProfile {
     /// Stats per region; `None` for regions never executed.
     stats: Vec<Option<RegionStats>>,
+    /// Per region, per nesting depth, the exact integer accumulators the
+    /// stats were derived from. A region called from several places
+    /// appears at several depths; [`ParallelismProfile::stitch`] uses this
+    /// to take each depth's numbers from the depth-range run that tracked
+    /// it.
+    depth_accs: Vec<BTreeMap<usize, DepthAcc>>,
     /// Whole-program work.
     pub root_work: u64,
     /// The root (main) region.
@@ -57,6 +94,75 @@ pub struct ParallelismProfile {
     /// The compressed dictionary the profile was computed from (the
     /// simulator replays plans over it).
     pub dict: Dictionary,
+}
+
+/// Depth-resolved outermost-instance counts for entries, masked at static
+/// region `mask`: `counts[e][d]` is the number of dynamic instances of
+/// entry `e` at nesting depth `d` that are not nested inside another
+/// activation of `mask` (the depth-resolved analogue of
+/// [`Dictionary::instance_counts_masked`]). Depth is path length from the
+/// root, a purely structural property — identical for every depth-range
+/// run of the same execution, however differently their dictionaries
+/// collapse instances into entries.
+fn depth_counts_masked(dict: &Dictionary, mask: u32) -> Vec<BTreeMap<usize, u64>> {
+    let n = dict.iter().count();
+    let mut counts: Vec<BTreeMap<usize, u64>> = vec![BTreeMap::new(); n];
+    let Some(root) = dict.root() else { return counts };
+    counts[root.index()].insert(0, 1);
+    // Children have smaller indices than parents, so a reverse pass
+    // propagates counts in one sweep.
+    for i in (0..n).rev() {
+        if counts[i].is_empty() {
+            continue;
+        }
+        let e = dict.entry(EntryId(i as u32));
+        // Masked entries absorb their count without propagating (the root
+        // always propagates, as in `instance_counts_masked`).
+        if e.static_id == mask && EntryId(i as u32) != root {
+            continue;
+        }
+        let parent = counts[i].clone();
+        for &(child, m) in &e.children {
+            for (&d, &c) in &parent {
+                *counts[child.index()].entry(d + 1).or_insert(0) += c * m;
+            }
+        }
+    }
+    counts
+}
+
+/// Derives the numeric [`RegionStats`] fields from an integer accumulator.
+/// Every profile — built directly or stitched from depth slices — goes
+/// through this one function, so equal accumulators give bit-equal floats.
+fn numeric_stats(meta: RegionStats, a: &DepthAcc, root_work: u64) -> RegionStats {
+    // Reduce the value groups in sorted order: deterministic and
+    // entry-partition independent.
+    let mut w_sp = 0.0;
+    let mut w_tp = 0.0;
+    let mut weight = 0.0;
+    for (&(sp_bits, tp_bits), &w) in &a.groups {
+        let w = w as f64;
+        w_sp += w * f64::from_bits(sp_bits);
+        w_tp += w * f64::from_bits(tp_bits);
+        weight += w;
+    }
+    let self_p = if weight > 0.0 { w_sp / weight } else { 1.0 };
+    let total_p = if weight > 0.0 { w_tp / weight } else { 1.0 };
+    let avg_children = a.children_instances as f64 / a.instances.max(1) as f64;
+    // DOALL: a loop whose SP tracks its iteration count (within 20%, at
+    // least 2 iterations).
+    let is_doall =
+        meta.kind == RegionKind::Loop && avg_children >= 2.0 && self_p >= 0.8 * avg_children;
+    RegionStats {
+        instances: a.instances,
+        total_work: a.work,
+        coverage: if root_work > 0 { a.work as f64 / root_work as f64 } else { 0.0 },
+        self_p,
+        total_p,
+        avg_children,
+        is_doall,
+        ..meta
+    }
 }
 
 impl ParallelismProfile {
@@ -76,45 +182,38 @@ impl ParallelismProfile {
 
         // Per-region totals must not double-count recursive activations:
         // for each static region appearing in the profile, count only the
-        // *outermost* instances (propagation masked at that region).
-        let mut masked: std::collections::HashMap<u32, Vec<u64>> =
+        // *outermost* instances (propagation masked at that region),
+        // resolved by nesting depth so depth-sharded runs can be stitched
+        // per depth.
+        let mut masked: std::collections::HashMap<u32, Vec<BTreeMap<usize, u64>>> =
             std::collections::HashMap::new();
-        for (_, e) in dict.iter() {
-            masked
-                .entry(e.static_id)
-                .or_insert_with(|| dict.instance_counts_masked(e.static_id));
-        }
 
-        #[derive(Default)]
-        struct Acc {
-            instances: u64,
-            work: u64,
-            w_sp: f64,
-            w_tp: f64,
-            weight: f64,
-            children_instances: u64,
-        }
-        let mut accs: Vec<Acc> = (0..n).map(|_| Acc::default()).collect();
+        let mut depth_accs: Vec<BTreeMap<usize, DepthAcc>> = vec![BTreeMap::new(); n];
         let mut graph: Vec<HashSet<RegionId>> = vec![HashSet::new(); n];
 
         for (id, e) in dict.iter() {
             if counts[id.index()] == 0 {
                 continue;
             }
-            // Outermost-instance count for totals (recursion-safe); the
-            // plain count still gates reachability above.
-            let c = masked[&e.static_id][id.index()];
             let s = e.static_id as usize;
-            let a = &mut accs[s];
-            a.instances += c;
-            a.work += c * e.work;
-            // Weight by work so long-running instances dominate, with +1 to
-            // keep zero-work instances from vanishing.
-            let w = (c * (e.work + 1)) as f64;
-            a.w_sp += w * sp[id.index()];
-            a.w_tp += w * tp[id.index()];
-            a.weight += w;
-            a.children_instances += c * e.child_instances();
+            let by_depth = masked
+                .entry(e.static_id)
+                .or_insert_with(|| depth_counts_masked(&dict, e.static_id));
+            for (&d, &c) in &by_depth[id.index()] {
+                if c == 0 {
+                    continue;
+                }
+                let a = depth_accs[s].entry(d).or_default();
+                a.instances += c;
+                a.work += c * e.work;
+                // Weight by work so long-running instances dominate, with
+                // +1 to keep zero-work instances from vanishing.
+                let w = c as u128 * (e.work as u128 + 1);
+                *a.groups
+                    .entry((sp[id.index()].to_bits(), tp[id.index()].to_bits()))
+                    .or_insert(0) += w;
+                a.children_instances += c * e.child_instances();
+            }
             for (child, _) in &e.children {
                 let child_sid = dict.entry(*child).static_id;
                 graph[s].insert(RegionId(child_sid));
@@ -126,41 +225,36 @@ impl ParallelismProfile {
 
         let stats = (0..n)
             .map(|s| {
-                let a = &accs[s];
+                let mut a = DepthAcc::default();
+                for acc in depth_accs[s].values() {
+                    a.add(acc);
+                }
                 if a.instances == 0 {
                     return None;
                 }
                 let info = regions.info(RegionId(s as u32));
-                let self_p = if a.weight > 0.0 { a.w_sp / a.weight } else { 1.0 };
-                let total_p = if a.weight > 0.0 { a.w_tp / a.weight } else { 1.0 };
-                let avg_children = a.children_instances as f64 / a.instances as f64;
-                // DOALL: a loop whose SP tracks its iteration count
-                // (within 20%, at least 2 iterations).
-                let is_doall = info.kind == RegionKind::Loop
-                    && avg_children >= 2.0
-                    && self_p >= 0.8 * avg_children;
-                Some(RegionStats {
-                    region: info.id,
-                    kind: info.kind,
-                    label: info.label.clone(),
-                    location: format!("{} ({})", "", info.span.line_range()),
-                    instances: a.instances,
-                    total_work: a.work,
-                    coverage: if root_work > 0 {
-                        a.work as f64 / root_work as f64
-                    } else {
-                        0.0
+                Some(numeric_stats(
+                    RegionStats {
+                        region: info.id,
+                        kind: info.kind,
+                        label: info.label.clone(),
+                        location: format!("{} ({})", "", info.span.line_range()),
+                        instances: 0,
+                        total_work: 0,
+                        coverage: 0.0,
+                        self_p: 1.0,
+                        total_p: 1.0,
+                        avg_children: 0.0,
+                        is_doall: false,
+                        is_reduction: reduction_loops.contains(&info.id),
                     },
-                    self_p,
-                    total_p,
-                    avg_children,
-                    is_doall,
-                    is_reduction: reduction_loops.contains(&info.id),
-                })
+                    &a,
+                    root_work,
+                ))
             })
             .collect();
 
-        ParallelismProfile { stats, root_work, root, graph, dict }
+        ParallelismProfile { stats, depth_accs, root_work, root, graph, dict }
     }
 
     /// Sets the source file name used in the `location` field.
@@ -211,10 +305,23 @@ impl ParallelismProfile {
     /// HCPA").
     ///
     /// `slices[k]` must be the profile of a run with
-    /// `min_depth = k * (window - 1)` and the given `window`; each region's
-    /// stats are taken from the slice that tracked both the region's depth
-    /// and its children's (`depth` and `depth + 1`). `region_depth` comes
-    /// from [`crate::ProfilerStats::region_min_depth`] of any of the runs.
+    /// `min_depth = k * (window - 1)` and the given `window` (the last
+    /// slice's window may be clipped). Slicing only affects *timing*
+    /// state: every slice observes the same region instances at the same
+    /// depths, but an instance's cp (and so sp/tp) is only valid in the
+    /// slice whose range covers both the instance's depth and its
+    /// children's. Stitching therefore recombines the per-`(region,
+    /// depth)` accumulators, taking each depth `d` from its owning slice
+    /// `d / (window - 1)` — a region called at several depths (say, a
+    /// function invoked at top level *and* deep inside a loop nest) gets
+    /// each call site's instances from the slice that tracked them. The
+    /// result is bit-identical to a full-window run
+    /// ([`ParallelismProfile::identical_stats`]).
+    ///
+    /// Coverage is normalized against slice 0's whole-program work: a
+    /// slice whose range excludes depth 0 credits call latencies only
+    /// inside its range, so its own root work runs short; slice 0 tracks
+    /// depth 0 and matches a full run's.
     ///
     /// The stitched profile supports *planning* (per-region stats and the
     /// region graph are correct); the embedded dictionary is the slice-0
@@ -225,24 +332,76 @@ impl ParallelismProfile {
     ///
     /// Panics if `slices` is empty, `window < 2`, or profiles disagree on
     /// region count.
-    pub fn stitch(
-        slices: &[ParallelismProfile],
-        region_depth: &[Option<usize>],
-        window: usize,
-    ) -> ParallelismProfile {
+    #[must_use]
+    pub fn stitch(slices: &[ParallelismProfile], window: usize) -> ParallelismProfile {
         assert!(!slices.is_empty(), "stitch of zero slices");
         assert!(window >= 2, "window must cover a region and its children");
         let n = slices[0].stats.len();
         assert!(slices.iter().all(|p| p.stats.len() == n), "mismatched modules");
         let stride = window - 1;
+        let owner = |d: usize| (d / stride).min(slices.len() - 1);
         let mut merged = slices[0].clone();
+        let root_work = merged.root_work;
         for r in 0..n {
-            let Some(depth) = region_depth.get(r).copied().flatten() else { continue };
-            let slice = (depth / stride).min(slices.len() - 1);
-            merged.stats[r] = slices[slice].stats[r].clone();
-            merged.graph[r] = slices[slice].graph[r].clone();
+            let mut accs: BTreeMap<usize, DepthAcc> = BTreeMap::new();
+            for (k, slice) in slices.iter().enumerate() {
+                for (&d, a) in &slice.depth_accs[r] {
+                    if owner(d) == k {
+                        accs.insert(d, a.clone());
+                    }
+                }
+            }
+            let mut total = DepthAcc::default();
+            for a in accs.values() {
+                total.add(a);
+            }
+            merged.stats[r] = match merged.stats[r].take() {
+                Some(meta) if total.instances > 0 => Some(numeric_stats(meta, &total, root_work)),
+                other => other,
+            };
+            merged.depth_accs[r] = accs;
         }
         merged
+    }
+
+    /// True when two profiles agree **bit-for-bit** on every per-region
+    /// statistic (floating-point fields compared by bit pattern), the
+    /// root, total work, and the region graph.
+    ///
+    /// The embedded dictionaries are *not* compared: a stitched profile
+    /// carries its slice-0 dictionary, which legitimately differs from a
+    /// full-window run's. This is the equivalence that depth-sharded
+    /// collection ([`crate::parallel`]) guarantees against a single
+    /// full-window pass.
+    #[must_use]
+    pub fn identical_stats(&self, other: &ParallelismProfile) -> bool {
+        fn feq(a: f64, b: f64) -> bool {
+            a.to_bits() == b.to_bits()
+        }
+        fn seq(a: &RegionStats, b: &RegionStats) -> bool {
+            a.region == b.region
+                && a.kind == b.kind
+                && a.label == b.label
+                && a.location == b.location
+                && a.instances == b.instances
+                && a.total_work == b.total_work
+                && feq(a.coverage, b.coverage)
+                && feq(a.self_p, b.self_p)
+                && feq(a.total_p, b.total_p)
+                && feq(a.avg_children, b.avg_children)
+                && a.is_doall == b.is_doall
+                && a.is_reduction == b.is_reduction
+        }
+        self.root == other.root
+            && self.root_work == other.root_work
+            && self.stats.len() == other.stats.len()
+            && self.stats.iter().zip(&other.stats).all(|(a, b)| match (a, b) {
+                (None, None) => true,
+                (Some(a), Some(b)) => seq(a, b),
+                _ => false,
+            })
+            && self.depth_accs == other.depth_accs
+            && self.graph == other.graph
     }
 
     /// Work-weighted merge of several runs of the *same module* (paper
@@ -283,6 +442,11 @@ impl ParallelismProfile {
                 }
                 merged.graph[i].extend(p.graph[i].iter().copied());
             }
+            for (i, accs) in p.depth_accs.iter().enumerate() {
+                for (&d, a) in accs {
+                    merged.depth_accs[i].entry(d).or_default().add(a);
+                }
+            }
         }
         let root_work = merged.root_work;
         for s in merged.stats.iter_mut().flatten() {
@@ -304,8 +468,7 @@ mod tests {
         let mut p = Profiler::new(&unit.module, HcpaConfig::default());
         run_with_hook(&unit.module, &mut p, MachineConfig::default()).expect("runs");
         let (dict, _) = p.finish();
-        let prof =
-            ParallelismProfile::build(&unit.module.regions, dict, &unit.reduction_loops());
+        let prof = ParallelismProfile::build(&unit.module.regions, dict, &unit.reduction_loops());
         (unit, prof)
     }
 

@@ -17,9 +17,30 @@
 //! * induction/reduction updates ignore their old-value operand when
 //!   [`HcpaConfig::break_carried_deps`] is set (the default — turning it
 //!   off is the ablation that makes most loops look serial).
+//!
+//! # Hot path
+//!
+//! [`ProfilerCore::on_instr`] runs once per executed instruction and is
+//! where nearly all profiling time goes. It is structured as a single
+//! **op-major** pass: per-depth region tags and availability times live in
+//! reusable scratch buffers, each operand/memory access is resolved with
+//! one bulk [`RegShadow::gather_max`] / [`MemShadow::gather_max`] call
+//! that amortizes the location lookup across every tracked depth, and the
+//! final times are committed with one bulk `write_run`. Per-region work is
+//! not accumulated per instruction at all: a single global latency counter
+//! advances in O(1), and each region's work is the counter delta across
+//! its lifetime (plus call latencies credited at tracked depths, exactly
+//! as the depth-major reference formulation does).
+//!
+//! The profiler is generic over the shadow backend: [`Profiler`] uses the
+//! packed depth-contiguous stores, [`BaselineProfiler`] the
+//! pre-optimization split-array stores (one page lookup per depth),
+//! isolating the layout's contribution. The full pre-optimization
+//! profiler — the `BENCH_profiler.json` baseline — is kept frozen in
+//! [`crate::seed`].
 
 use crate::cost::CostModel;
-use crate::shadow::{ShadowMemory, ShadowRegs};
+use crate::shadow::{BaselineMemory, BaselineRegs, MemShadow, RegShadow, ShadowMemory, ShadowRegs};
 use kremlin_compress::{Dictionary, EntryId};
 use kremlin_interp::{CallCtx, ExecHook, InstrCtx, RetCtx};
 use kremlin_ir::instr::InstrKind;
@@ -35,7 +56,7 @@ pub struct HcpaConfig {
     pub window: usize,
     /// First depth tracked. Together with `window` this is the paper's
     /// depth *range*: several runs with disjoint ranges can be collected
-    /// (even in parallel) and stitched with
+    /// (even in parallel, see [`crate::parallel`]) and stitched with
     /// [`crate::profile::ParallelismProfile::stitch`].
     pub min_depth: usize,
     /// Apply the induction/reduction dependence-breaking rule. Disabling
@@ -47,7 +68,12 @@ pub struct HcpaConfig {
 
 impl Default for HcpaConfig {
     fn default() -> Self {
-        HcpaConfig { window: 24, min_depth: 0, break_carried_deps: true, cost: CostModel::default() }
+        HcpaConfig {
+            window: 24,
+            min_depth: 0,
+            break_carried_deps: true,
+            cost: CostModel::default(),
+        }
     }
 }
 
@@ -60,67 +86,104 @@ pub struct ProfilerStats {
     pub dynamic_regions: u64,
     /// Peak region nesting depth observed.
     pub max_depth: usize,
-    /// Shadow memory pages allocated.
+    /// Shadow memory pages ever allocated (historical count).
     pub shadow_pages: u64,
-    /// Approximate shadow memory footprint in bytes.
+    /// Shadow memory pages currently resident at the end of the run.
+    pub shadow_live_pages: u64,
+    /// Shadow memory footprint in bytes of the live pages, derived from
+    /// the backend's actual slot layout.
     pub shadow_bytes: u64,
     /// Minimum dynamic nesting depth observed per static region (indexed
-    /// by region id); `None` for regions never entered. Used to assign
-    /// each region to its depth slice when stitching ranged runs.
+    /// by region id); `None` for regions never entered. Diagnostic: a
+    /// region may also appear at deeper depths (stitching accounts for
+    /// every depth separately).
     pub region_min_depth: Vec<Option<usize>>,
 }
 
 struct ActiveRegion {
     static_id: RegionId,
-    tag: u64,
-    work: u64,
+    /// Global work-counter value at region entry: the region's work is the
+    /// counter delta over its lifetime plus `work_extra`.
+    work_base: u64,
+    /// Work credited explicitly (call latencies at tracked depths).
+    work_extra: u64,
     cp: u64,
     children: HashMap<EntryId, u64>,
-    /// Work of completed children (for self-work accounting at exit;
-    /// `work` above already includes child instructions as they execute).
-    _reserved: (),
 }
 
 struct CallRecord {
     call_value: ValueId,
-    /// Per argument: availability time per caller depth.
-    arg_times: Vec<Vec<u64>>,
+    /// Caller depth count at call time: the row stride of `arg_times`.
+    depths: usize,
+    /// Flattened per-argument availability times, indexed
+    /// `arg * depths + depth` (absolute depth; untracked depths are 0).
+    arg_times: Vec<u64>,
 }
 
-/// The profiler. Feed it to [`kremlin_interp::run_with_hook`], then call
-/// [`Profiler::finish`].
-pub struct Profiler<'m> {
+/// HCPA profiler core, generic over the shadow-state backend. Feed it to
+/// [`kremlin_interp::run_with_hook`], then call [`ProfilerCore::finish`].
+pub struct ProfilerCore<'m, R: RegShadow, M: MemShadow> {
     module: &'m Module,
     config: HcpaConfig,
     dict: Dictionary,
     regions: Vec<ActiveRegion>,
+    /// `region_tags[d]` mirrors `regions[d].tag`: kept as a flat array so
+    /// the per-instruction hot path can slice it instead of re-gathering
+    /// tags from the region stack.
+    region_tags: Vec<u64>,
     cd_stack: Vec<Vec<u64>>,
-    mem: ShadowMemory,
-    frames: Vec<ShadowRegs>,
+    /// Retired control-dependence vectors, reused by `on_cd_push`.
+    cd_pool: Vec<Vec<u64>>,
+    mem: M,
+    frames: Vec<R>,
     calls: Vec<CallRecord>,
+    /// Retired call argument-time buffers, reused by `on_call`.
+    call_pool: Vec<Vec<u64>>,
     next_tag: u64,
+    /// Total instruction latency observed so far (O(1) work accrual).
+    work_counter: u64,
     stats: ProfilerStats,
     ops: Vec<ValueId>,
+    /// Scratch: per tracked depth, the availability time being computed.
+    t_scratch: Vec<u64>,
+    /// Scratch: returned-value times captured across the callee teardown.
+    ret_scratch: Vec<u64>,
 }
 
-impl<'m> Profiler<'m> {
+/// The profiler with the optimized packed shadow backend.
+pub type Profiler<'m> = ProfilerCore<'m, ShadowRegs, ShadowMemory>;
+
+/// The optimized hot path over the pre-optimization shadow backend (split
+/// tag/time arrays, one page lookup per depth). Produces bit-identical
+/// profiles to [`Profiler`]; isolates the shadow-layout contribution in
+/// benchmarks and differential tests. (The full pre-optimization profiler
+/// is [`crate::seed::SeedProfiler`].)
+pub type BaselineProfiler<'m> = ProfilerCore<'m, BaselineRegs, BaselineMemory>;
+
+impl<'m, R: RegShadow, M: MemShadow> ProfilerCore<'m, R, M> {
     /// Creates a profiler for `module`.
     pub fn new(module: &'m Module, config: HcpaConfig) -> Self {
-        Profiler {
+        ProfilerCore {
             module,
             config,
             dict: Dictionary::new(),
             regions: Vec::new(),
+            region_tags: Vec::new(),
             cd_stack: Vec::new(),
-            mem: ShadowMemory::new(config.window),
+            cd_pool: Vec::new(),
+            mem: M::new(config.window),
             frames: Vec::new(),
             calls: Vec::new(),
+            call_pool: Vec::new(),
             next_tag: 1,
+            work_counter: 0,
             stats: ProfilerStats {
                 region_min_depth: vec![None; module.regions.len()],
                 ..ProfilerStats::default()
             },
             ops: Vec::new(),
+            t_scratch: Vec::with_capacity(config.window),
+            ret_scratch: Vec::new(),
         }
     }
 
@@ -133,6 +196,7 @@ impl<'m> Profiler<'m> {
     pub fn finish(mut self) -> (Dictionary, ProfilerStats) {
         assert!(self.regions.is_empty(), "profiling finished with open regions");
         self.stats.shadow_pages = self.mem.pages_allocated();
+        self.stats.shadow_live_pages = self.mem.live_pages();
         self.stats.shadow_bytes = self.mem.footprint_bytes();
         (self.dict, self.stats)
     }
@@ -150,21 +214,23 @@ impl<'m> Profiler<'m> {
         *slot = Some(slot.map_or(depth, |d| d.min(depth)));
         self.regions.push(ActiveRegion {
             static_id,
-            tag,
-            work: 0,
+            work_base: self.work_counter,
+            work_extra: 0,
             cp: 0,
             children: HashMap::new(),
-            _reserved: (),
         });
+        self.region_tags.push(tag);
         self.stats.max_depth = self.stats.max_depth.max(self.regions.len());
     }
 
     fn pop_region(&mut self, expected: RegionId) -> EntryId {
         let r = self.regions.pop().expect("region stack underflow");
+        self.region_tags.pop();
         debug_assert_eq!(r.static_id, expected, "mismatched region exit");
+        let work = self.work_counter - r.work_base + r.work_extra;
         let mut children: Vec<(EntryId, u64)> = r.children.into_iter().collect();
         children.sort_by_key(|(c, _)| *c);
-        let id = self.dict.intern(r.static_id.0, r.work, r.cp, children);
+        let id = self.dict.intern(r.static_id.0, work, r.cp, children);
         self.stats.dynamic_regions += 1;
         match self.regions.last_mut() {
             Some(parent) => {
@@ -192,93 +258,109 @@ impl<'m> Profiler<'m> {
     }
 }
 
-impl ExecHook for Profiler<'_> {
+impl<R: RegShadow, M: MemShadow> ExecHook for ProfilerCore<'_, R, M> {
     fn on_instr(&mut self, ctx: &InstrCtx<'_>) {
         self.stats.instr_events += 1;
         let lat = self.config.cost.latency(ctx.kind);
 
-        // Work accrues at every active depth (not just tracked ones):
-        // `work(R)` includes all nested instructions.
-        for r in &mut self.regions {
-            r.work += lat;
-        }
+        // Work accrues at every active depth: a single counter advance
+        // stands in for incrementing each open region (the region's work
+        // is reconstructed as a counter delta at exit).
+        self.work_counter += lat;
 
-        // Gather value operands.
-        self.ops.clear();
-        match ctx.kind {
-            InstrKind::Phi { .. } => {
-                if let Some(src) = ctx.phi_source {
-                    self.ops.push(src);
-                }
-            }
-            kind => kind.operands(&mut self.ops),
+        let (lo, hi) = self.tracked_range();
+        if lo >= hi {
+            // No tracked depth is active (e.g. a depth shard whose range
+            // the execution has not reached): nothing else to update.
+            return;
         }
-        let break_on = if self.config.break_carried_deps {
-            ctx.func.value(ctx.value).break_dep_on
-        } else {
-            None
-        };
+        let n = hi - lo;
+
+        // Per-depth availability times seeded from the control dependence
+        // on the enclosing branch condition.
+        self.t_scratch.clear();
+        match self.cd_stack.last() {
+            Some(v) => self.t_scratch.extend((lo..hi).map(|d| v.get(d).copied().unwrap_or(0))),
+            None => self.t_scratch.resize(n, 0),
+        }
 
         let is_store = matches!(ctx.kind, InstrKind::Store { .. });
-        let is_param = matches!(ctx.kind, InstrKind::Param(_));
-        let (lo, hi) = self.tracked_range();
-        for d in lo..hi {
-            let tag = self.regions[d].tag;
-            let mut t = self.cd_time(d);
-            if is_param {
-                // Parameter times come from the call site's argument times
-                // (depths beyond the caller's depth default to 0).
-                if let (InstrKind::Param(i), Some(call)) = (ctx.kind, self.calls.last()) {
-                    t = t.max(call.arg_times[*i as usize].get(d).copied().unwrap_or(0));
-                }
-            } else {
-                let frame = self.frames.last().expect("shadow frame");
-                for &op in &self.ops {
-                    if Some(op) == break_on {
-                        continue;
+        if let InstrKind::Param(i) = ctx.kind {
+            // Parameter times come from the call site's argument times
+            // (depths beyond the caller's depth default to 0).
+            if let Some(call) = self.calls.last() {
+                let base = *i as usize * call.depths;
+                for (k, slot) in self.t_scratch.iter_mut().enumerate() {
+                    let d = lo + k;
+                    if d < call.depths {
+                        *slot = (*slot).max(call.arg_times[base + d]);
                     }
-                    t = t.max(frame.read(op.index(), d - lo, tag));
-                }
-                if let (InstrKind::Load(_), Some(addr)) = (ctx.kind, ctx.mem_addr) {
-                    t = t.max(self.mem.read(addr, d - lo, tag));
                 }
             }
-            t += lat;
-            if is_store {
-                let addr = ctx.mem_addr.expect("store has an address");
-                self.mem.write(addr, d - lo, tag, t);
+        } else {
+            // Gather value operands, then fold each one's times across all
+            // tracked depths in one bulk pass per operand.
+            self.ops.clear();
+            match ctx.kind {
+                InstrKind::Phi { .. } => {
+                    if let Some(src) = ctx.phi_source {
+                        self.ops.push(src);
+                    }
+                }
+                kind => kind.operands(&mut self.ops),
+            }
+            let break_on = if self.config.break_carried_deps {
+                ctx.func.value(ctx.value).break_dep_on
             } else {
-                let frame = self.frames.last_mut().expect("shadow frame");
-                frame.write(ctx.value.index(), d - lo, tag, t);
+                None
+            };
+            let frame = self.frames.last().expect("shadow frame");
+            let tags = &self.region_tags[lo..hi];
+            for &op in &self.ops {
+                if Some(op) == break_on {
+                    continue;
+                }
+                frame.gather_max(op.index(), tags, &mut self.t_scratch);
             }
-            let r = &mut self.regions[d];
+            if let (InstrKind::Load(_), Some(addr)) = (ctx.kind, ctx.mem_addr) {
+                self.mem.gather_max(addr, tags, &mut self.t_scratch);
+            }
+        }
+
+        for t in &mut self.t_scratch {
+            *t += lat;
+        }
+        let tags = &self.region_tags[lo..hi];
+        if is_store {
+            let addr = ctx.mem_addr.expect("store has an address");
+            self.mem.write_run(addr, tags, &self.t_scratch);
+        } else {
+            let frame = self.frames.last_mut().expect("shadow frame");
+            frame.write_run(ctx.value.index(), tags, &self.t_scratch);
+        }
+        for (r, &t) in self.regions[lo..hi].iter_mut().zip(&self.t_scratch) {
             r.cp = r.cp.max(t);
         }
     }
 
     fn on_call(&mut self, ctx: &CallCtx<'_>) {
         let (lo, hi) = self.tracked_range();
+        let mut buf = self.call_pool.pop().unwrap_or_default();
+        buf.clear();
+        buf.resize(ctx.args.len() * hi, 0);
         let frame = self.frames.last().expect("caller shadow frame");
-        // Argument-time vectors are indexed by absolute depth; untracked
-        // depths stay zero.
-        let arg_times = ctx
-            .args
-            .iter()
-            .map(|a| {
-                let mut v = vec![0u64; hi];
-                for (d, slot) in v.iter_mut().enumerate().take(hi).skip(lo) {
-                    *slot = frame.read(a.index(), d - lo, self.regions[d].tag);
-                }
-                v
-            })
-            .collect();
-        self.calls.push(CallRecord { call_value: ctx.call_value, arg_times });
+        for (a_i, a) in ctx.args.iter().enumerate() {
+            for d in lo..hi {
+                buf[a_i * hi + d] = frame.read(a.index(), d - lo, self.region_tags[d]);
+            }
+        }
+        self.calls.push(CallRecord { call_value: ctx.call_value, depths: hi, arg_times: buf });
     }
 
     fn on_function_enter(&mut self, func: FuncId, region: RegionId) {
         self.push_region(region);
         let f = self.module.func(func);
-        self.frames.push(ShadowRegs::new(f.values.len(), self.config.window));
+        self.frames.push(R::new(f.values.len(), self.config.window));
     }
 
     fn on_return(&mut self, ctx: &RetCtx) {
@@ -287,17 +369,15 @@ impl ExecHook for Profiler<'_> {
         // innermost region.
         let (lo, hi) = self.tracked_range();
         let caller_hi = hi.min(self.regions.len() - 1);
-        let ret_times: Vec<u64> = match ctx.returned {
-            Some(v) => {
-                let frame = self.frames.last().expect("callee shadow frame");
-                let mut v_times = vec![0u64; caller_hi];
-                for (d, slot) in v_times.iter_mut().enumerate().take(caller_hi).skip(lo) {
-                    *slot = frame.read(v.index(), d - lo, self.regions[d].tag);
-                }
-                v_times
+        let mut ret_times = std::mem::take(&mut self.ret_scratch);
+        ret_times.clear();
+        ret_times.resize(caller_hi, 0);
+        if let Some(v) = ctx.returned {
+            let frame = self.frames.last().expect("callee shadow frame");
+            for (d, slot) in ret_times.iter_mut().enumerate().take(caller_hi).skip(lo) {
+                *slot = frame.read(v.index(), d - lo, self.region_tags[d]);
             }
-            None => vec![0; caller_hi],
-        };
+        }
 
         self.pop_region(ctx.region);
         self.frames.pop();
@@ -307,14 +387,18 @@ impl ExecHook for Profiler<'_> {
             let (lo, hi) = self.tracked_range();
             let frame = self.frames.last_mut().expect("caller shadow frame");
             for d in lo..hi {
-                let tag = self.regions[d].tag;
+                let tag = self.region_tags[d];
                 let t = ret_times.get(d).copied().unwrap_or(0) + lat;
                 frame.write(call.call_value.index(), d - lo, tag, t);
                 let r = &mut self.regions[d];
                 r.cp = r.cp.max(t);
-                r.work += lat;
+                r.work_extra += lat;
             }
+            let mut buf = call.arg_times;
+            buf.clear();
+            self.call_pool.push(buf);
         }
+        self.ret_scratch = ret_times;
     }
 
     fn on_region_enter(&mut self, region: RegionId) {
@@ -327,10 +411,12 @@ impl ExecHook for Profiler<'_> {
 
     fn on_cd_push(&mut self, cond: ValueId) {
         let (lo, hi) = self.tracked_range();
+        let mut entry = self.cd_pool.pop().unwrap_or_default();
+        entry.clear();
+        entry.resize(hi, 0);
         let frame = self.frames.last().expect("shadow frame");
-        let mut entry = vec![0u64; hi];
         for (d, slot) in entry.iter_mut().enumerate().take(hi).skip(lo) {
-            let cond_t = frame.read(cond.index(), d - lo, self.regions[d].tag);
+            let cond_t = frame.read(cond.index(), d - lo, self.region_tags[d]);
             // Control times only increase: fold in the enclosing top.
             *slot = cond_t.max(self.cd_time(d));
         }
@@ -338,7 +424,8 @@ impl ExecHook for Profiler<'_> {
     }
 
     fn on_cd_pop(&mut self) {
-        self.cd_stack.pop().expect("cd stack underflow");
+        let entry = self.cd_stack.pop().expect("cd stack underflow");
+        self.cd_pool.push(entry);
     }
 }
 
@@ -547,8 +634,7 @@ mod tests {
              int main() { int t = 0; for (int k = 1; k < 9; k++) { t += f(k * 8); } return t; }",
         );
         for (_, e) in dict.iter() {
-            let child_work: u64 =
-                e.children.iter().map(|(c, n)| n * dict.entry(*c).work).sum();
+            let child_work: u64 = e.children.iter().map(|(c, n)| n * dict.entry(*c).work).sum();
             assert!(
                 e.work >= child_work,
                 "parent work {} < sum of child work {child_work}",
@@ -573,14 +659,74 @@ mod tests {
         let src = "int f(int n) { if (n <= 0) { return 0; } return 1 + f(n - 1); }\n\
                    int main() { return f(100); }";
         let unit = compile(src, "t.kc").unwrap();
-        let mut p = Profiler::new(
-            &unit.module,
-            HcpaConfig { window: 8, ..HcpaConfig::default() },
-        );
+        let mut p = Profiler::new(&unit.module, HcpaConfig { window: 8, ..HcpaConfig::default() });
         let r = run_with_hook(&unit.module, &mut p, MachineConfig::default()).unwrap();
         assert_eq!(r.exit, 100);
         let (dict, stats) = p.finish();
         assert!(stats.max_depth > 8);
         assert!(dict.root().is_some());
+    }
+
+    /// One dictionary entry, flattened for comparison: `(static_id, work,
+    /// cp, children)`.
+    type EntryShape = (u32, u64, u64, Vec<(usize, u64)>);
+
+    /// Flattens a dictionary into comparable tuples, in entry order.
+    fn dict_shape(d: &Dictionary) -> Vec<EntryShape> {
+        d.iter()
+            .map(|(_, e)| {
+                (
+                    e.static_id,
+                    e.work,
+                    e.cp,
+                    e.children.iter().map(|(c, n)| (c.index(), *n)).collect(),
+                )
+            })
+            .collect()
+    }
+
+    /// The packed backend must produce bit-identical profiles to the
+    /// pre-optimization baseline backend, config for config.
+    #[test]
+    fn packed_backend_matches_baseline_backend() {
+        let srcs = [
+            "float a[64]; float b[64];\n\
+             int main() {\n\
+               for (int i = 0; i < 64; i++) { a[i] = (float) i; }\n\
+               float s = 0.0;\n\
+               for (int i = 0; i < 64; i++) { if (a[i] > 10.0) { s += a[i]; } else { b[i] = s; } }\n\
+               return (int) s;\n\
+             }",
+            "float m[12][12];\n\
+             float f(float x) { float t = 0.0; for (int h = 0; h < 4; h++) { t += x * 0.5 + (float) h; } return t; }\n\
+             int main() {\n\
+               for (int i = 0; i < 12; i++) { for (int j = 0; j < 12; j++) { m[i][j] = f((float)(i + j)); } }\n\
+               return (int) m[3][4];\n\
+             }",
+        ];
+        for src in srcs {
+            let unit = compile(src, "t.kc").unwrap();
+            for config in [
+                HcpaConfig::default(),
+                HcpaConfig { window: 3, ..HcpaConfig::default() },
+                HcpaConfig { window: 4, min_depth: 2, ..HcpaConfig::default() },
+                HcpaConfig { break_carried_deps: false, ..HcpaConfig::default() },
+            ] {
+                let mut p = Profiler::new(&unit.module, config);
+                run_with_hook(&unit.module, &mut p, MachineConfig::default()).unwrap();
+                let (dict_p, stats_p) = p.finish();
+
+                let mut b = BaselineProfiler::new(&unit.module, config);
+                run_with_hook(&unit.module, &mut b, MachineConfig::default()).unwrap();
+                let (dict_b, stats_b) = b.finish();
+
+                assert_eq!(dict_shape(&dict_p), dict_shape(&dict_b));
+                assert_eq!(dict_p.root().map(|r| r.index()), dict_b.root().map(|r| r.index()));
+                assert_eq!(stats_p.instr_events, stats_b.instr_events);
+                assert_eq!(stats_p.dynamic_regions, stats_b.dynamic_regions);
+                assert_eq!(stats_p.max_depth, stats_b.max_depth);
+                assert_eq!(stats_p.region_min_depth, stats_b.region_min_depth);
+            }
+        }
     }
 }

@@ -15,32 +15,345 @@
 //!   shadow memory");
 //! * [`ShadowRegs`] — a directly addressed per-frame table for SSA values
 //!   (§4.1 "shadow register tables for local variables").
+//!
+//! # Hot-path layout
+//!
+//! The profiler touches every tracked depth of a location on every
+//! instruction, so the layout is optimized for that access pattern:
+//!
+//! * `(tag, time)` pairs are interleaved in one [`Slot`] and laid out
+//!   **depth-contiguous per location**, so the per-instruction depth loop
+//!   is a branch-light scan over one contiguous run instead of two
+//!   strided walks over separate tag/time arrays;
+//! * [`ShadowMemory`] resolves the page **once per access** via
+//!   [`MemShadow::gather_max`] / [`MemShadow::write_run`] and keeps a
+//!   one-entry **last-page cache** — loop bodies hit the same page
+//!   repeatedly, so most accesses skip the hash lookup entirely.
+//!
+//! The pre-optimization structures survive as [`BaselineRegs`] /
+//! [`BaselineMemory`] (split tag/time arrays, one page lookup *per
+//! depth*): they are the reference implementation for differential tests
+//! and the baseline that `BENCH_profiler.json` measures speedups against.
+
+use std::cell::Cell;
+use std::collections::HashMap;
 
 /// Slots per shadow-memory page (power of two).
 const PAGE_SLOTS: u64 = 1024;
 
-/// A per-frame shadow register table: `(tag, time)` per (value, depth).
+/// One shadow cell: the region-instance tag of the writer and the
+/// availability time it recorded.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct Slot {
+    /// Region-instance tag of the writer (0 = never written).
+    pub tag: u64,
+    /// Availability time recorded by the writer.
+    pub time: u64,
+}
+
+/// Per-frame shadow register operations, as used by the profiler.
+///
+/// `depth` arguments are *relative* to the profiler's tracked range
+/// (`d - min_depth`); the bulk operations cover relative depths
+/// `0..t.len()` in one call.
+pub trait RegShadow {
+    /// Creates a table for `n_values` SSA values with `window` depth slots.
+    fn new(n_values: usize, window: usize) -> Self;
+
+    /// Availability time of `value` at `depth`, or 0 on tag mismatch or
+    /// out-of-window depth.
+    fn read(&self, value: usize, depth: usize, tag: u64) -> u64;
+
+    /// Records `time` for `value` at `depth` under `tag`.
+    fn write(&mut self, value: usize, depth: usize, tag: u64, time: u64);
+
+    /// Folds `value`'s times into `t`: for each relative depth `i`,
+    /// `t[i] = max(t[i], time at depth i under tags[i])`.
+    ///
+    /// `tags` and `t` have equal length, at most `window`.
+    fn gather_max(&self, value: usize, tags: &[u64], t: &mut [u64]) {
+        for (i, (slot, tag)) in t.iter_mut().zip(tags).enumerate() {
+            *slot = (*slot).max(self.read(value, i, *tag));
+        }
+    }
+
+    /// Writes `t[i]` under `tags[i]` at every relative depth `i`.
+    fn write_run(&mut self, value: usize, tags: &[u64], t: &[u64]) {
+        for (i, (&time, &tag)) in t.iter().zip(tags).enumerate() {
+            self.write(value, i, tag, time);
+        }
+    }
+}
+
+/// Shadow-memory operations, as used by the profiler. Depths are relative,
+/// as in [`RegShadow`].
+pub trait MemShadow {
+    /// Creates an empty shadow memory with `window` depth slots per
+    /// location.
+    fn new(window: usize) -> Self;
+
+    /// Availability time of the value stored at `addr`, observed at
+    /// `depth`, or 0 on tag mismatch, unallocated page, or out-of-window
+    /// depth.
+    fn read(&self, addr: u64, depth: usize, tag: u64) -> u64;
+
+    /// Records `time` for `addr` at `depth` under `tag`, allocating the
+    /// page on first touch.
+    fn write(&mut self, addr: u64, depth: usize, tag: u64, time: u64);
+
+    /// Folds `addr`'s times into `t` (see [`RegShadow::gather_max`]).
+    fn gather_max(&self, addr: u64, tags: &[u64], t: &mut [u64]) {
+        for (i, (slot, tag)) in t.iter_mut().zip(tags).enumerate() {
+            *slot = (*slot).max(self.read(addr, i, *tag));
+        }
+    }
+
+    /// Writes `t[i]` under `tags[i]` at every relative depth `i` of `addr`.
+    fn write_run(&mut self, addr: u64, tags: &[u64], t: &[u64]) {
+        for (i, (&time, &tag)) in t.iter().zip(tags).enumerate() {
+            self.write(addr, i, tag, time);
+        }
+    }
+
+    /// Number of distinct pages ever allocated (historical; never
+    /// decreases).
+    fn pages_allocated(&self) -> u64;
+
+    /// Number of pages currently resident.
+    fn live_pages(&self) -> u64;
+
+    /// Current shadow-memory footprint in bytes, derived from the actual
+    /// slot layout of live pages.
+    fn footprint_bytes(&self) -> u64;
+}
+
+// ---------------------------------------------------------------------------
+// Optimized (packed) stores
+// ---------------------------------------------------------------------------
+
+/// A per-frame shadow register table: one depth-contiguous [`Slot`] run
+/// per SSA value.
 #[derive(Debug)]
 pub struct ShadowRegs {
+    window: usize,
+    slots: Vec<Slot>,
+}
+
+impl ShadowRegs {
+    /// The depth run of `value`: `window` consecutive slots.
+    #[inline]
+    pub fn run(&self, value: usize) -> &[Slot] {
+        &self.slots[value * self.window..(value + 1) * self.window]
+    }
+
+    /// Mutable depth run of `value`.
+    #[inline]
+    pub fn run_mut(&mut self, value: usize) -> &mut [Slot] {
+        &mut self.slots[value * self.window..(value + 1) * self.window]
+    }
+}
+
+impl RegShadow for ShadowRegs {
+    fn new(n_values: usize, window: usize) -> Self {
+        ShadowRegs { window, slots: vec![Slot::default(); n_values * window] }
+    }
+
+    #[inline]
+    fn read(&self, value: usize, depth: usize, tag: u64) -> u64 {
+        if depth >= self.window {
+            return 0;
+        }
+        let s = self.slots[value * self.window + depth];
+        if s.tag == tag {
+            s.time
+        } else {
+            0
+        }
+    }
+
+    #[inline]
+    fn write(&mut self, value: usize, depth: usize, tag: u64, time: u64) {
+        if depth >= self.window {
+            return;
+        }
+        self.slots[value * self.window + depth] = Slot { tag, time };
+    }
+
+    #[inline]
+    fn gather_max(&self, value: usize, tags: &[u64], t: &mut [u64]) {
+        let run = &self.slots[value * self.window..];
+        for ((slot, &tag), s) in t.iter_mut().zip(tags).zip(run) {
+            // Branch-light select: tag mismatch contributes 0.
+            let time = if s.tag == tag { s.time } else { 0 };
+            *slot = (*slot).max(time);
+        }
+    }
+
+    #[inline]
+    fn write_run(&mut self, value: usize, tags: &[u64], t: &[u64]) {
+        let run = &mut self.slots[value * self.window..];
+        for ((&time, &tag), s) in t.iter().zip(tags).zip(run) {
+            *s = Slot { tag, time };
+        }
+    }
+}
+
+/// Two-level shadow memory over slot addresses: a hash index from page
+/// key to a densely stored page of depth-contiguous [`Slot`] runs, with a
+/// one-entry last-page cache in front of the index.
+#[derive(Debug, Default)]
+pub struct ShadowMemory {
+    window: usize,
+    index: HashMap<u64, u32>,
+    pages: Vec<Box<[Slot]>>,
+    /// `(page key, index into pages)` of the most recently touched page.
+    /// `u64::MAX` is an impossible key (addresses are `< u64::MAX`), so
+    /// the initial value never falsely hits.
+    last: Cell<(u64, u32)>,
+    /// Pages ever allocated (for reporting historical shadow footprint).
+    pages_allocated: u64,
+}
+
+impl ShadowMemory {
+    #[inline]
+    fn page_of(&self, addr: u64) -> Option<u32> {
+        let key = addr / PAGE_SLOTS;
+        let (ck, ci) = self.last.get();
+        if ck == key {
+            return Some(ci);
+        }
+        let i = *self.index.get(&key)?;
+        self.last.set((key, i));
+        Some(i)
+    }
+
+    #[inline]
+    fn page_of_mut(&mut self, addr: u64) -> u32 {
+        let key = addr / PAGE_SLOTS;
+        let (ck, ci) = self.last.get();
+        if ck == key {
+            return ci;
+        }
+        let i = match self.index.entry(key) {
+            std::collections::hash_map::Entry::Occupied(e) => *e.get(),
+            std::collections::hash_map::Entry::Vacant(e) => {
+                let i = self.pages.len() as u32;
+                self.pages.push(
+                    vec![Slot::default(); PAGE_SLOTS as usize * self.window].into_boxed_slice(),
+                );
+                self.pages_allocated += 1;
+                *e.insert(i)
+            }
+        };
+        self.last.set((key, i));
+        i
+    }
+
+    /// The depth run of `addr`, if its page is allocated.
+    #[inline]
+    pub fn run(&self, addr: u64) -> Option<&[Slot]> {
+        let page = &self.pages[self.page_of(addr)? as usize];
+        let base = (addr % PAGE_SLOTS) as usize * self.window;
+        Some(&page[base..base + self.window])
+    }
+
+    /// Mutable depth run of `addr`, allocating its page on first touch.
+    #[inline]
+    pub fn run_mut(&mut self, addr: u64) -> &mut [Slot] {
+        let i = self.page_of_mut(addr) as usize;
+        let window = self.window;
+        let page = &mut self.pages[i];
+        let base = (addr % PAGE_SLOTS) as usize * window;
+        &mut page[base..base + window]
+    }
+}
+
+impl MemShadow for ShadowMemory {
+    fn new(window: usize) -> Self {
+        ShadowMemory {
+            window,
+            index: HashMap::new(),
+            pages: Vec::new(),
+            last: Cell::new((u64::MAX, 0)),
+            pages_allocated: 0,
+        }
+    }
+
+    #[inline]
+    fn read(&self, addr: u64, depth: usize, tag: u64) -> u64 {
+        if depth >= self.window {
+            return 0;
+        }
+        let Some(run) = self.run(addr) else { return 0 };
+        let s = run[depth];
+        if s.tag == tag {
+            s.time
+        } else {
+            0
+        }
+    }
+
+    #[inline]
+    fn write(&mut self, addr: u64, depth: usize, tag: u64, time: u64) {
+        if depth >= self.window {
+            return;
+        }
+        self.run_mut(addr)[depth] = Slot { tag, time };
+    }
+
+    #[inline]
+    fn gather_max(&self, addr: u64, tags: &[u64], t: &mut [u64]) {
+        let Some(run) = self.run(addr) else { return };
+        for ((slot, &tag), s) in t.iter_mut().zip(tags).zip(run) {
+            let time = if s.tag == tag { s.time } else { 0 };
+            *slot = (*slot).max(time);
+        }
+    }
+
+    #[inline]
+    fn write_run(&mut self, addr: u64, tags: &[u64], t: &[u64]) {
+        let run = self.run_mut(addr);
+        for ((&time, &tag), s) in t.iter().zip(tags).zip(run) {
+            *s = Slot { tag, time };
+        }
+    }
+
+    fn pages_allocated(&self) -> u64 {
+        self.pages_allocated
+    }
+
+    fn live_pages(&self) -> u64 {
+        self.pages.len() as u64
+    }
+
+    fn footprint_bytes(&self) -> u64 {
+        // Derived from the actual slot layout rather than a hard-coded
+        // per-slot constant.
+        self.live_pages() * PAGE_SLOTS * self.window as u64 * std::mem::size_of::<Slot>() as u64
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Baseline (pre-optimization) stores
+// ---------------------------------------------------------------------------
+
+/// The pre-optimization shadow register table: split tag/time arrays,
+/// scalar per-depth access. Reference implementation for differential
+/// tests and the benchmark baseline.
+#[derive(Debug)]
+pub struct BaselineRegs {
     window: usize,
     tags: Vec<u64>,
     times: Vec<u64>,
 }
 
-impl ShadowRegs {
-    /// Creates a table for `n_values` SSA values with `window` depth slots.
-    pub fn new(n_values: usize, window: usize) -> Self {
-        ShadowRegs {
-            window,
-            tags: vec![0; n_values * window],
-            times: vec![0; n_values * window],
-        }
+impl RegShadow for BaselineRegs {
+    fn new(n_values: usize, window: usize) -> Self {
+        BaselineRegs { window, tags: vec![0; n_values * window], times: vec![0; n_values * window] }
     }
 
-    /// Availability time of `value` at `depth`, or 0 on tag mismatch or
-    /// out-of-window depth.
     #[inline]
-    pub fn read(&self, value: usize, depth: usize, tag: u64) -> u64 {
+    fn read(&self, value: usize, depth: usize, tag: u64) -> u64 {
         if depth >= self.window {
             return 0;
         }
@@ -52,9 +365,8 @@ impl ShadowRegs {
         }
     }
 
-    /// Records `time` for `value` at `depth` under `tag`.
     #[inline]
-    pub fn write(&mut self, value: usize, depth: usize, tag: u64, time: u64) {
+    fn write(&mut self, value: usize, depth: usize, tag: u64, time: u64) {
         if depth >= self.window {
             return;
         }
@@ -64,32 +376,28 @@ impl ShadowRegs {
     }
 }
 
-/// Two-level shadow memory over slot addresses.
+/// The pre-optimization shadow memory: a page hash resolved once *per
+/// depth* per access, split tag/time arrays. Reference implementation for
+/// differential tests and the benchmark baseline.
 #[derive(Debug, Default)]
-pub struct ShadowMemory {
+pub struct BaselineMemory {
     window: usize,
-    pages: std::collections::HashMap<u64, Page>,
-    /// Pages ever allocated (for reporting shadow footprint).
+    pages: HashMap<u64, BaselinePage>,
     pages_allocated: u64,
 }
 
 #[derive(Debug)]
-struct Page {
+struct BaselinePage {
     tags: Vec<u64>,
     times: Vec<u64>,
 }
 
-impl ShadowMemory {
-    /// Creates an empty shadow memory with `window` depth slots per
-    /// location.
-    pub fn new(window: usize) -> Self {
-        ShadowMemory { window, pages: std::collections::HashMap::new(), pages_allocated: 0 }
+impl MemShadow for BaselineMemory {
+    fn new(window: usize) -> Self {
+        BaselineMemory { window, pages: HashMap::new(), pages_allocated: 0 }
     }
 
-    /// Availability time of the value stored at `addr`, observed at
-    /// `depth`, or 0 on tag mismatch, unallocated page, or out-of-window
-    /// depth.
-    pub fn read(&self, addr: u64, depth: usize, tag: u64) -> u64 {
+    fn read(&self, addr: u64, depth: usize, tag: u64) -> u64 {
         if depth >= self.window {
             return 0;
         }
@@ -102,9 +410,7 @@ impl ShadowMemory {
         }
     }
 
-    /// Records `time` for `addr` at `depth` under `tag`, allocating the
-    /// page on first touch.
-    pub fn write(&mut self, addr: u64, depth: usize, tag: u64, time: u64) {
+    fn write(&mut self, addr: u64, depth: usize, tag: u64, time: u64) {
         if depth >= self.window {
             return;
         }
@@ -112,7 +418,7 @@ impl ShadowMemory {
         let pages_allocated = &mut self.pages_allocated;
         let page = self.pages.entry(addr / PAGE_SLOTS).or_insert_with(|| {
             *pages_allocated += 1;
-            Page {
+            BaselinePage {
                 tags: vec![0; PAGE_SLOTS as usize * window],
                 times: vec![0; PAGE_SLOTS as usize * window],
             }
@@ -122,14 +428,17 @@ impl ShadowMemory {
         page.times[i] = time;
     }
 
-    /// Number of distinct pages ever allocated.
-    pub fn pages_allocated(&self) -> u64 {
+    fn pages_allocated(&self) -> u64 {
         self.pages_allocated
     }
 
-    /// Approximate shadow-memory footprint in bytes.
-    pub fn footprint_bytes(&self) -> u64 {
-        self.pages_allocated * PAGE_SLOTS * self.window as u64 * 16
+    fn live_pages(&self) -> u64 {
+        self.pages.len() as u64
+    }
+
+    fn footprint_bytes(&self) -> u64 {
+        // One u64 tag + one u64 time per slot.
+        self.live_pages() * PAGE_SLOTS * self.window as u64 * 16
     }
 }
 
@@ -137,25 +446,26 @@ impl ShadowMemory {
 mod tests {
     use super::*;
 
-    #[test]
-    fn regs_tag_mismatch_reads_zero() {
-        let mut r = ShadowRegs::new(4, 8);
+    fn check_regs<R: RegShadow>() {
+        let mut r = R::new(4, 8);
         r.write(2, 3, 7, 100);
         assert_eq!(r.read(2, 3, 7), 100);
         assert_eq!(r.read(2, 3, 8), 0, "stale tag must read as 0");
         assert_eq!(r.read(2, 4, 7), 0, "other depth untouched");
-    }
-
-    #[test]
-    fn regs_out_of_window_is_silent() {
-        let mut r = ShadowRegs::new(2, 4);
+        // Out-of-window writes are silent.
+        let mut r = R::new(2, 4);
         r.write(1, 9, 1, 50);
         assert_eq!(r.read(1, 9, 1), 0);
     }
 
     #[test]
-    fn memory_pages_allocate_on_demand() {
-        let mut m = ShadowMemory::new(4);
+    fn regs_tag_mismatch_reads_zero() {
+        check_regs::<ShadowRegs>();
+        check_regs::<BaselineRegs>();
+    }
+
+    fn check_memory<M: MemShadow>() {
+        let mut m = M::new(4);
         assert_eq!(m.read(12345, 0, 1), 0);
         assert_eq!(m.pages_allocated(), 0);
         m.write(12345, 0, 1, 42);
@@ -168,27 +478,170 @@ mod tests {
         m.write(9_999_999, 2, 5, 44);
         assert_eq!(m.pages_allocated(), 2);
         assert_eq!(m.read(9_999_999, 2, 5), 44);
+        assert_eq!(m.live_pages(), 2);
         assert!(m.footprint_bytes() > 0);
-    }
 
-    #[test]
-    fn memory_depths_are_independent() {
-        let mut m = ShadowMemory::new(4);
+        // Depths are independent.
         m.write(100, 0, 1, 10);
         m.write(100, 1, 2, 20);
         assert_eq!(m.read(100, 0, 1), 10);
         assert_eq!(m.read(100, 1, 2), 20);
         assert_eq!(m.read(100, 1, 1), 0, "wrong tag at depth 1");
-    }
 
-    #[test]
-    fn same_slot_reuse_across_instances() {
         // Two loop iterations at the same depth: iteration 2 must not see
         // iteration 1's time (paper §4.2 tag rule).
-        let mut m = ShadowMemory::new(4);
         m.write(64, 2, 1001, 55); // iteration 1 (instance 1001)
         assert_eq!(m.read(64, 2, 1002), 0); // iteration 2 (instance 1002)
         m.write(64, 2, 1002, 5);
         assert_eq!(m.read(64, 2, 1002), 5);
+
+        // Out-of-window access is silent.
+        m.write(64, 9, 1, 1);
+        assert_eq!(m.read(64, 9, 1), 0);
+    }
+
+    #[test]
+    fn memory_semantics_hold_for_both_stores() {
+        check_memory::<ShadowMemory>();
+        check_memory::<BaselineMemory>();
+    }
+
+    #[test]
+    fn footprint_derives_from_slot_layout() {
+        let mut m = ShadowMemory::new(4);
+        m.write(0, 0, 1, 1);
+        assert_eq!(m.live_pages(), 1);
+        assert_eq!(m.footprint_bytes(), PAGE_SLOTS * 4 * std::mem::size_of::<Slot>() as u64);
+        assert_eq!(m.footprint_bytes(), m.live_pages() * PAGE_SLOTS * 4 * 16);
+    }
+
+    #[test]
+    fn bulk_ops_match_scalar_ops() {
+        let mut packed = ShadowMemory::new(6);
+        let tags = [3u64, 4, 5, 6];
+        let times = [10u64, 0, 30, 40];
+        packed.write_run(777, &tags, &times);
+        for (i, (&tag, &time)) in tags.iter().zip(&times).enumerate() {
+            assert_eq!(packed.read(777, i, tag), time);
+        }
+        let mut t = [5u64, 5, 5, 5];
+        // Query with one mismatching tag: that depth contributes 0.
+        packed.gather_max(777, &[3, 9, 5, 6], &mut t);
+        assert_eq!(t, [10, 5, 30, 40]);
+        // Unallocated page: gather leaves t untouched.
+        let mut t2 = [1u64, 2, 3, 4];
+        packed.gather_max(999_999, &[1, 1, 1, 1], &mut t2);
+        assert_eq!(t2, [1, 2, 3, 4]);
+    }
+
+    /// Differential check against the simplest possible model: a
+    /// `HashMap<(addr, depth), (tag, time)>`. Randomized accesses are
+    /// clustered so runs repeatedly revisit pages (exercising the
+    /// last-page cache) while still spraying across many pages and the
+    /// full 64-bit address range.
+    fn check_memory_against_naive_model<M: MemShadow>(seed: u64) {
+        const WINDOW: usize = 6;
+        // xorshift64*: deterministic, no external crates.
+        let mut state = seed;
+        let mut rng = move || {
+            state ^= state >> 12;
+            state ^= state << 25;
+            state ^= state >> 27;
+            state.wrapping_mul(0x2545_F491_4F6C_DD1D)
+        };
+        // Page-crossing cluster bases plus one far-away page.
+        let bases: [u64; 5] = [0, 1000, 1040, 1 << 30, u64::MAX - PAGE_SLOTS];
+        let addr = move |r: u64| {
+            let base = bases[(r >> 8) as usize % bases.len()];
+            base + r % 64
+        };
+
+        let mut model: HashMap<(u64, usize), (u64, u64)> = HashMap::new();
+        let mut mem = M::new(WINDOW);
+        let model_read =
+            |model: &HashMap<(u64, usize), (u64, u64)>, a: u64, d: usize, tag: u64| match model
+                .get(&(a, d))
+            {
+                Some(&(t, time)) if t == tag => time,
+                _ => 0,
+            };
+
+        for step in 0..20_000u64 {
+            let r = rng();
+            let a = addr(rng());
+            let d = (r >> 16) as usize % (WINDOW + 2); // sometimes out of window
+            let tag = 1 + (r >> 24) % 5; // small tag set => frequent collisions
+            let time = r >> 40;
+            match r % 4 {
+                0 => {
+                    mem.write(a, d, tag, time);
+                    if d < WINDOW {
+                        model.insert((a, d), (tag, time));
+                    }
+                }
+                1 => {
+                    assert_eq!(
+                        mem.read(a, d, tag),
+                        if d < WINDOW { model_read(&model, a, d, tag) } else { 0 },
+                        "step {step}: read(addr={a}, depth={d}, tag={tag})"
+                    );
+                }
+                2 => {
+                    let n = 1 + (r >> 32) as usize % WINDOW;
+                    let tags: Vec<u64> = (0..n).map(|i| 1 + (tag + i as u64) % 5).collect();
+                    let times: Vec<u64> = (0..n).map(|i| time + i as u64).collect();
+                    mem.write_run(a, &tags, &times);
+                    for (i, (&t, &tm)) in tags.iter().zip(&times).enumerate() {
+                        model.insert((a, i), (t, tm));
+                    }
+                }
+                _ => {
+                    let n = 1 + (r >> 32) as usize % WINDOW;
+                    let tags: Vec<u64> = (0..n).map(|i| 1 + (tag + i as u64) % 5).collect();
+                    let mut got: Vec<u64> = (0..n as u64).map(|i| time / 2 + i).collect();
+                    let want: Vec<u64> = got
+                        .iter()
+                        .enumerate()
+                        .map(|(i, &acc)| acc.max(model_read(&model, a, i, tags[i])))
+                        .collect();
+                    mem.gather_max(a, &tags, &mut got);
+                    assert_eq!(got, want, "step {step}: gather_max(addr={a})");
+                }
+            }
+        }
+
+        // Final sweep: every cell the model knows about reads back equal.
+        for (&(a, d), &(tag, time)) in &model {
+            assert_eq!(mem.read(a, d, tag), time, "final read(addr={a}, depth={d})");
+            assert_eq!(mem.read(a, d, tag + 100), 0, "final stale-tag read(addr={a})");
+        }
+        assert!(mem.live_pages() >= bases.len() as u64 - 1);
+    }
+
+    #[test]
+    fn packed_memory_matches_naive_model_on_random_trace() {
+        for seed in [0x9E37_79B9_7F4A_7C15u64, 42, 0xDEAD_BEEF] {
+            check_memory_against_naive_model::<ShadowMemory>(seed);
+        }
+    }
+
+    #[test]
+    fn baseline_memory_matches_naive_model_on_random_trace() {
+        check_memory_against_naive_model::<BaselineMemory>(0x9E37_79B9_7F4A_7C15);
+    }
+
+    #[test]
+    fn last_page_cache_stays_coherent() {
+        let mut m = ShadowMemory::new(2);
+        // Touch page A, then page B, then read back from A through the
+        // cold path and the cached path.
+        m.write(10, 0, 1, 11);
+        m.write(5000, 0, 1, 22);
+        assert_eq!(m.read(10, 0, 1), 11);
+        assert_eq!(m.read(10, 1, 1), 0);
+        assert_eq!(m.read(5000, 0, 1), 22);
+        m.write(10, 1, 2, 33);
+        assert_eq!(m.read(10, 1, 2), 33);
+        assert_eq!(m.live_pages(), 2);
     }
 }

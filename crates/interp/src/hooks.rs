@@ -164,16 +164,14 @@ impl TraceHook {
                 TraceEvent::FuncEnter(f) => {
                     stack.push(Open::Func(*f));
                 }
-                TraceEvent::RegionExit(r) => {
-                    match stack.pop() {
-                        Some(Open::Region(top)) if top == *r => {}
-                        other => {
-                            return Err(format!(
-                                "event {i}: region exit {r} does not match open {other:?}"
-                            ))
-                        }
+                TraceEvent::RegionExit(r) => match stack.pop() {
+                    Some(Open::Region(top)) if top == *r => {}
+                    other => {
+                        return Err(format!(
+                            "event {i}: region exit {r} does not match open {other:?}"
+                        ))
                     }
-                }
+                },
                 TraceEvent::FuncExit(f) => match stack.pop() {
                     Some(Open::Func(top)) if top == *f => {}
                     other => {

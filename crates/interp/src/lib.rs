@@ -47,10 +47,7 @@ mod tests {
             run_src("int main() { int s = 0; for (int i = 0; i < 10; i++) { s += i; } return s; }"),
             45
         );
-        assert_eq!(
-            run_src("int main() { int i = 0; while (i * i < 50) { i++; } return i; }"),
-            8
-        );
+        assert_eq!(run_src("int main() { int i = 0; while (i * i < 50) { i++; } return i; }"), 8);
     }
 
     #[test]
@@ -142,17 +139,11 @@ mod tests {
 
     #[test]
     fn call_depth_limit() {
-        let unit = compile(
-            "int f(int n) { return f(n + 1); } int main() { return f(0); }",
-            "t.kc",
-        )
-        .unwrap();
+        let unit = compile("int f(int n) { return f(n + 1); } int main() { return f(0); }", "t.kc")
+            .unwrap();
         let e = run(&unit.module).unwrap_err();
         // Either the call depth or the stack trips first; both are fine.
-        assert!(matches!(
-            e,
-            InterpError::CallDepthExceeded { .. } | InterpError::StackOverflow
-        ));
+        assert!(matches!(e, InterpError::CallDepthExceeded { .. } | InterpError::StackOverflow));
     }
 
     #[test]
@@ -208,11 +199,8 @@ mod tests {
         let body = unit.module.regions.by_label("main#L0b").unwrap();
         let mut trace = TraceHook::default();
         run_with_hook(&unit.module, &mut trace, MachineConfig::default()).unwrap();
-        let body_entries = trace
-            .events
-            .iter()
-            .filter(|e| **e == TraceEvent::RegionEnter(body))
-            .count();
+        let body_entries =
+            trace.events.iter().filter(|e| **e == TraceEvent::RegionEnter(body)).count();
         assert_eq!(body_entries, 6);
     }
 

@@ -106,11 +106,7 @@ pub fn run_with_hook<H: ExecHook>(
                 }
                 Terminator::Ret(v) => {
                     let returned_value = v.map(|v| frame.regs[v.index()]);
-                    hook.on_return(&RetCtx {
-                        func: frame.func,
-                        region: func.region,
-                        returned: *v,
-                    });
+                    hook.on_return(&RetCtx { func: frame.func, region: func.region, returned: *v });
                     mem.pop_frame(func.frame_slots);
                     let ret_slot = frame.ret_slot;
                     frames.pop();
@@ -277,8 +273,7 @@ pub fn run_with_hook<H: ExecHook>(
                     args,
                     call_value: vid,
                 });
-                let arg_vals: Vec<Value> =
-                    args.iter().map(|a| frame.regs[a.index()]).collect();
+                let arg_vals: Vec<Value> = args.iter().map(|a| frame.regs[a.index()]).collect();
                 let callee_id = *callee_id;
                 // End the borrow of `frame` before touching `frames`.
                 if frames.len() >= config.max_call_depth {

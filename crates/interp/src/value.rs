@@ -4,8 +4,7 @@ use kremlin_ir::Ty;
 use std::fmt;
 
 /// A runtime value: one slot's worth of data.
-#[derive(Debug, Clone, Copy, PartialEq)]
-#[derive(Default)]
+#[derive(Debug, Clone, Copy, PartialEq, Default)]
 pub enum Value {
     /// 64-bit signed integer.
     Int(i64),
@@ -87,7 +86,6 @@ impl fmt::Display for Value {
         }
     }
 }
-
 
 #[cfg(test)]
 mod tests {

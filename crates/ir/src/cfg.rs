@@ -104,7 +104,8 @@ pub(crate) mod testutil {
         let mut blocks: Vec<Block> = (0..n).map(|_| Block { instrs: vec![], term: None }).collect();
         let mut values = Vec::new();
         for (i, block) in blocks.iter_mut().enumerate() {
-            let succs: Vec<u32> = edges.iter().filter(|(a, _)| *a == i as u32).map(|(_, b)| *b).collect();
+            let succs: Vec<u32> =
+                edges.iter().filter(|(a, _)| *a == i as u32).map(|(_, b)| *b).collect();
             block.term = Some(match succs.len() {
                 0 => Terminator::Ret(None),
                 1 => Terminator::Br(BlockId(succs[0])),
@@ -117,7 +118,11 @@ pub(crate) mod testutil {
                         break_dep_on: None,
                     });
                     // The constant must live in some block; entry is fine.
-                    Terminator::CondBr { cond: c, then_bb: BlockId(succs[0]), else_bb: BlockId(succs[1]) }
+                    Terminator::CondBr {
+                        cond: c,
+                        then_bb: BlockId(succs[0]),
+                        else_bb: BlockId(succs[1]),
+                    }
                 }
                 _ => panic!("at most 2 successors"),
             });

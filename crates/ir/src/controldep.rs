@@ -85,9 +85,8 @@ mod tests {
         let (cd, f) = deps_for(&m, "main");
         // Exactly the two branch blocks are control dependent; entry and
         // join are not.
-        let dependent: Vec<usize> = (0..f.blocks.len())
-            .filter(|b| !cd.deps[*b].is_empty())
-            .collect();
+        let dependent: Vec<usize> =
+            (0..f.blocks.len()).filter(|b| !cd.deps[*b].is_empty()).collect();
         assert_eq!(dependent.len(), 2);
         // Each depends on the entry block's branch.
         for b in dependent {
@@ -98,13 +97,12 @@ mod tests {
 
     #[test]
     fn loop_body_depends_on_loop_condition() {
-        let m = build("int main() { int s = 0; for (int i = 0; i < 3; i++) { s += i; } return s; }");
+        let m =
+            build("int main() { int s = 0; for (int i = 0; i < 3; i++) { s += i; } return s; }");
         let (cd, f) = deps_for(&m, "main");
         let lm = &f.loops[0];
         // The body entry is control dependent on the header's branch.
-        assert!(cd.deps[lm.body_entry.index()]
-            .iter()
-            .any(|(b, _)| *b == lm.header));
+        assert!(cd.deps[lm.body_entry.index()].iter().any(|(b, _)| *b == lm.header));
         // The header itself is control dependent on its own branch (it can
         // only re-execute if the branch took the body edge).
         assert!(cd.deps[lm.header.index()].iter().any(|(b, _)| *b == lm.header));

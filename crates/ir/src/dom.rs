@@ -80,11 +80,7 @@ impl DomTree {
                     if idom[pi as usize] == UNDEF {
                         continue;
                     }
-                    new_idom = if new_idom == UNDEF {
-                        pi
-                    } else {
-                        intersect(&idom, new_idom, pi)
-                    };
+                    new_idom = if new_idom == UNDEF { pi } else { intersect(&idom, new_idom, pi) };
                 }
                 // Virtual-root predecessors (for the backward view, blocks
                 // that end in Ret are attached to the virtual exit = root).
@@ -123,8 +119,7 @@ impl DomTree {
             }
         }
 
-        let real_order: Vec<BlockId> =
-            order.iter().copied().filter(|b| b.index() < n).collect();
+        let real_order: Vec<BlockId> = order.iter().copied().filter(|b| b.index() < n).collect();
         DomTree { idom: idom_blocks, rooted, children, order: real_order }
     }
 

@@ -109,9 +109,7 @@ pub fn analyze(f: &mut Function) -> IndvarInfo {
 
             if let Some(class) = classify_update(f, vi, next, &in_loop, nl) {
                 // Only mark reductions when the phi has no other in-loop use.
-                if class == CarriedVar::Reduction
-                    && count_uses_in_loop(f, vi, &in_loop, next) > 0
-                {
+                if class == CarriedVar::Reduction && count_uses_in_loop(f, vi, &in_loop, next) > 0 {
                     continue;
                 }
                 f.values[next.index()].break_dep_on = Some(vi);
@@ -226,10 +224,8 @@ fn classify_update(
             }
         }
         InstrKind::IntrinsicCall { op, args } => {
-            let reducing = matches!(
-                op,
-                Intrinsic::FMin | Intrinsic::FMax | Intrinsic::IMin | Intrinsic::IMax
-            );
+            let reducing =
+                matches!(op, Intrinsic::FMin | Intrinsic::FMax | Intrinsic::IMin | Intrinsic::IMax);
             if reducing && args.contains(&phi) {
                 Some(CarriedVar::Reduction)
             } else {
@@ -263,9 +259,8 @@ mod tests {
 
     #[test]
     fn loop_counter_is_induction() {
-        let (m, infos) = build(
-            "int main() { int s = 0; for (int i = 0; i < 8; i++) { s += i; } return s; }",
-        );
+        let (m, infos) =
+            build("int main() { int s = 0; for (int i = 0; i < 8; i++) { s += i; } return s; }");
         let info = &infos[0];
         let inductions: Vec<_> =
             info.vars.iter().filter(|v| v.3 == CarriedVar::Induction).collect();
@@ -280,9 +275,8 @@ mod tests {
     fn int_accumulator_with_invariant_step_is_induction_like() {
         // `s += 3` is also an `IAdd(phi, inv)` — classified induction; the
         // effect (chain broken) is identical.
-        let (_, infos) = build(
-            "int main() { int s = 0; for (int i = 0; i < 8; i++) { s += 3; } return s; }",
-        );
+        let (_, infos) =
+            build("int main() { int s = 0; for (int i = 0; i < 8; i++) { s += 3; } return s; }");
         assert_eq!(infos[0].vars.len(), 2);
     }
 
@@ -299,9 +293,8 @@ mod tests {
 
     #[test]
     fn product_is_reduction() {
-        let (_, infos) = build(
-            "int main() { int p = 1; for (int i = 1; i < 5; i++) { p *= i; } return p; }",
-        );
+        let (_, infos) =
+            build("int main() { int p = 1; for (int i = 1; i < 5; i++) { p *= i; } return p; }");
         assert!(infos[0].vars.iter().any(|v| v.3 == CarriedVar::Reduction));
     }
 
@@ -322,8 +315,7 @@ mod tests {
         );
         let f = &m.funcs[0];
         // The float adds must not both be marked: s += a[i] has another use.
-        let red_count =
-            infos[0].vars.iter().filter(|v| v.3 == CarriedVar::Reduction).count();
+        let red_count = infos[0].vars.iter().filter(|v| v.3 == CarriedVar::Reduction).count();
         // `t = s * 2` is Set, not an accumulation; `s` has an extra use.
         assert_eq!(red_count, 0, "vars: {:?}", infos[0].vars);
         // And no float instruction carries a broken dep.
@@ -342,14 +334,7 @@ mod tests {
         let (m, infos) = build(
             "int main() { float x = 1.0; for (int i = 0; i < 8; i++) { x = x * 1.5 + 2.0; } return (int) x; }",
         );
-        assert_eq!(
-            infos[0]
-                .vars
-                .iter()
-                .filter(|v| v.3 == CarriedVar::Reduction)
-                .count(),
-            0
-        );
+        assert_eq!(infos[0].vars.iter().filter(|v| v.3 == CarriedVar::Reduction).count(), 0);
         let f = &m.funcs[0];
         for v in &f.values {
             if let InstrKind::Bin(BinOp::FMul, ..) = v.kind {

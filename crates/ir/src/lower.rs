@@ -147,8 +147,7 @@ impl<'a> FuncLowerer<'a> {
         program: &'a ast::Program,
         regions: &'a mut RegionTable,
     ) -> Self {
-        let func_region =
-            regions.add(RegionKind::Func, func_id, None, f.name.clone(), f.span);
+        let func_region = regions.add(RegionKind::Func, func_id, None, f.name.clone(), f.span);
         FuncLowerer {
             func_id,
             func_sigs,
@@ -263,7 +262,10 @@ impl<'a> FuncLowerer<'a> {
                     self.declare_var(&p.name, VarSlot::Alloca(a, p.ty.clone()));
                 }
                 ty @ Type::Array { .. } => {
-                    self.declare_var(&p.name, VarSlot::ParamArray(ValueId::from_index(i), ty.clone()));
+                    self.declare_var(
+                        &p.name,
+                        VarSlot::ParamArray(ValueId::from_index(i), ty.clone()),
+                    );
                 }
                 Type::Void => unreachable!(),
             }
@@ -287,9 +289,7 @@ impl<'a> FuncLowerer<'a> {
         // parent is the enclosing loop's *body* region.
         let region_to_loop: HashMap<RegionId, LoopId> =
             self.loops.iter().map(|l| (l.region, l.id)).collect();
-        let parent_of = |loop_region: RegionId,
-                         regions: &RegionTable|
-         -> Option<LoopId> {
+        let parent_of = |loop_region: RegionId, regions: &RegionTable| -> Option<LoopId> {
             let mut cur = regions.info(loop_region).parent;
             while let Some(r) = cur {
                 if let Some(l) = region_to_loop.get(&r) {
@@ -353,11 +353,7 @@ impl<'a> FuncLowerer<'a> {
                 let stored = match op {
                     ast::AssignOp::Set => rhs,
                     compound => {
-                        let old = self.emit(
-                            InstrKind::Load(ptr),
-                            scalar_ty(scalar),
-                            *span,
-                        );
+                        let old = self.emit(InstrKind::Load(ptr), scalar_ty(scalar), *span);
                         let bin = match (compound, scalar) {
                             (ast::AssignOp::Add, Scalar::Int) => BinOp::IAdd,
                             (ast::AssignOp::Sub, Scalar::Int) => BinOp::ISub,
@@ -484,8 +480,7 @@ impl<'a> FuncLowerer<'a> {
         let func_name = self.regions.info(self.func_region).label.clone();
         let n = self.loop_counter;
         self.loop_counter += 1;
-        let parent_region =
-            self.open_regions.last().copied().unwrap_or(self.func_region);
+        let parent_region = self.open_regions.last().copied().unwrap_or(self.func_region);
         let loop_region = self.regions.add(
             RegionKind::Loop,
             self.func_id,
@@ -613,10 +608,9 @@ impl<'a> FuncLowerer<'a> {
             ast::Expr::IntLit(v, span) => {
                 Lowered::Scalar(self.emit(InstrKind::ConstInt(*v), Ty::I64, *span), Scalar::Int)
             }
-            ast::Expr::FloatLit(v, span) => Lowered::Scalar(
-                self.emit(InstrKind::ConstFloat(*v), Ty::F64, *span),
-                Scalar::Float,
-            ),
+            ast::Expr::FloatLit(v, span) => {
+                Lowered::Scalar(self.emit(InstrKind::ConstFloat(*v), Ty::F64, *span), Scalar::Float)
+            }
             ast::Expr::Var(name, span) => {
                 let slot = self.lookup_var(name);
                 let (ptr, ty) = self.base_ptr(slot, *span);
@@ -635,8 +629,7 @@ impl<'a> FuncLowerer<'a> {
                 };
                 let (iv, _) = self.lower_expr(index).scalar();
                 let stride = ty.outer_stride().expect("typeck checked index depth");
-                let p2 =
-                    self.emit(InstrKind::Gep { base: ptr, index: iv, stride }, Ty::Ptr, *span);
+                let p2 = self.emit(InstrKind::Gep { base: ptr, index: iv, stride }, Ty::Ptr, *span);
                 let inner = ty.index_once().expect("typeck checked index depth");
                 match inner.as_scalar() {
                     Some(s) => {
@@ -651,7 +644,10 @@ impl<'a> FuncLowerer<'a> {
                 let (b, sb) = self.lower_expr(rhs).scalar();
                 debug_assert_eq!(sa, sb, "typeck inserted coercions");
                 let (bin, result) = lower_binop(*op, sa);
-                Lowered::Scalar(self.emit(InstrKind::Bin(bin, a, b), scalar_ty(result), *span), result)
+                Lowered::Scalar(
+                    self.emit(InstrKind::Bin(bin, a, b), scalar_ty(result), *span),
+                    result,
+                )
             }
             ast::Expr::Unary { op, operand, span } => {
                 let (v, s) = self.lower_expr(operand).scalar();
@@ -757,10 +753,7 @@ mod tests {
         let m = lower_src("int main() { return 1 + 2; }");
         assert_eq!(m.funcs.len(), 1);
         let f = &m.funcs[0];
-        assert!(matches!(
-            f.block(f.entry).terminator(),
-            Terminator::Ret(Some(_))
-        ));
+        assert!(matches!(f.block(f.entry).terminator(), Terminator::Ret(Some(_))));
         assert_eq!(m.main, Some(FuncId(0)));
         // One region: the function itself.
         assert_eq!(m.regions.len(), 1);
@@ -769,7 +762,9 @@ mod tests {
 
     #[test]
     fn loop_regions_and_markers() {
-        let m = lower_src("int main() { int s = 0; for (int i = 0; i < 4; i++) { s += i; } return s; }");
+        let m = lower_src(
+            "int main() { int s = 0; for (int i = 0; i < 4; i++) { s += i; } return s; }",
+        );
         // Regions: main, loop, body.
         assert_eq!(m.regions.len(), 3);
         let labels: Vec<_> = m.regions.iter().map(|r| r.label.clone()).collect();
@@ -826,11 +821,8 @@ mod tests {
                 exits == 2
             })
             .expect("break unwind block exists");
-        let pops = unwind
-            .instrs
-            .iter()
-            .filter(|v| matches!(f.value(**v).kind, InstrKind::CdPop))
-            .count();
+        let pops =
+            unwind.instrs.iter().filter(|v| matches!(f.value(**v).kind, InstrKind::CdPop)).count();
         // One pop for the `if` push, one for the loop condition push.
         assert_eq!(pops, 2);
     }
@@ -847,9 +839,7 @@ mod tests {
             .iter()
             .find(|b| {
                 matches!(b.term, Some(Terminator::Ret(Some(_))))
-                    && b.instrs
-                        .iter()
-                        .any(|v| matches!(f.value(*v).kind, InstrKind::RegionExit(_)))
+                    && b.instrs.iter().any(|v| matches!(f.value(*v).kind, InstrKind::RegionExit(_)))
             })
             .expect("returning unwind block");
         let exits = ret_block
@@ -928,6 +918,8 @@ mod tests {
         let f = &m.funcs[0];
         let latch = f.loops[0].latch;
         assert!(f.block(latch).instrs.is_empty());
-        assert!(matches!(f.block(latch).terminator(), Terminator::Br(t) if *t == f.loops[0].header));
+        assert!(
+            matches!(f.block(latch).terminator(), Terminator::Br(t) if *t == f.loops[0].header)
+        );
     }
 }

@@ -205,9 +205,7 @@ pub fn promote(f: &mut Function) -> Mem2RegStats {
                 for &vi in &f.blocks[b.index()].instrs {
                     let kind = f.values[vi.index()].kind.clone();
                     match kind {
-                        InstrKind::Alloca(a)
-                            if a.index() < n_allocas && promotable[a.index()] =>
-                        {
+                        InstrKind::Alloca(a) if a.index() < n_allocas && promotable[a.index()] => {
                             delete.insert(b, vi);
                         }
                         InstrKind::Load(p) => {
@@ -281,8 +279,7 @@ pub fn promote(f: &mut Function) -> Mem2RegStats {
 
     // Rebuild block instruction lists: phis first, then surviving instrs.
     for (bi, block) in f.blocks.iter_mut().enumerate() {
-        let mut instrs: Vec<ValueId> =
-            phis_in_block[bi].iter().map(|&(phi, _)| phi).collect();
+        let mut instrs: Vec<ValueId> = phis_in_block[bi].iter().map(|&(phi, _)| phi).collect();
         if BlockId::from_index(bi) == cfg.entry {
             instrs.extend(entry_prelude.iter().copied());
             entry_prelude.clear();
@@ -365,11 +362,7 @@ mod tests {
     }
 
     fn count_kind(f: &Function, pred: impl Fn(&InstrKind) -> bool) -> usize {
-        f.blocks
-            .iter()
-            .flat_map(|b| &b.instrs)
-            .filter(|v| pred(&f.value(**v).kind))
-            .count()
+        f.blocks.iter().flat_map(|b| &b.instrs).filter(|v| pred(&f.value(**v).kind)).count()
     }
 
     #[test]
@@ -386,9 +379,8 @@ mod tests {
 
     #[test]
     fn if_join_gets_phi() {
-        let mut m = lowered(
-            "int main() { int x = 0; if (1) { x = 1; } else { x = 2; } return x; }",
-        );
+        let mut m =
+            lowered("int main() { int x = 0; if (1) { x = 1; } else { x = 2; } return x; }");
         let stats = promote(&mut m.funcs[0]);
         assert!(stats.phis >= 1);
         let f = &m.funcs[0];
@@ -409,9 +401,8 @@ mod tests {
 
     #[test]
     fn loop_counter_gets_header_phi() {
-        let mut m = lowered(
-            "int main() { int s = 0; for (int i = 0; i < 4; i++) { s += i; } return s; }",
-        );
+        let mut m =
+            lowered("int main() { int s = 0; for (int i = 0; i < 4; i++) { s += i; } return s; }");
         promote(&mut m.funcs[0]);
         let f = &m.funcs[0];
         let header = f.loops[0].header;
@@ -427,9 +418,8 @@ mod tests {
 
     #[test]
     fn arrays_are_not_promoted() {
-        let mut m = lowered(
-            "int main() { float a[4]; a[0] = 1.0; float x = a[0]; return (int) x; }",
-        );
+        let mut m =
+            lowered("int main() { float a[4]; a[0] = 1.0; float x = a[0]; return (int) x; }");
         let stats = promote(&mut m.funcs[0]);
         // Only `x` is promotable; the array stays in memory.
         assert_eq!(stats.promoted, 1);
@@ -440,9 +430,8 @@ mod tests {
 
     #[test]
     fn params_are_promoted() {
-        let mut m = lowered(
-            "int f(int x) { x = x * 2; return x + 1; } int main() { return f(3); }",
-        );
+        let mut m =
+            lowered("int f(int x) { x = x * 2; return x + 1; } int main() { return f(3); }");
         let stats = promote(&mut m.funcs[0]);
         assert_eq!(stats.promoted, 1);
         let f = &m.funcs[0];
@@ -453,9 +442,7 @@ mod tests {
     fn read_before_write_yields_zero_constant() {
         // `x` is only assigned under a condition; the other path reads the
         // implicit zero.
-        let mut m = lowered(
-            "int main() { int x; if (0) { x = 5; } return x; }",
-        );
+        let mut m = lowered("int main() { int x; if (0) { x = 5; } return x; }");
         promote(&mut m.funcs[0]);
         let f = &m.funcs[0];
         let ret = f
@@ -467,9 +454,8 @@ mod tests {
             })
             .unwrap();
         if let InstrKind::Phi { incoming } = &f.value(ret).kind {
-            let has_zero = incoming.iter().any(|(_, v)| {
-                matches!(f.value(*v).kind, InstrKind::ConstInt(0))
-            });
+            let has_zero =
+                incoming.iter().any(|(_, v)| matches!(f.value(*v).kind, InstrKind::ConstInt(0)));
             assert!(has_zero, "one phi input should be the zero constant");
         } else {
             panic!("expected phi at join");

@@ -133,12 +133,8 @@ pub fn fold_constants(f: &mut Function) -> usize {
                     (UnOp::INeg, Const::Int(x)) => Some(InstrKind::ConstInt(x.wrapping_neg())),
                     (UnOp::LNot, Const::Int(x)) => Some(InstrKind::ConstInt((x == 0) as i64)),
                     (UnOp::FNeg, Const::Float(x)) => Some(InstrKind::ConstFloat(-x)),
-                    (UnOp::IntToFloat, Const::Int(x)) => {
-                        Some(InstrKind::ConstFloat(x as f64))
-                    }
-                    (UnOp::FloatToInt, Const::Float(x)) => {
-                        Some(InstrKind::ConstInt(x as i64))
-                    }
+                    (UnOp::IntToFloat, Const::Int(x)) => Some(InstrKind::ConstFloat(x as f64)),
+                    (UnOp::FloatToInt, Const::Float(x)) => Some(InstrKind::ConstInt(x as i64)),
                     _ => None,
                 }
             }
@@ -297,10 +293,7 @@ mod tests {
             m.funcs
                 .iter()
                 .flat_map(|f| {
-                    f.blocks
-                        .iter()
-                        .flat_map(|b| &b.instrs)
-                        .map(move |v| &f.value(*v).kind)
+                    f.blocks.iter().flat_map(|b| &b.instrs).map(move |v| &f.value(*v).kind)
                 })
                 .filter(|k| pred(k))
                 .count()
@@ -329,9 +322,7 @@ mod tests {
 
     #[test]
     fn removes_genuinely_dead_code() {
-        let mut m = build(
-            "int main() { int unused = 3 * 14; float also = sqrt(2.0); return 5; }",
-        );
+        let mut m = build("int main() { int unused = 3 * 14; float also = sqrt(2.0); return 5; }");
         let stats = optimize(&mut m);
         // `sqrt` is an intrinsic (pure) and its result unused: removed.
         assert!(stats.eliminated >= 2, "{stats:?}");

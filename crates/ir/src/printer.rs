@@ -25,12 +25,7 @@ pub fn print_function(f: &Function) -> String {
     let _ = writeln!(
         out,
         "func {} {}({:?}) -> {:?} [frame={} slots, region={}]",
-        f.id,
-        f.name,
-        f.param_tys,
-        f.ret_ty,
-        f.frame_slots,
-        f.region
+        f.id, f.name, f.param_tys, f.ret_ty, f.frame_slots, f.region
     );
     for (bi, b) in f.blocks.iter().enumerate() {
         let _ = writeln!(out, "bb{bi}:");
@@ -110,8 +105,7 @@ pub fn print_instr(f: &Function, v: ValueId) -> String {
         InstrKind::Call { func, args } => format!("call {func}{args:?}"),
         InstrKind::IntrinsicCall { op, args } => format!("{}{args:?}", op.name()),
         InstrKind::Phi { incoming } => {
-            let parts: Vec<String> =
-                incoming.iter().map(|(b, v)| format!("[{b}: {v}]")).collect();
+            let parts: Vec<String> = incoming.iter().map(|(b, v)| format!("[{b}: {v}]")).collect();
             format!("phi {}", parts.join(", "))
         }
         InstrKind::RegionEnter(r) => format!("region.enter {r}"),
@@ -151,8 +145,21 @@ mod tests {
         }
         let text = print_module(&m);
         for needle in [
-            "global a", "func", "phi", "condbr", "region.enter", "region.exit", "cd.push",
-            "cd.pop", "gep", "load", "store", "call", "sqrt", "ret", "!break",
+            "global a",
+            "func",
+            "phi",
+            "condbr",
+            "region.enter",
+            "region.exit",
+            "cd.push",
+            "cd.pop",
+            "gep",
+            "load",
+            "store",
+            "call",
+            "sqrt",
+            "ret",
+            "!break",
         ] {
             assert!(text.contains(needle), "missing `{needle}` in:\n{text}");
         }

@@ -100,18 +100,12 @@ pub fn verify_function(f: &Function) -> Result<(), VerifyError> {
                     if seen_non_phi {
                         return err(format!("{v} is a phi after non-phi instructions in bb{bi}"));
                     }
-                    let mut preds: Vec<BlockId> = cfg.preds[bi]
-                        .iter()
-                        .copied()
-                        .filter(|p| cfg.is_reachable(*p))
-                        .collect();
+                    let mut preds: Vec<BlockId> =
+                        cfg.preds[bi].iter().copied().filter(|p| cfg.is_reachable(*p)).collect();
                     preds.sort();
                     preds.dedup();
-                    let mut inc: Vec<BlockId> = incoming
-                        .iter()
-                        .map(|(p, _)| *p)
-                        .filter(|p| cfg.is_reachable(*p))
-                        .collect();
+                    let mut inc: Vec<BlockId> =
+                        incoming.iter().map(|(p, _)| *p).filter(|p| cfg.is_reachable(*p)).collect();
                     inc.sort();
                     inc.dedup();
                     if preds != inc {
@@ -141,15 +135,14 @@ pub fn verify_function(f: &Function) -> Result<(), VerifyError> {
                             return err(format!("{v} uses out-of-range {o}"));
                         }
                         match def_block.get(o) {
-                            None => {
-                                return err(format!("{v} in bb{bi} uses undefined value {o}"))
-                            }
+                            None => return err(format!("{v} in bb{bi} uses undefined value {o}")),
                             Some(db) => {
                                 let same_block_ok = *db == bid
-                                    && b.instrs.iter().position(|x| x == o)
+                                    && b.instrs
+                                        .iter()
+                                        .position(|x| x == o)
                                         .is_some_and(|p| p < pos);
-                                let strictly_dominates =
-                                    dom.dominates(*db, bid) && *db != bid;
+                                let strictly_dominates = dom.dominates(*db, bid) && *db != bid;
                                 if !(same_block_ok || strictly_dominates) {
                                     return err(format!(
                                         "{v} in bb{bi} uses {o} defined in {db}, which does not dominate the use"

@@ -66,10 +66,8 @@ impl<'a> Lexer<'a> {
             let start = self.pos;
             let line_start = self.line;
             if self.pos >= self.src.len() {
-                self.tokens.push(Token {
-                    kind: TokenKind::Eof,
-                    span: self.span_from(start, line_start),
-                });
+                self.tokens
+                    .push(Token { kind: TokenKind::Eof, span: self.span_from(start, line_start) });
                 return Ok(self.tokens);
             }
             let kind = self.next_kind(start, line_start)?;
@@ -297,9 +295,28 @@ mod tests {
         assert_eq!(
             kinds("+ ++ += - -- -= * *= / /= % = == != < <= > >= && || !"),
             vec![
-                Plus, PlusPlus, PlusAssign, Minus, MinusMinus, MinusAssign, Star, StarAssign,
-                Slash, SlashAssign, Percent, Assign, EqEq, NotEq, Lt, Le, Gt, Ge, AndAnd, OrOr,
-                Not, Eof
+                Plus,
+                PlusPlus,
+                PlusAssign,
+                Minus,
+                MinusMinus,
+                MinusAssign,
+                Star,
+                StarAssign,
+                Slash,
+                SlashAssign,
+                Percent,
+                Assign,
+                EqEq,
+                NotEq,
+                Lt,
+                Le,
+                Gt,
+                Ge,
+                AndAnd,
+                OrOr,
+                Not,
+                Eof
             ]
         );
     }

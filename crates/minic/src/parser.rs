@@ -188,7 +188,10 @@ impl Parser {
                 }
                 other => {
                     return Err(FrontendError::parse(
-                        format!("global initializer must be a constant, found {}", other.describe()),
+                        format!(
+                            "global initializer must be a constant, found {}",
+                            other.describe()
+                        ),
                         self.span(),
                     ))
                 }
@@ -248,11 +251,7 @@ impl Parser {
             TokenKind::KwFor => self.for_stmt(),
             TokenKind::KwReturn => {
                 let start = self.bump().span;
-                let value = if *self.peek() == TokenKind::Semi {
-                    None
-                } else {
-                    Some(self.expr()?)
-                };
+                let value = if *self.peek() == TokenKind::Semi { None } else { Some(self.expr()?) };
                 self.expect(&TokenKind::Semi)?;
                 Ok(Stmt::Return { value, span: start.to(self.prev_span()) })
             }
@@ -283,10 +282,7 @@ impl Parser {
         let ty = Self::apply_dims(base, dims, start)?;
         let init = if self.eat(&TokenKind::Assign) {
             if ty.is_array() {
-                return Err(FrontendError::parse(
-                    "array locals cannot have initializers",
-                    start,
-                ));
+                return Err(FrontendError::parse("array locals cannot have initializers", start));
             }
             Some(self.expr()?)
         } else {
@@ -375,11 +371,8 @@ impl Parser {
         let cond = self.expr()?;
         self.expect(&TokenKind::RParen)?;
         let then_branch = self.stmt_as_block()?;
-        let else_branch = if self.eat(&TokenKind::KwElse) {
-            Some(self.stmt_as_block()?)
-        } else {
-            None
-        };
+        let else_branch =
+            if self.eat(&TokenKind::KwElse) { Some(self.stmt_as_block()?) } else { None };
         let end = else_branch.as_ref().map(|b| b.span).unwrap_or(then_branch.span);
         Ok(Stmt::If { cond, then_branch, else_branch, span: start.to(end) })
     }
@@ -407,11 +400,7 @@ impl Parser {
             self.expect(&TokenKind::Semi)?;
             Some(Box::new(s))
         };
-        let cond = if *self.peek() == TokenKind::Semi {
-            None
-        } else {
-            Some(self.expr()?)
-        };
+        let cond = if *self.peek() == TokenKind::Semi { None } else { Some(self.expr()?) };
         self.expect(&TokenKind::Semi)?;
         let step = if *self.peek() == TokenKind::RParen {
             None
@@ -591,10 +580,7 @@ mod tests {
         let f = &p.funcs[0];
         assert_eq!(f.params.len(), 3);
         assert_eq!(f.params[1].ty, Type::Array { elem: Scalar::Float, dims: vec![None] });
-        assert_eq!(
-            f.params[2].ty,
-            Type::Array { elem: Scalar::Float, dims: vec![None, Some(8)] }
-        );
+        assert_eq!(f.params[2].ty, Type::Array { elem: Scalar::Float, dims: vec![None, Some(8)] });
     }
 
     #[test]
@@ -688,8 +674,7 @@ mod tests {
     #[test]
     fn casts() {
         let p = parse_ok("void f(float x) { int i = (int) x; float y = (float)(i + 1); }");
-        let Stmt::Decl { init: Some(Expr::Cast { to, .. }), .. } = &p.funcs[0].body.stmts[0]
-        else {
+        let Stmt::Decl { init: Some(Expr::Cast { to, .. }), .. } = &p.funcs[0].body.stmts[0] else {
             panic!("expected cast");
         };
         assert_eq!(*to, Type::INT);

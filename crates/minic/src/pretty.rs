@@ -130,7 +130,9 @@ fn stmt(out: &mut String, s: &Stmt, level: usize) {
         }
         Stmt::For { init, cond, step, body, .. } => {
             out.push_str("for (");
-            if let Some(s) = init { inline_simple_stmt(out, s) }
+            if let Some(s) = init {
+                inline_simple_stmt(out, s)
+            }
             out.push_str("; ");
             if let Some(c) = cond {
                 expr(out, c);

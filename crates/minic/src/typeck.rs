@@ -79,10 +79,7 @@ impl Checker {
                 ret: f.ret.clone(),
             };
             if funcs.insert(f.name.clone(), sig).is_some() {
-                return Err(FrontendError::ty(
-                    format!("duplicate function `{}`", f.name),
-                    f.span,
-                ));
+                return Err(FrontendError::ty(format!("duplicate function `{}`", f.name), f.span));
             }
         }
         let mut globals = HashMap::new();
@@ -108,13 +105,7 @@ impl Checker {
                 return Err(FrontendError::ty(format!("duplicate global `{}`", g.name), g.span));
             }
         }
-        Ok(Checker {
-            funcs,
-            globals,
-            scopes: Vec::new(),
-            current_ret: Type::Void,
-            loop_depth: 0,
-        })
+        Ok(Checker { funcs, globals, scopes: Vec::new(), current_ret: Type::Void, loop_depth: 0 })
     }
 
     fn run(mut self, program: Program) -> Result<Program> {
@@ -125,11 +116,8 @@ impl Checker {
                 g.init = Some(ConstInit::Float(*v as f64));
             }
         }
-        let funcs = program
-            .funcs
-            .into_iter()
-            .map(|f| self.check_func(f))
-            .collect::<Result<Vec<_>>>()?;
+        let funcs =
+            program.funcs.into_iter().map(|f| self.check_func(f)).collect::<Result<Vec<_>>>()?;
         Ok(Program { globals, funcs })
     }
 
@@ -138,10 +126,7 @@ impl Checker {
         self.scopes.push(HashMap::new());
         for p in &f.params {
             if self.scopes[0].insert(p.name.clone(), p.ty.clone()).is_some() {
-                return Err(FrontendError::ty(
-                    format!("duplicate parameter `{}`", p.name),
-                    p.span,
-                ));
+                return Err(FrontendError::ty(format!("duplicate parameter `{}`", p.name), p.span));
             }
         }
         self.current_ret = f.ret.clone();
@@ -181,11 +166,8 @@ impl Checker {
 
     fn check_block(&mut self, block: Block) -> Result<Block> {
         self.scopes.push(HashMap::new());
-        let stmts = block
-            .stmts
-            .into_iter()
-            .map(|s| self.check_stmt(s))
-            .collect::<Result<Vec<_>>>()?;
+        let stmts =
+            block.stmts.into_iter().map(|s| self.check_stmt(s)).collect::<Result<Vec<_>>>()?;
         self.scopes.pop();
         Ok(Block { stmts, span: block.span })
     }
@@ -308,10 +290,7 @@ impl Checker {
         let (cond, ty) = self.check_expr(cond)?;
         match ty {
             Type::Scalar(Scalar::Int) => Ok(cond),
-            other => Err(FrontendError::ty(
-                format!("condition must be int, found {other}"),
-                span,
-            )),
+            other => Err(FrontendError::ty(format!("condition must be int, found {other}"), span)),
         }
     }
 
@@ -342,19 +321,14 @@ impl Checker {
     fn coerce(&self, e: Expr, from: Type, to: Scalar, span: Span) -> Result<Expr> {
         match (from.as_scalar(), to) {
             (Some(f), t) if f == t => Ok(e),
-            (Some(Scalar::Int), Scalar::Float) => Ok(Expr::Cast {
-                to: Type::FLOAT,
-                operand: Box::new(e),
-                span,
-            }),
+            (Some(Scalar::Int), Scalar::Float) => {
+                Ok(Expr::Cast { to: Type::FLOAT, operand: Box::new(e), span })
+            }
             (Some(Scalar::Float), Scalar::Int) => Err(FrontendError::ty(
                 "implicit float to int conversion; use an explicit `(int)` cast",
                 span,
             )),
-            _ => Err(FrontendError::ty(
-                format!("expected {to}, found {from}"),
-                span,
-            )),
+            _ => Err(FrontendError::ty(format!("expected {to}, found {from}"), span)),
         }
     }
 
@@ -436,9 +410,9 @@ impl Checker {
             Expr::Call { callee, args, span } => self.check_call(callee, args, span),
             Expr::Cast { to, operand, span } => {
                 let (operand, ty) = self.check_expr(*operand)?;
-                let to_scalar = to.as_scalar().ok_or_else(|| {
-                    FrontendError::ty("cast target must be a scalar type", span)
-                })?;
+                let to_scalar = to
+                    .as_scalar()
+                    .ok_or_else(|| FrontendError::ty("cast target must be a scalar type", span))?;
                 if ty.as_scalar().is_none() {
                     return Err(FrontendError::ty("cannot cast an array", span));
                 }
@@ -500,10 +474,7 @@ impl Checker {
                         ));
                     };
                     let inner_ok = adims.len() == dims.len()
-                        && adims[1..]
-                            .iter()
-                            .zip(&dims[1..])
-                            .all(|(a, b)| a == b)
+                        && adims[1..].iter().zip(&dims[1..]).all(|(a, b)| a == b)
                         && (dims[0].is_none() || dims[0] == adims[0]);
                     if *ae != *elem || !inner_ok {
                         return Err(FrontendError::ty(
@@ -559,8 +530,7 @@ mod tests {
     #[test]
     fn inserts_int_to_float_cast() {
         let p = check_ok("int main() { float x = 1 + 2; return 0; }");
-        let Stmt::Decl { init: Some(Expr::Cast { to, .. }), .. } = &p.funcs[0].body.stmts[0]
-        else {
+        let Stmt::Decl { init: Some(Expr::Cast { to, .. }), .. } = &p.funcs[0].body.stmts[0] else {
             panic!("expected inserted cast");
         };
         assert_eq!(*to, Type::FLOAT);
@@ -620,11 +590,9 @@ mod tests {
              float x[8]; float y[8];\n\
              int main() { float d = dot(x, y, 8); return 0; }",
         );
-        assert!(check_err(
-            "void f(int a) { } int main() { f(1, 2); return 0; }"
-        )
-        .message
-        .contains("expects 1 argument"));
+        assert!(check_err("void f(int a) { } int main() { f(1, 2); return 0; }")
+            .message
+            .contains("expects 1 argument"));
         assert!(check_err(
             "void f(float a[][4]) { } float m[4][8]; int main() { f(m); return 0; }"
         )
@@ -700,9 +668,7 @@ mod tests {
     #[test]
     fn duplicate_functions_and_intrinsic_shadowing() {
         assert!(check_err("void f() { } void f() { }").message.contains("duplicate"));
-        assert!(check_err("float sqrt(float x) { return x; }")
-            .message
-            .contains("shadows"));
+        assert!(check_err("float sqrt(float x) { return x; }").message.contains("shadows"));
     }
 
     #[test]

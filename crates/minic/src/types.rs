@@ -68,11 +68,9 @@ impl Type {
     pub fn slot_count(&self) -> u32 {
         match self {
             Type::Scalar(_) => 1,
-            Type::Array { dims, .. } => dims
-                .iter()
-                .map(|d| d.expect("slot_count on unsized array"))
-                .product::<u32>()
-                .max(1),
+            Type::Array { dims, .. } => {
+                dims.iter().map(|d| d.expect("slot_count on unsized array")).product::<u32>().max(1)
+            }
             Type::Void => panic!("slot_count on void"),
         }
     }
@@ -81,10 +79,9 @@ impl Type {
     pub fn index_once(&self) -> Option<Type> {
         match self {
             Type::Array { elem, dims } if dims.len() == 1 => Some(Type::Scalar(*elem)),
-            Type::Array { elem, dims } => Some(Type::Array {
-                elem: *elem,
-                dims: dims[1..].to_vec(),
-            }),
+            Type::Array { elem, dims } => {
+                Some(Type::Array { elem: *elem, dims: dims[1..].to_vec() })
+            }
             _ => None,
         }
     }
@@ -93,12 +90,11 @@ impl Type {
     /// outermost dimension. `None` if any inner dimension is unsized.
     pub fn outer_stride(&self) -> Option<u32> {
         match self {
-            Type::Array { dims, .. } => {
-                dims[1..].iter().map(|d| d.map(|v| v as u64)).try_fold(1u64, |acc, d| {
-                    d.map(|v| acc * v)
-                })
-                .map(|v| v as u32)
-            }
+            Type::Array { dims, .. } => dims[1..]
+                .iter()
+                .map(|d| d.map(|v| v as u64))
+                .try_fold(1u64, |acc, d| d.map(|v| acc * v))
+                .map(|v| v as u32),
             _ => None,
         }
     }

@@ -81,9 +81,8 @@ fn hotspot_entries(
             },
         })
         .collect();
-    entries.sort_by(|a, b| {
-        b.coverage.partial_cmp(&a.coverage).unwrap_or(std::cmp::Ordering::Equal)
-    });
+    entries
+        .sort_by(|a, b| b.coverage.partial_cmp(&a.coverage).unwrap_or(std::cmp::Ordering::Equal));
     entries
 }
 
@@ -116,10 +115,7 @@ impl Personality for SelfPFilterPlanner {
 /// Number of regions a plan size can be compared against: executed loop
 /// and function regions (loop bodies are not separately actionable).
 pub fn plannable_region_count(profile: &ParallelismProfile) -> usize {
-    profile
-        .iter()
-        .filter(|s| matches!(s.kind, RegionKind::Loop | RegionKind::Func))
-        .count()
+    profile.iter().filter(|s| matches!(s.kind, RegionKind::Loop | RegionKind::Func)).count()
 }
 
 #[cfg(test)]

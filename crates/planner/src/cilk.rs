@@ -109,12 +109,9 @@ impl Personality for CilkPlanner {
             let mut best = 1.0f64;
             for &p in ps {
                 let p_sp = match profile.stats(p).map(|s| s.kind) {
-                    Some(RegionKind::LoopBody) => parents
-                        .get(&p)
-                        .into_iter()
-                        .flatten()
-                        .map(|&g| sp_of(g))
-                        .fold(1.0, f64::max),
+                    Some(RegionKind::LoopBody) => {
+                        parents.get(&p).into_iter().flatten().map(|&g| sp_of(g)).fold(1.0, f64::max)
+                    }
                     _ => sp_of(p),
                 };
                 best = best.max(p_sp);

@@ -177,7 +177,9 @@ impl Personality for OpenMpPlanner {
             if !seen.insert(r) {
                 continue;
             }
-            if take_self.get(&r).copied().unwrap_or(false) && best.get(&r).copied().unwrap_or(0.0) > 0.0 {
+            if take_self.get(&r).copied().unwrap_or(false)
+                && best.get(&r).copied().unwrap_or(0.0) > 0.0
+            {
                 selected.push(r);
                 continue;
             }
@@ -343,8 +345,7 @@ mod tests {
              }",
         );
         let plan = OpenMpPlanner::default().plan(&profile, &HashSet::new());
-        let reds: Vec<_> =
-            plan.entries.iter().filter(|e| e.kind == PlanKind::Reduction).collect();
+        let reds: Vec<_> = plan.entries.iter().filter(|e| e.kind == PlanKind::Reduction).collect();
         assert!(!reds.is_empty(), "big reduction must be planned: {plan}");
     }
 

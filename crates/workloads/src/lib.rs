@@ -226,7 +226,8 @@ pub fn all() -> Vec<Workload> {
             suite: Suite::Npb,
             source: include_str!("../kc/is.kc"),
             manual_plan: &["global_hist#L1"],
-            description: "bucket counting: MANUAL hit the shared histogram, Kremlin the blocked phase",
+            description:
+                "bucket counting: MANUAL hit the shared histogram, Kremlin the blocked phase",
             paper: Some(PaperRow {
                 manual_regions: 1,
                 kremlin_regions: 1,
@@ -316,7 +317,8 @@ pub fn all() -> Vec<Workload> {
                 "calc_lambda#L0",
                 "interp_patch#L0",
             ],
-            description: "the paper's running example: blur/Sobel DOALLs + Figure 2's fillFeatures nest",
+            description:
+                "the paper's running example: blur/Sobel DOALLs + Figure 2's fillFeatures nest",
             paper: None,
         },
     ]
@@ -344,12 +346,9 @@ mod tests {
     #[test]
     fn paper_rows_match_figure6_totals() {
         // Fig. 6a's Overall row: MANUAL 211, Kremlin 134, overlap 116.
-        let (m, k, o) = all()
-            .iter()
-            .filter_map(|w| w.paper)
-            .fold((0, 0, 0), |(m, k, o), p| {
-                (m + p.manual_regions, k + p.kremlin_regions, o + p.overlap)
-            });
+        let (m, k, o) = all().iter().filter_map(|w| w.paper).fold((0, 0, 0), |(m, k, o), p| {
+            (m + p.manual_regions, k + p.kremlin_regions, o + p.overlap)
+        });
         assert_eq!(m, 211);
         assert_eq!(k, 134);
         assert_eq!(o, 116);

@@ -11,9 +11,9 @@
 //! cargo run --example custom_personality
 //! ```
 
-use kremlin_repro::kremlin::{Kremlin, Personality, Plan};
 use kremlin_repro::hcpa::ParallelismProfile;
 use kremlin_repro::ir::{RegionId, RegionKind};
+use kremlin_repro::kremlin::{Kremlin, Personality, Plan};
 use kremlin_repro::planner::{OpenMpPlanner, PlanEntry, PlanKind};
 use std::collections::HashSet;
 

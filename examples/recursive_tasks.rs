@@ -59,9 +59,6 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     println!("OpenMP personality (loops only):\n{}", analysis.plan_openmp().render());
     let cilk = analysis.plan_cilk();
     println!("Cilk++ personality (sees the task):\n{}", cilk.render());
-    assert!(
-        cilk.contains(region),
-        "the Cilk planner should recommend spawning range_energy"
-    );
+    assert!(cilk.contains(region), "the Cilk planner should recommend spawning range_energy");
     Ok(())
 }

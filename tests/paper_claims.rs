@@ -23,10 +23,7 @@ fn fig6a_plan_sizes_shrink_and_overlap() {
     assert!(kremlin < manual);
     let ratio = manual as f64 / kremlin as f64;
     assert!((1.3..1.8).contains(&ratio), "reduction {ratio:.2} vs paper 1.57");
-    assert!(
-        overlap as f64 >= 0.6 * kremlin as f64,
-        "overlap {overlap} of {kremlin} too small"
-    );
+    assert!(overlap as f64 >= 0.6 * kremlin as f64, "overlap {overlap} of {kremlin} too small");
 }
 
 #[test]
@@ -161,11 +158,9 @@ fn ablation_dependence_breaking_is_what_reveals_doalls() {
     let w = kremlin_repro::workloads::by_name("ep").unwrap();
     let unit = kremlin_repro::ir::compile(w.source, "ep.kc").unwrap();
     let with = profile_unit(&unit, HcpaConfig::default()).unwrap();
-    let without = profile_unit(
-        &unit,
-        HcpaConfig { break_carried_deps: false, ..HcpaConfig::default() },
-    )
-    .unwrap();
+    let without =
+        profile_unit(&unit, HcpaConfig { break_carried_deps: false, ..HcpaConfig::default() })
+            .unwrap();
     let main_loop = unit.module.regions.by_label("main#L0").unwrap();
     let sp_with = with.profile.stats(main_loop).unwrap().self_p;
     let sp_without = without.profile.stats(main_loop).unwrap().self_p;
@@ -185,11 +180,9 @@ fn ablation_dependence_breaking_is_what_reveals_doalls() {
     )
     .unwrap();
     let with = profile_unit(&unit, HcpaConfig::default()).unwrap();
-    let without = profile_unit(
-        &unit,
-        HcpaConfig { break_carried_deps: false, ..HcpaConfig::default() },
-    )
-    .unwrap();
+    let without =
+        profile_unit(&unit, HcpaConfig { break_carried_deps: false, ..HcpaConfig::default() })
+            .unwrap();
     let l0 = unit.module.regions.by_label("main#L0").unwrap();
     let sp_with = with.profile.stats(l0).unwrap().self_p;
     let sp_without = without.profile.stats(l0).unwrap().self_p;

@@ -96,11 +96,8 @@ fn exclusion_workflow_is_stable_under_iteration() {
     let mut exclude = HashSet::new();
     let mut rounds = 0;
     loop {
-        let plan = kremlin_repro::planner::Personality::plan(
-            &planner,
-            analysis.profile(),
-            &exclude,
-        );
+        let plan =
+            kremlin_repro::planner::Personality::plan(&planner, analysis.profile(), &exclude);
         if plan.is_empty() {
             break;
         }
@@ -115,8 +112,7 @@ fn exclusion_workflow_is_stable_under_iteration() {
 fn optimizer_preserves_semantics_on_every_workload() {
     for w in kremlin_repro::workloads::all() {
         let plain = kremlin_repro::ir::compile(w.source, &w.file_name()).unwrap();
-        let (opt, stats) =
-            kremlin_repro::ir::compile_optimized(w.source, &w.file_name()).unwrap();
+        let (opt, stats) = kremlin_repro::ir::compile_optimized(w.source, &w.file_name()).unwrap();
         let r1 = kremlin_repro::interp::run(&plain.module).unwrap();
         let r2 = kremlin_repro::interp::run(&opt.module).unwrap();
         assert_eq!(r1.exit, r2.exit, "{}: exit changed", w.name);

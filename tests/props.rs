@@ -46,17 +46,15 @@ fn generated_programs_compile_and_run() {
 #[test]
 fn hcpa_invariants_hold_on_generated_programs() {
     for_each_program(0xBEEF, true, |src| {
-        let analysis = kremlin_repro::kremlin::Kremlin::new()
-            .analyze(src, "gen.kc")
-            .expect("analyzes");
+        let analysis =
+            kremlin_repro::kremlin::Kremlin::new().analyze(src, "gen.kc").expect("analyzes");
         let dict = &analysis.profile().dict;
         let sp = dict.self_parallelism();
         let tp = dict.total_parallelism();
         for (id, e) in dict.iter() {
             // cp never exceeds work; work is conserved down the tree.
             assert!(e.cp <= e.work.max(1));
-            let child_work: u64 =
-                e.children.iter().map(|(c, n)| n * dict.entry(*c).work).sum();
+            let child_work: u64 = e.children.iter().map(|(c, n)| n * dict.entry(*c).work).sum();
             assert!(e.work >= child_work);
             // 1 <= SP; leaf SP equals total parallelism.
             assert!(sp[id.index()] >= 0.99);
@@ -73,9 +71,8 @@ fn hcpa_invariants_hold_on_generated_programs() {
 #[test]
 fn openmp_plans_are_antichains_on_generated_programs() {
     for_each_program(0xFACE, false, |src| {
-        let analysis = kremlin_repro::kremlin::Kremlin::new()
-            .analyze(src, "gen.kc")
-            .expect("analyzes");
+        let analysis =
+            kremlin_repro::kremlin::Kremlin::new().analyze(src, "gen.kc").expect("analyzes");
         let plan = analysis.plan_openmp();
         let regions: HashSet<_> = plan.regions();
         for &r in &regions {
@@ -106,9 +103,8 @@ fn parser_pretty_roundtrip() {
 #[test]
 fn simulation_times_are_sane() {
     for_each_program(0xAB1E, false, |src| {
-        let analysis = kremlin_repro::kremlin::Kremlin::new()
-            .analyze(src, "gen.kc")
-            .expect("analyzes");
+        let analysis =
+            kremlin_repro::kremlin::Kremlin::new().analyze(src, "gen.kc").expect("analyzes");
         let plan = analysis.plan_openmp();
         let eval = analysis.evaluate(&plan);
         assert!(eval.serial_time > 0.0);

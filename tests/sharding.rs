@@ -1,0 +1,87 @@
+//! Stitch-equivalence suite: depth-sharded parallel collection must be
+//! bit-identical to a serial full-window pass on **every** bundled `.kc`
+//! workload (`ISSUE` satellite for `kremlin_hcpa::parallel`).
+//!
+//! `identical_stats` compares every per-region statistic bit-for-bit,
+//! including the exact per-depth integer accumulators, so a pass here
+//! means the sharded pipeline loses nothing relative to serial HCPA.
+
+use kremlin_repro::hcpa::{
+    profile_unit, HcpaConfig, ParallelConfig, ParallelismProfile, ProfileOutcome,
+};
+use kremlin_repro::ir::compile;
+
+fn serial_and_compiled(
+    w: &kremlin_repro::workloads::Workload,
+) -> (kremlin_repro::ir::CompiledUnit, ProfileOutcome) {
+    let unit = compile(w.source, &w.file_name()).expect("workload compiles");
+    let serial = profile_unit(&unit, HcpaConfig::default()).expect("serial profile");
+    (unit, serial)
+}
+
+fn assert_stitched_identical(
+    name: &str,
+    jobs: usize,
+    serial: &ProfileOutcome,
+    sharded: &ProfileOutcome,
+) {
+    assert!(
+        sharded.profile.identical_stats(&serial.profile),
+        "{name}: {jobs}-way sharded profile differs from serial"
+    );
+    assert_eq!(sharded.run, serial.run, "{name}: sharded run result differs");
+    assert_eq!(
+        sharded.stats.max_depth, serial.stats.max_depth,
+        "{name}: sharded max_depth differs"
+    );
+    assert_eq!(
+        sharded.stats.instr_events, serial.stats.instr_events,
+        "{name}: sharded instruction-event count differs"
+    );
+}
+
+/// Every workload, 3-way sharding, depth discovered by the pre-pass — the
+/// default `profile_unit_parallel` path end to end.
+#[test]
+fn three_way_sharding_is_bit_identical_on_every_workload() {
+    for w in kremlin_repro::workloads::all() {
+        let (unit, serial) = serial_and_compiled(&w);
+        let sharded = kremlin_repro::hcpa::profile_unit_parallel(
+            &unit,
+            ParallelConfig { jobs: 3, ..ParallelConfig::default() },
+        )
+        .expect("sharded profile");
+        assert_stitched_identical(w.name, 3, &serial, &sharded);
+    }
+}
+
+/// Every workload, 2-way sharding with an explicit depth hint — the
+/// discovery-free path a caller with a prior run would use.
+#[test]
+fn two_way_sharding_with_depth_hint_is_bit_identical() {
+    for w in kremlin_repro::workloads::all() {
+        let (unit, serial) = serial_and_compiled(&w);
+        let sharded = kremlin_repro::hcpa::profile_unit_parallel(
+            &unit,
+            ParallelConfig {
+                jobs: 2,
+                depth_hint: Some(serial.stats.max_depth),
+                ..ParallelConfig::default()
+            },
+        )
+        .expect("sharded profile");
+        assert_stitched_identical(w.name, 2, &serial, &sharded);
+    }
+}
+
+/// Stitching the trivial one-slice case is the identity: guards against
+/// the stitcher quietly renormalizing anything when there is nothing to
+/// stitch.
+#[test]
+fn one_slice_stitch_is_identity() {
+    let w = kremlin_repro::workloads::by_name("is").expect("is workload");
+    let (_, serial) = serial_and_compiled(&w);
+    let slices = [serial.profile.clone()];
+    let stitched = ParallelismProfile::stitch(&slices, HcpaConfig::default().window);
+    assert!(stitched.identical_stats(&serial.profile));
+}

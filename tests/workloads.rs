@@ -2,8 +2,8 @@
 //! deterministically, has a resolvable MANUAL plan, and profiles into a
 //! well-formed parallelism profile.
 
-use kremlin_repro::kremlin::Kremlin;
 use kremlin_repro::ir::RegionKind;
+use kremlin_repro::kremlin::Kremlin;
 
 #[test]
 fn every_workload_compiles_runs_and_profiles() {
@@ -26,9 +26,7 @@ fn every_manual_label_resolves_to_a_loop_that_executed() {
     for w in kremlin_repro::workloads::all() {
         let analysis = Kremlin::new().analyze(w.source, &w.file_name()).unwrap();
         for label in w.manual_plan {
-            let region = analysis
-                .region(label)
-                .unwrap_or_else(|e| panic!("{}: {e}", w.name));
+            let region = analysis.region(label).unwrap_or_else(|e| panic!("{}: {e}", w.name));
             let stats = analysis
                 .profile()
                 .stats(region)
@@ -49,11 +47,7 @@ fn workload_runs_are_deterministic() {
         let a = Kremlin::new().analyze(w.source, &w.file_name()).unwrap();
         let b = Kremlin::new().analyze(w.source, &w.file_name()).unwrap();
         assert_eq!(a.outcome.run.exit, b.outcome.run.exit, "{}", w.name);
-        assert_eq!(
-            a.outcome.run.instrs_executed, b.outcome.run.instrs_executed,
-            "{}",
-            w.name
-        );
+        assert_eq!(a.outcome.run.instrs_executed, b.outcome.run.instrs_executed, "{}", w.name);
         // Profiles are identical too (dictionary sizes as a proxy).
         assert_eq!(a.profile().dict.len(), b.profile().dict.len(), "{}", w.name);
         assert_eq!(a.profile().root_work, b.profile().root_work, "{}", w.name);
@@ -69,8 +63,7 @@ fn profiles_satisfy_structural_invariants() {
         let sp = dict.self_parallelism();
         for (id, e) in dict.iter() {
             assert!(e.cp <= e.work.max(1), "{}: cp > work in {id}", w.name);
-            let child_work: u64 =
-                e.children.iter().map(|(c, n)| n * dict.entry(*c).work).sum();
+            let child_work: u64 = e.children.iter().map(|(c, n)| n * dict.entry(*c).work).sum();
             assert!(e.work >= child_work, "{}: child work exceeds parent in {id}", w.name);
             assert!(sp[id.index()] >= 0.99, "{}: SP < 1 in {id}", w.name);
         }
@@ -95,10 +88,7 @@ fn kremlin_never_recommends_more_total_regions_than_manual_overall() {
         manual += w.manual_plan.len();
         kremlin += analysis.plan_openmp().len();
     }
-    assert!(
-        kremlin < manual,
-        "Kremlin total {kremlin} should be below MANUAL total {manual}"
-    );
+    assert!(kremlin < manual, "Kremlin total {kremlin} should be below MANUAL total {manual}");
     let ratio = manual as f64 / kremlin as f64;
     assert!(
         (1.2..2.2).contains(&ratio),
