@@ -1,0 +1,70 @@
+//! Overhead of the `kremlin-obs` self-instrumentation layer.
+//!
+//! The observability tentpole promises that a *disabled* metric costs one
+//! predictable branch on the hot path, and that the full pipeline with
+//! metrics disabled stays within 2% of a build that never calls into the
+//! layer. This bench verifies both claims:
+//!
+//! * micro: a tight loop of disabled `Counter::add` calls vs the same
+//!   loop with no counter at all, and vs the enabled (relaxed atomic)
+//!   path;
+//! * macro: `profile_unit` on a real workload with metrics off vs on —
+//!   the "off" number is what every timing in `BENCH_profiler.json` pays.
+//!
+//! Hand-rolled `fn main` timer harness (`kremlin_bench::timer`); the
+//! workspace builds with no external crates.
+
+use kremlin_bench::timer::Group;
+use kremlin_hcpa::{profile_unit, HcpaConfig};
+
+const LOOPS: u64 = 50_000_000;
+
+fn main() {
+    kremlin_obs::set_metrics(false);
+    let mut g = Group::new("obs_overhead_micro");
+
+    // The no-op floor: the loop body with no instrumentation at all.
+    g.bench("bare_loop", || {
+        let mut acc = 0u64;
+        for i in 0..LOOPS {
+            acc = acc.wrapping_add(std::hint::black_box(i));
+        }
+        acc
+    });
+
+    // Disabled counter: must add only a flag load + branch per iteration.
+    let c = kremlin_obs::counter("bench.obs_overhead");
+    g.bench("disabled_counter_add", || {
+        let mut acc = 0u64;
+        for i in 0..LOOPS {
+            acc = acc.wrapping_add(std::hint::black_box(i));
+            c.add(1);
+        }
+        acc
+    });
+    assert_eq!(c.get(), 0, "disabled counter must stay zero");
+
+    // Enabled counter: the relaxed fetch_add price, for scale.
+    kremlin_obs::set_metrics(true);
+    g.bench("enabled_counter_add", || {
+        let mut acc = 0u64;
+        for i in 0..LOOPS {
+            acc = acc.wrapping_add(std::hint::black_box(i));
+            c.add(1);
+        }
+        acc
+    });
+    kremlin_obs::set_metrics(false);
+    kremlin_obs::reset();
+
+    // Macro: the pipeline the BENCH_profiler timings measure, with the
+    // layer disabled vs enabled.
+    let w = kremlin_workloads::by_name("cg").expect("workload exists");
+    let unit = kremlin_ir::compile(w.source, "cg.kc").expect("compiles");
+    let mut g = Group::new("obs_overhead_pipeline");
+    g.bench("profile_cg_metrics_off", || profile_unit(&unit, HcpaConfig::default()).expect("ok"));
+    kremlin_obs::set_metrics(true);
+    g.bench("profile_cg_metrics_on", || profile_unit(&unit, HcpaConfig::default()).expect("ok"));
+    kremlin_obs::set_metrics(false);
+    kremlin_obs::reset();
+}

@@ -29,6 +29,17 @@
 //! The stitched profile is asserted bit-identical to the serial profile
 //! before any number is reported, so the speedup is never of a wrong
 //! answer.
+//!
+//! All timing passes run with `kremlin_obs` metrics **disabled** (the
+//! disabled layer is budgeted at < 2% of the critical path; see the
+//! `obs_overhead` bench). A separate non-timed pass per workload collects
+//! a `kremlin-metrics-v1` snapshot that is embedded under each workload's
+//! `"metrics"` key — the same schema `kremlin --metrics=json` prints —
+//! so `ci-gate` can diff counters as well as timings.
+//!
+//! ```text
+//! bench_profiler [--workloads=bt,lu,cg] [--warmup=N] [--iters=N] [--out=PATH]
+//! ```
 
 use kremlin_bench::timer::bench;
 use kremlin_hcpa::{
@@ -36,13 +47,52 @@ use kremlin_hcpa::{
     ParallelismProfile,
 };
 use kremlin_interp::MachineConfig;
+use kremlin_planner::{OpenMpPlanner, Personality};
+use std::collections::HashSet;
 
 const JOBS: usize = 3;
-const WARMUP: usize = 1;
-const ITERS: usize = 5;
+
+struct Args {
+    workloads: Vec<String>,
+    warmup: usize,
+    iters: usize,
+    out: String,
+}
+
+fn parse_args() -> Result<Args, String> {
+    let mut a = Args {
+        workloads: vec!["bt".into(), "lu".into(), "cg".into()],
+        warmup: 1,
+        iters: 5,
+        out: "BENCH_profiler.json".into(),
+    };
+    for arg in std::env::args().skip(1) {
+        if let Some(v) = arg.strip_prefix("--workloads=") {
+            a.workloads = v.split(',').map(|s| s.trim().to_owned()).collect();
+            if a.workloads.is_empty() {
+                return Err("--workloads needs at least one name".into());
+            }
+        } else if let Some(v) = arg.strip_prefix("--warmup=") {
+            a.warmup = v.parse().map_err(|_| format!("bad --warmup value `{v}`"))?;
+        } else if let Some(v) = arg.strip_prefix("--iters=") {
+            a.iters = v.parse().map_err(|_| format!("bad --iters value `{v}`"))?;
+            if a.iters == 0 {
+                return Err("--iters must be at least 1".into());
+            }
+        } else if let Some(v) = arg.strip_prefix("--out=") {
+            a.out = v.to_owned();
+        } else {
+            return Err(format!(
+                "unknown argument `{arg}`\nusage: bench_profiler [--workloads=bt,lu,cg] \
+                 [--warmup=N] [--iters=N] [--out=PATH]"
+            ));
+        }
+    }
+    Ok(a)
+}
 
 struct Row {
-    name: &'static str,
+    name: String,
     interp_only_ms: f64,
     serial_seed_ms: f64,
     serial_optimized_ms: f64,
@@ -52,6 +102,8 @@ struct Row {
     instr_events: u64,
     seed_shadow_bytes: u64,
     packed_shadow_bytes: u64,
+    /// `kremlin-metrics-v1` snapshot of one obs-enabled (non-timed) pass.
+    metrics_json: String,
 }
 
 impl Row {
@@ -76,7 +128,20 @@ fn json_f(x: f64) -> String {
     format!("{x:.3}")
 }
 
-fn measure(name: &'static str) -> Row {
+/// One obs-enabled pipeline pass (profile + plan), returning the metrics
+/// snapshot as JSON. Runs outside any timed region.
+fn collect_metrics(unit: &kremlin_ir::CompiledUnit, config: HcpaConfig) -> String {
+    kremlin_obs::reset();
+    kremlin_obs::set_metrics(true);
+    let outcome = profile_unit(unit, config).expect("metrics pass profiles");
+    let _plan = OpenMpPlanner::default().plan(&outcome.profile, &HashSet::new());
+    kremlin_obs::set_metrics(false);
+    let json = kremlin_obs::snapshot().to_json();
+    kremlin_obs::reset();
+    json
+}
+
+fn measure(name: &str, warmup: usize, iters: usize) -> Row {
     let w = kremlin_workloads::by_name(name).expect("workload exists");
     let unit = kremlin_ir::compile(w.source, &format!("{name}.kc")).expect("compiles");
     let config = HcpaConfig::default();
@@ -109,27 +174,29 @@ fn measure(name: &'static str) -> Row {
         "{name}: seed profile differs from optimized"
     );
 
+    let metrics_json = collect_metrics(&unit, config);
+
     let interp =
-        bench("interp", WARMUP, ITERS, || kremlin_interp::run(&unit.module).expect("plain run"));
-    let seed = bench("seed", WARMUP, ITERS, || {
+        bench("interp", warmup, iters, || kremlin_interp::run(&unit.module).expect("plain run"));
+    let seed = bench("seed", warmup, iters, || {
         profile_unit_seed(&unit, config, machine).expect("seed profile")
     });
-    let opt = bench("opt", WARMUP, ITERS, || profile_unit(&unit, config).expect("profile"));
+    let opt = bench("opt", warmup, iters, || profile_unit(&unit, config).expect("profile"));
     let shard_ms: Vec<f64> = shards
         .iter()
         .map(|s| {
             let cfg = HcpaConfig { window: s.window, min_depth: s.min_depth, ..config };
-            bench("shard", WARMUP, ITERS, || {
+            bench("shard", warmup, iters, || {
                 profile_unit_with_machine(&unit, cfg, machine).expect("shard profile")
             })
             .median_ms()
         })
         .collect();
     let stitch =
-        bench("stitch", WARMUP, ITERS, || ParallelismProfile::stitch(&slices, shards[0].window));
+        bench("stitch", warmup, iters, || ParallelismProfile::stitch(&slices, shards[0].window));
 
     Row {
-        name,
+        name: name.to_owned(),
         interp_only_ms: interp.median_ms(),
         serial_seed_ms: seed.median_ms(),
         serial_optimized_ms: opt.median_ms(),
@@ -139,12 +206,21 @@ fn measure(name: &'static str) -> Row {
         instr_events: serial.stats.instr_events,
         seed_shadow_bytes: seed_outcome.stats.shadow_bytes,
         packed_shadow_bytes: serial.stats.shadow_bytes,
+        metrics_json,
     }
 }
 
 fn main() {
+    let args = match parse_args() {
+        Ok(a) => a,
+        Err(msg) => {
+            eprintln!("{msg}");
+            std::process::exit(2);
+        }
+    };
     let host_cores = std::thread::available_parallelism().map_or(1, std::num::NonZero::get);
-    let rows: Vec<Row> = ["bt", "lu", "cg"].into_iter().map(measure).collect();
+    let rows: Vec<Row> =
+        args.workloads.iter().map(|n| measure(n, args.warmup, args.iters)).collect();
 
     println!(
         "{:<4} {:>10} {:>9} {:>9} {:>14} {:>9} {:>9}",
@@ -174,8 +250,9 @@ fn main() {
     let mut out = String::from("{\n");
     out.push_str("  \"bench\": \"profiler\",\n");
     out.push_str(&format!(
-        "  \"config\": {{\"window\": 24, \"jobs\": {JOBS}, \"warmup\": {WARMUP}, \
-         \"iters\": {ITERS}, \"host_cores\": {host_cores}}},\n"
+        "  \"config\": {{\"window\": 24, \"jobs\": {JOBS}, \"warmup\": {}, \
+         \"iters\": {}, \"host_cores\": {host_cores}}},\n",
+        args.warmup, args.iters
     ));
     out.push_str(
         "  \"methodology\": \"Baseline is the frozen pre-optimization profiler \
@@ -184,7 +261,9 @@ fn main() {
          machine with >= jobs cores (this host is single-core, so concurrent threads cannot \
          be timed directly); sharded_1core_total_ms is the serialized sum. Stitched profiles \
          are asserted bit-identical to the serial profile before timing. Medians over the \
-         timed iterations.\",\n",
+         timed iterations. Timing passes run with kremlin_obs disabled; each workload's \
+         'metrics' object is a kremlin-metrics-v1 snapshot from a separate non-timed \
+         pass.\",\n",
     );
     out.push_str("  \"workloads\": [\n");
     for (i, r) in rows.iter().enumerate() {
@@ -216,9 +295,12 @@ fn main() {
         ));
         out.push_str(&format!(
             "     \"shadow_bytes_baseline\": {}, \"shadow_bytes_packed\": {}, \
-             \"stitched_identical\": true}}{}\n",
-            r.seed_shadow_bytes,
-            r.packed_shadow_bytes,
+             \"stitched_identical\": true,\n",
+            r.seed_shadow_bytes, r.packed_shadow_bytes,
+        ));
+        out.push_str(&format!(
+            "     \"metrics\": {}}}{}\n",
+            r.metrics_json,
             if i + 1 < rows.len() { "," } else { "" }
         ));
     }
@@ -230,6 +312,6 @@ fn main() {
     ));
     out.push_str("}\n");
 
-    std::fs::write("BENCH_profiler.json", &out).expect("write BENCH_profiler.json");
-    println!("wrote BENCH_profiler.json");
+    std::fs::write(&args.out, &out).unwrap_or_else(|e| panic!("write {}: {e}", args.out));
+    println!("wrote {}", args.out);
 }

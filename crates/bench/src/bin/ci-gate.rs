@@ -1,0 +1,87 @@
+//! `ci-gate` — fails CI when a fresh bench run regresses the baseline.
+//!
+//! ```text
+//! ci-gate --baseline=BENCH_profiler.json --fresh=fresh.json
+//!         [--max-speedup-drop=0.5] [--max-shadow-growth=0.10]
+//! ```
+//!
+//! Exit codes: 0 all tolerance bands held, 1 regression (or broken
+//! input), 2 usage error. The comparison rules live in
+//! [`kremlin_bench::gate`]; only dimensionless ratios and deterministic
+//! counts are compared, so the gate is machine-speed independent.
+
+use kremlin_bench::gate::{check, Tolerance};
+
+struct Args {
+    baseline: String,
+    fresh: String,
+    tol: Tolerance,
+}
+
+fn usage() -> &'static str {
+    "usage: ci-gate --baseline=PATH --fresh=PATH \
+     [--max-speedup-drop=F] [--max-shadow-growth=F]"
+}
+
+fn parse_args() -> Result<Args, String> {
+    let mut baseline = None;
+    let mut fresh = None;
+    let mut tol = Tolerance::default();
+    for arg in std::env::args().skip(1) {
+        if let Some(v) = arg.strip_prefix("--baseline=") {
+            baseline = Some(v.to_owned());
+        } else if let Some(v) = arg.strip_prefix("--fresh=") {
+            fresh = Some(v.to_owned());
+        } else if let Some(v) = arg.strip_prefix("--max-speedup-drop=") {
+            tol.speedup_drop =
+                v.parse().map_err(|_| format!("bad --max-speedup-drop value `{v}`"))?;
+        } else if let Some(v) = arg.strip_prefix("--max-shadow-growth=") {
+            tol.shadow_growth =
+                v.parse().map_err(|_| format!("bad --max-shadow-growth value `{v}`"))?;
+        } else {
+            return Err(format!("unknown argument `{arg}`"));
+        }
+    }
+    match (baseline, fresh) {
+        (Some(baseline), Some(fresh)) => Ok(Args { baseline, fresh, tol }),
+        _ => Err("--baseline and --fresh are both required".into()),
+    }
+}
+
+fn main() {
+    let args = match parse_args() {
+        Ok(a) => a,
+        Err(msg) => {
+            eprintln!("{msg}\n{}", usage());
+            std::process::exit(2);
+        }
+    };
+    let read = |path: &str| {
+        std::fs::read_to_string(path).unwrap_or_else(|e| {
+            eprintln!("ci-gate: {path}: {e}");
+            std::process::exit(1);
+        })
+    };
+    let baseline = read(&args.baseline);
+    let fresh = read(&args.fresh);
+    match check(&baseline, &fresh, args.tol) {
+        Ok(report) if report.passed() => {
+            println!(
+                "ci-gate: OK — {} workload(s) within tolerance ({})",
+                report.compared.len(),
+                report.compared.join(", ")
+            );
+        }
+        Ok(report) => {
+            eprintln!("ci-gate: FAIL — {} violation(s):", report.violations.len());
+            for v in &report.violations {
+                eprintln!("  {v}");
+            }
+            std::process::exit(1);
+        }
+        Err(e) => {
+            eprintln!("ci-gate: {e}");
+            std::process::exit(1);
+        }
+    }
+}

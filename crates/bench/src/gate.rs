@@ -1,0 +1,240 @@
+//! CI regression gate over `BENCH_profiler.json` baselines.
+//!
+//! Compares a freshly produced bench report against the checked-in
+//! baseline and reports violations of the tolerance bands. The gate is
+//! designed to be robust to machine-speed differences between the
+//! baseline host and CI runners, so it never compares absolute
+//! milliseconds:
+//!
+//! * **speedups** (`speedup_serial_optimized`,
+//!   `speedup_sharded_critical_path`) are dimensionless ratios of two
+//!   passes on the *same* host — a fresh value may not drop more than
+//!   `Tolerance::speedup_drop` below the baseline (critical-path-speedup
+//!   regression);
+//! * **`instr_events`** is deterministic per workload and must match
+//!   exactly (a mismatch means the pipeline changed semantics, not speed);
+//! * **`shadow_bytes_packed`** is deterministic too, but a small growth
+//!   band (`Tolerance::shadow_growth`) is allowed for intentional layout
+//!   tweaks — beyond it is a shadow-footprint blowup;
+//! * embedded **metrics** (when both sides carry them) must stay nonzero
+//!   wherever the baseline is nonzero: a pipeline-phase counter falling to
+//!   zero means instrumentation was silently lost.
+//!
+//! Workloads are matched by name; a workload present in only one file is
+//! skipped (CI smoke runs measure a subset), but matching zero workloads
+//! is itself a violation.
+
+use kremlin_obs::json::{self, Value};
+
+/// Allowed drift between baseline and fresh reports.
+#[derive(Debug, Clone, Copy)]
+pub struct Tolerance {
+    /// Maximum allowed absolute drop in a speedup ratio (e.g. 0.5 lets a
+    /// 2.4x baseline degrade to 1.9x before failing).
+    pub speedup_drop: f64,
+    /// Maximum allowed relative growth of the packed shadow footprint
+    /// (0.10 = +10%).
+    pub shadow_growth: f64,
+}
+
+impl Default for Tolerance {
+    fn default() -> Self {
+        // speedup_drop absorbs CI-runner noise on the ratio; shadow bytes
+        // are deterministic, so the band only covers intentional tweaks.
+        Tolerance { speedup_drop: 0.5, shadow_growth: 0.10 }
+    }
+}
+
+/// The gate verdict: which workloads were compared and every violation.
+#[derive(Debug, Default)]
+pub struct GateReport {
+    /// Names of workloads present in both reports.
+    pub compared: Vec<String>,
+    /// Human-readable tolerance-band violations; empty means pass.
+    pub violations: Vec<String>,
+}
+
+impl GateReport {
+    /// True when every band held.
+    pub fn passed(&self) -> bool {
+        !self.compared.is_empty() && self.violations.is_empty()
+    }
+}
+
+fn workloads(doc: &Value) -> Vec<&Value> {
+    doc.get("workloads").and_then(Value::as_arr).map(|a| a.iter().collect()).unwrap_or_default()
+}
+
+fn name_of(w: &Value) -> Option<&str> {
+    w.get("name").and_then(Value::as_str)
+}
+
+fn num(w: &Value, key: &str) -> Option<f64> {
+    w.get(key).and_then(Value::as_f64)
+}
+
+/// Checks `fresh` against `baseline` (both `BENCH_profiler.json` texts).
+///
+/// # Errors
+///
+/// Returns a message if either document fails to parse — malformed input
+/// is an error, not a violation, so CI distinguishes "bench broke" from
+/// "bench regressed".
+pub fn check(baseline: &str, fresh: &str, tol: Tolerance) -> Result<GateReport, String> {
+    let base = json::parse(baseline).map_err(|e| format!("baseline: {e}"))?;
+    let new = json::parse(fresh).map_err(|e| format!("fresh: {e}"))?;
+    let mut report = GateReport::default();
+
+    for bw in workloads(&base) {
+        let Some(name) = name_of(bw) else { continue };
+        let Some(nw) = workloads(&new).into_iter().find(|w| name_of(w) == Some(name)) else {
+            continue; // smoke runs measure a subset of the baseline
+        };
+        report.compared.push(name.to_owned());
+        let mut violation = |msg: String| report.violations.push(format!("{name}: {msg}"));
+
+        // Deterministic pipeline identity.
+        if let (Some(b), Some(n)) = (num(bw, "instr_events"), num(nw, "instr_events")) {
+            if b != n {
+                violation(format!("instr_events changed: baseline {b} -> fresh {n}"));
+            }
+        }
+
+        // Shadow-footprint blowup.
+        if let (Some(b), Some(n)) = (num(bw, "shadow_bytes_packed"), num(nw, "shadow_bytes_packed"))
+        {
+            if b > 0.0 && n > b * (1.0 + tol.shadow_growth) {
+                violation(format!(
+                    "shadow footprint blowup: {b:.0} -> {n:.0} bytes (allowed +{:.0}%)",
+                    tol.shadow_growth * 100.0
+                ));
+            }
+        }
+
+        // Critical-path-speedup regressions.
+        for key in ["speedup_serial_optimized", "speedup_sharded_critical_path"] {
+            if let (Some(b), Some(n)) = (num(bw, key), num(nw, key)) {
+                if n < b - tol.speedup_drop {
+                    violation(format!(
+                        "{key} regressed: {b:.3} -> {n:.3} (allowed drop {:.3})",
+                        tol.speedup_drop
+                    ));
+                }
+            }
+        }
+
+        // Embedded metrics: every counter the baseline saw nonzero must
+        // still be nonzero (instrumentation silently lost otherwise).
+        if let (Some(bm), Some(nm)) = (
+            bw.get("metrics").and_then(|m| m.get("counters")).and_then(Value::as_obj),
+            nw.get("metrics").and_then(|m| m.get("counters")).and_then(Value::as_obj),
+        ) {
+            for (cname, bval) in bm {
+                let b = bval.as_f64().unwrap_or(0.0);
+                if b <= 0.0 {
+                    continue;
+                }
+                let n = nm
+                    .iter()
+                    .find(|(k, _)| k == cname)
+                    .and_then(|(_, v)| v.as_f64())
+                    .unwrap_or(0.0);
+                if n <= 0.0 {
+                    violation(format!("metrics counter {cname} fell to zero (baseline {b:.0})"));
+                }
+            }
+        }
+    }
+
+    if report.compared.is_empty() {
+        report.violations.push("no workloads in common between baseline and fresh report".into());
+    }
+    Ok(report)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn doc(name: &str, instr: u64, shadow: u64, spd: f64, counters: &str) -> String {
+        format!(
+            r#"{{"bench":"profiler","workloads":[{{"name":"{name}","instr_events":{instr},
+               "shadow_bytes_packed":{shadow},"speedup_serial_optimized":{spd},
+               "speedup_sharded_critical_path":{spd},
+               "metrics":{{"schema":"kremlin-metrics-v1","counters":{{{counters}}}}}}}]}}"#
+        )
+    }
+
+    #[test]
+    fn identical_reports_pass() {
+        let d = doc("cg", 1000, 4096, 2.0, r#""interp.instrs":5"#);
+        let r = check(&d, &d, Tolerance::default()).unwrap();
+        assert!(r.passed(), "{:?}", r.violations);
+        assert_eq!(r.compared, ["cg"]);
+    }
+
+    #[test]
+    fn speedup_within_band_passes_beyond_band_fails() {
+        let base = doc("cg", 1000, 4096, 2.0, "");
+        let ok = doc("cg", 1000, 4096, 1.6, "");
+        assert!(check(&base, &ok, Tolerance::default()).unwrap().passed());
+        let bad = doc("cg", 1000, 4096, 1.4, "");
+        let r = check(&base, &bad, Tolerance::default()).unwrap();
+        assert!(!r.passed());
+        assert!(r.violations.iter().any(|v| v.contains("regressed")), "{:?}", r.violations);
+    }
+
+    #[test]
+    fn instr_events_must_match_exactly() {
+        let base = doc("cg", 1000, 4096, 2.0, "");
+        let bad = doc("cg", 1001, 4096, 2.0, "");
+        let r = check(&base, &bad, Tolerance::default()).unwrap();
+        assert!(r.violations.iter().any(|v| v.contains("instr_events")), "{:?}", r.violations);
+    }
+
+    #[test]
+    fn shadow_blowup_is_caught() {
+        let base = doc("cg", 1000, 4096, 2.0, "");
+        let ok = doc("cg", 1000, 4300, 2.0, ""); // +5%
+        assert!(check(&base, &ok, Tolerance::default()).unwrap().passed());
+        let bad = doc("cg", 1000, 8192, 2.0, ""); // 2x
+        let r = check(&base, &bad, Tolerance::default()).unwrap();
+        assert!(r.violations.iter().any(|v| v.contains("blowup")), "{:?}", r.violations);
+    }
+
+    #[test]
+    fn lost_instrumentation_is_caught() {
+        let base = doc("cg", 1000, 4096, 2.0, r#""interp.instrs":5,"ir.regions":3"#);
+        let bad = doc("cg", 1000, 4096, 2.0, r#""interp.instrs":7,"ir.regions":0"#);
+        let r = check(&base, &bad, Tolerance::default()).unwrap();
+        assert!(r.violations.iter().any(|v| v.contains("ir.regions")), "{:?}", r.violations);
+    }
+
+    #[test]
+    fn disjoint_workload_sets_are_a_violation() {
+        let base = doc("bt", 1, 1, 1.0, "");
+        let new = doc("cg", 1, 1, 1.0, "");
+        let r = check(&base, &new, Tolerance::default()).unwrap();
+        assert!(!r.passed());
+    }
+
+    #[test]
+    fn subset_runs_compare_only_common_workloads() {
+        let base = format!(
+            r#"{{"workloads":[{},{}]}}"#,
+            r#"{"name":"bt","instr_events":5,"speedup_serial_optimized":2.0}"#,
+            r#"{"name":"cg","instr_events":9,"speedup_serial_optimized":2.0}"#
+        );
+        let fresh =
+            r#"{"workloads":[{"name":"cg","instr_events":9,"speedup_serial_optimized":1.9}]}"#;
+        let r = check(&base, fresh, Tolerance::default()).unwrap();
+        assert_eq!(r.compared, ["cg"]);
+        assert!(r.passed(), "{:?}", r.violations);
+    }
+
+    #[test]
+    fn malformed_input_is_an_error_not_a_violation() {
+        assert!(check("{", "{}", Tolerance::default()).is_err());
+        assert!(check("{}", "nope", Tolerance::default()).is_err());
+    }
+}

@@ -22,6 +22,7 @@
 //! hand-rolled [`timer`] harness (`profiler_overhead`, `compression`,
 //! `planning`, `ablations`) for the performance claims.
 
+pub mod gate;
 pub mod progen;
 pub mod rng;
 pub mod timer;

@@ -128,8 +128,10 @@ impl Dictionary {
         self.raw_summaries += 1;
         let key = Entry { static_id, work, cp, children };
         if let Some(&id) = self.interner.get(&key) {
+            kremlin_obs::counter!("compress.dict_hits").incr();
             return id;
         }
+        kremlin_obs::counter!("compress.dict_misses").incr();
         let id = EntryId(u32::try_from(self.entries.len()).expect("alphabet overflow"));
         self.entries.push(key.clone());
         self.interner.insert(key, id);

@@ -16,7 +16,14 @@
 //!   --save-profile=<path>         write the parallelism profile
 //!   --load-profile=<path>         plan from a saved profile (skips execution)
 //!   --dump-ir                     print the instrumented IR and exit
+//!   --metrics[=json|pretty]       self-instrumentation: print pipeline
+//!                                 counters/gauges/phase timings (json: one
+//!                                 object as the last stdout line)
+//!   --trace <file>                write phase spans as JSONL
 //! ```
+//!
+//! Exit codes: 0 success, 1 pipeline failure (I/O, compile, runtime),
+//! 2 usage error.
 
 use kremlin::persist::{load_profile, save_profile};
 use kremlin::{
@@ -25,6 +32,28 @@ use kremlin::{
 };
 use std::collections::HashSet;
 use std::process::ExitCode;
+
+/// CLI outcomes that are not plain success, each with its exit code.
+enum CliError {
+    /// `--help`: usage on stdout, exit 0.
+    Help,
+    /// Bad invocation: message + usage on stderr, exit 2.
+    Usage(String),
+    /// The pipeline failed (I/O, compile, runtime): stderr, exit 1.
+    Failure(String),
+}
+
+/// Convenience for `?` on pipeline results.
+fn fail(e: impl std::fmt::Display) -> CliError {
+    CliError::Failure(e.to_string())
+}
+
+#[derive(Clone, Copy, PartialEq, Eq)]
+enum MetricsMode {
+    Off,
+    Pretty,
+    Json,
+}
 
 struct Options {
     input: Option<String>,
@@ -40,16 +69,19 @@ struct Options {
     load_profile: Option<String>,
     dump_ir: bool,
     report: bool,
+    metrics: MetricsMode,
+    trace: Option<String>,
 }
 
 fn usage() -> &'static str {
     "usage: kremlin <program.kc> [--personality=openmp|cilk|work-only|self-parallelism]\n\
      \x20              [--exclude=l1,l2] [--regions] [--evaluate] [--runs=N]\n\
      \x20              [--window=N] [--jobs=N|--depth-shards=N] [--no-break-deps]\n\
-     \x20              [--save-profile=PATH] [--load-profile=PATH] [--dump-ir] [--report]"
+     \x20              [--save-profile=PATH] [--load-profile=PATH] [--dump-ir] [--report]\n\
+     \x20              [--metrics[=json|pretty]] [--trace FILE]"
 }
 
-fn parse_args(args: &[String]) -> Result<Options, String> {
+fn parse_args(args: &[String]) -> Result<Options, CliError> {
     let mut o = Options {
         input: None,
         personality: "openmp".into(),
@@ -64,8 +96,14 @@ fn parse_args(args: &[String]) -> Result<Options, String> {
         load_profile: None,
         dump_ir: false,
         report: false,
+        metrics: MetricsMode::Off,
+        trace: None,
     };
-    for a in args {
+    let bad = |msg: String| CliError::Usage(format!("{msg}\n{}", usage()));
+    let mut i = 0;
+    while i < args.len() {
+        let a = &args[i];
+        i += 1;
         if let Some(v) = a.strip_prefix("--personality=") {
             o.personality = v.to_owned();
         } else if let Some(v) = a.strip_prefix("--exclude=") {
@@ -75,18 +113,18 @@ fn parse_args(args: &[String]) -> Result<Options, String> {
         } else if a == "--evaluate" {
             o.evaluate = true;
         } else if let Some(v) = a.strip_prefix("--runs=") {
-            o.runs = v.parse().map_err(|_| format!("bad --runs value `{v}`"))?;
+            o.runs = v.parse().map_err(|_| bad(format!("bad --runs value `{v}`")))?;
             if o.runs == 0 {
-                return Err("--runs must be at least 1".into());
+                return Err(bad("--runs must be at least 1".into()));
             }
         } else if let Some(v) = a.strip_prefix("--window=") {
-            o.window = Some(v.parse().map_err(|_| format!("bad --window value `{v}`"))?);
+            o.window = Some(v.parse().map_err(|_| bad(format!("bad --window value `{v}`")))?);
         } else if let Some(v) =
             a.strip_prefix("--jobs=").or_else(|| a.strip_prefix("--depth-shards="))
         {
-            o.jobs = v.parse().map_err(|_| format!("bad {a} value"))?;
+            o.jobs = v.parse().map_err(|_| bad(format!("bad {a} value")))?;
             if o.jobs == 0 {
-                return Err("--jobs must be at least 1".into());
+                return Err(bad("--jobs must be at least 1".into()));
             }
         } else if a == "--no-break-deps" {
             o.break_deps = false;
@@ -98,41 +136,80 @@ fn parse_args(args: &[String]) -> Result<Options, String> {
             o.dump_ir = true;
         } else if a == "--report" {
             o.report = true;
+        } else if a == "--metrics" || a == "--metrics=pretty" {
+            o.metrics = MetricsMode::Pretty;
+        } else if a == "--metrics=json" {
+            o.metrics = MetricsMode::Json;
+        } else if let Some(v) = a.strip_prefix("--metrics=") {
+            return Err(bad(format!("bad --metrics value `{v}` (expected json or pretty)")));
+        } else if a == "--trace" {
+            let Some(path) = args.get(i) else {
+                return Err(bad("--trace requires a file argument".into()));
+            };
+            o.trace = Some(path.clone());
+            i += 1;
+        } else if let Some(v) = a.strip_prefix("--trace=") {
+            o.trace = Some(v.to_owned());
         } else if a == "--help" || a == "-h" {
-            return Err(usage().to_owned());
+            return Err(CliError::Help);
         } else if a.starts_with("--") {
-            return Err(format!("unknown option `{a}`\n{}", usage()));
+            return Err(bad(format!("unknown option `{a}`")));
         } else if o.input.is_none() {
             o.input = Some(a.clone());
         } else {
-            return Err(format!("unexpected argument `{a}`\n{}", usage()));
+            return Err(bad(format!("unexpected argument `{a}`")));
         }
     }
     Ok(o)
 }
 
-fn personality(name: &str) -> Result<Box<dyn Personality>, String> {
+fn personality(name: &str) -> Result<Box<dyn Personality>, CliError> {
     Ok(match name {
         "openmp" => Box::new(OpenMpPlanner::default()),
         "cilk" => Box::new(CilkPlanner::default()),
         "work-only" => Box::new(WorkOnlyPlanner::default()),
         "self-parallelism" => Box::new(SelfPFilterPlanner::default()),
-        other => return Err(format!("unknown personality `{other}`")),
+        other => {
+            return Err(CliError::Usage(format!("unknown personality `{other}`\n{}", usage())))
+        }
     })
 }
 
-fn run() -> Result<(), String> {
+/// Emits `--metrics` / `--trace` output after the pipeline has run.
+fn emit_observability(o: &Options) -> Result<(), CliError> {
+    match o.metrics {
+        MetricsMode::Off => {}
+        MetricsMode::Pretty => print!("{}", kremlin::obs::snapshot().render_pretty()),
+        // One object as the last stdout line, so scripts can parse it.
+        MetricsMode::Json => println!("{}", kremlin::obs::snapshot().to_json()),
+    }
+    if let Some(path) = &o.trace {
+        let events = kremlin::obs::take_trace();
+        let jsonl = kremlin::obs::trace_to_jsonl(&events);
+        std::fs::write(path, jsonl).map_err(|e| fail(format!("{path}: {e}")))?;
+        eprintln!("[kremlin] {} spans written to {path}", events.len());
+    }
+    Ok(())
+}
+
+fn run() -> Result<(), CliError> {
     let args: Vec<String> = std::env::args().skip(1).collect();
     if args.is_empty() {
-        return Err(usage().to_owned());
+        return Err(CliError::Usage(usage().to_owned()));
     }
     let o = parse_args(&args)?;
     let planner = personality(&o.personality)?;
+    if o.metrics != MetricsMode::Off {
+        kremlin::obs::set_metrics(true);
+    }
+    if o.trace.is_some() {
+        kremlin::obs::set_tracing(true);
+    }
 
     // Plan from a previously saved profile: no execution needed.
     if let Some(path) = &o.load_profile {
-        let text = std::fs::read_to_string(path).map_err(|e| format!("{path}: {e}"))?;
-        let saved = load_profile(&text).map_err(|e| e.to_string())?;
+        let text = std::fs::read_to_string(path).map_err(|e| fail(format!("{path}: {e}")))?;
+        let saved = load_profile(&text).map_err(fail)?;
         let exclude = resolve_excludes(&o.exclude, |l| saved.regions.by_label(l))?;
         let plan = planner.plan(&saved.profile, &exclude);
         print!("{plan}");
@@ -148,20 +225,20 @@ fn run() -> Result<(), String> {
                 eval.speedup, eval.best_cores, eval.serial_time, eval.parallel_time
             );
         }
-        return Ok(());
+        return emit_observability(&o);
     }
 
-    let input = o.input.as_deref().ok_or_else(|| usage().to_owned())?;
-    let src = std::fs::read_to_string(input).map_err(|e| format!("{input}: {e}"))?;
+    let input = o.input.as_deref().ok_or_else(|| CliError::Usage(usage().to_owned()))?;
+    let src = std::fs::read_to_string(input).map_err(|e| fail(format!("{input}: {e}")))?;
     let name = std::path::Path::new(input)
         .file_name()
         .map(|f| f.to_string_lossy().into_owned())
         .unwrap_or_else(|| input.to_owned());
 
     if o.dump_ir {
-        let unit = kremlin::ir::compile(&src, &name).map_err(|e| e.to_string())?;
+        let unit = kremlin::ir::compile(&src, &name).map_err(fail)?;
         print!("{}", kremlin::ir::printer::print_module(&unit.module));
-        return Ok(());
+        return emit_observability(&o);
     }
 
     let mut tool = Kremlin::new();
@@ -172,7 +249,7 @@ fn run() -> Result<(), String> {
     let _ = HcpaConfig::default();
 
     if o.jobs > 1 && o.runs > 1 {
-        return Err("--jobs and --runs cannot be combined".into());
+        return Err(CliError::Usage(format!("--jobs and --runs cannot be combined\n{}", usage())));
     }
     let analysis = if o.runs > 1 {
         tool.analyze_runs(&src, &name, o.runs)
@@ -181,7 +258,7 @@ fn run() -> Result<(), String> {
     } else {
         tool.analyze(&src, &name)
     }
-    .map_err(|e| e.to_string())?;
+    .map_err(fail)?;
 
     eprintln!(
         "[kremlin] exit={} instrs={} dynamic-regions={} max-depth={}",
@@ -198,7 +275,7 @@ fn run() -> Result<(), String> {
             &analysis.unit.reduction_loops(),
             analysis.profile(),
         );
-        std::fs::write(path, text).map_err(|e| format!("{path}: {e}"))?;
+        std::fs::write(path, text).map_err(|e| fail(format!("{path}: {e}")))?;
         eprintln!("[kremlin] profile saved to {path}");
     }
 
@@ -220,7 +297,7 @@ fn run() -> Result<(), String> {
                 if s.is_doall { "yes" } else { "no" }
             );
         }
-        return Ok(());
+        return emit_observability(&o);
     }
 
     if o.report {
@@ -232,7 +309,7 @@ fn run() -> Result<(), String> {
                 kremlin::report::ReportOptions::default()
             )
         );
-        return Ok(());
+        return emit_observability(&o);
     }
 
     let exclude = resolve_excludes(&o.exclude, |l| analysis.unit.module.regions.by_label(l))?;
@@ -246,23 +323,31 @@ fn run() -> Result<(), String> {
             eval.speedup, eval.best_cores, eval.serial_time, eval.parallel_time
         );
     }
-    Ok(())
+    emit_observability(&o)
 }
 
 fn resolve_excludes(
     labels: &[String],
     lookup: impl Fn(&str) -> Option<kremlin::RegionId>,
-) -> Result<HashSet<kremlin::RegionId>, String> {
+) -> Result<HashSet<kremlin::RegionId>, CliError> {
     labels
         .iter()
-        .map(|l| lookup(l).ok_or_else(|| format!("unknown region label `{l}` in --exclude")))
+        .map(|l| lookup(l).ok_or_else(|| fail(format!("unknown region label `{l}` in --exclude"))))
         .collect()
 }
 
 fn main() -> ExitCode {
     match run() {
         Ok(()) => ExitCode::SUCCESS,
-        Err(msg) => {
+        Err(CliError::Help) => {
+            println!("{}", usage());
+            ExitCode::SUCCESS
+        }
+        Err(CliError::Usage(msg)) => {
+            eprintln!("{msg}");
+            ExitCode::from(2)
+        }
+        Err(CliError::Failure(msg)) => {
             eprintln!("{msg}");
             ExitCode::FAILURE
         }

@@ -51,6 +51,7 @@ pub use kremlin_hcpa as hcpa;
 pub use kremlin_interp as interp;
 pub use kremlin_ir as ir;
 pub use kremlin_minic as minic;
+pub use kremlin_obs as obs;
 pub use kremlin_planner as planner;
 pub use kremlin_sim as sim;
 

@@ -80,27 +80,119 @@ fn regions_dump_and_dump_ir() {
 }
 
 #[test]
-fn errors_are_reported_with_nonzero_exit() {
+fn usage_errors_exit_2_and_print_usage() {
     // Unknown option.
     let out = kremlin().arg("--bogus").output().expect("runs");
-    assert!(!out.status.success());
-    assert!(String::from_utf8_lossy(&out.stderr).contains("unknown option"));
+    assert_eq!(out.status.code(), Some(2));
+    let stderr = String::from_utf8_lossy(&out.stderr);
+    assert!(stderr.contains("unknown option"), "{stderr}");
+    assert!(stderr.contains("usage: kremlin"), "usage must be printed: {stderr}");
 
+    // Bad flag value.
+    let out = kremlin().arg("x.kc").arg("--runs=zero").output().expect("runs");
+    assert_eq!(out.status.code(), Some(2));
+    assert!(String::from_utf8_lossy(&out.stderr).contains("bad --runs"));
+
+    // Unknown personality.
+    let out = kremlin().arg("x.kc").arg("--personality=mpi").output().expect("runs");
+    assert_eq!(out.status.code(), Some(2));
+    assert!(String::from_utf8_lossy(&out.stderr).contains("unknown personality"));
+
+    // No arguments at all.
+    let out = kremlin().output().expect("runs");
+    assert_eq!(out.status.code(), Some(2));
+}
+
+#[test]
+fn pipeline_failures_exit_1() {
     // Missing file.
     let out = kremlin().arg("/nonexistent/x.kc").output().expect("runs");
-    assert!(!out.status.success());
+    assert_eq!(out.status.code(), Some(1));
 
     // Compile error in the program.
     let bad = write_temp("bad.kc", "int main() { return x; }");
     let out = kremlin().arg(&bad).output().expect("runs");
-    assert!(!out.status.success());
+    assert_eq!(out.status.code(), Some(1));
     assert!(String::from_utf8_lossy(&out.stderr).contains("undeclared"));
 
-    // Unknown exclude label.
+    // Unknown exclude label (depends on the profiled program, so it is a
+    // pipeline failure, not a usage error).
     let src = write_temp("demo5.kc", DEMO);
     let out = kremlin().arg(&src).arg("--exclude=main#L9").output().expect("runs");
-    assert!(!out.status.success());
+    assert_eq!(out.status.code(), Some(1));
     assert!(String::from_utf8_lossy(&out.stderr).contains("unknown region label"));
+}
+
+#[test]
+fn help_exits_0_with_usage_on_stdout() {
+    let out = kremlin().arg("--help").output().expect("runs");
+    assert_eq!(out.status.code(), Some(0));
+    assert!(String::from_utf8_lossy(&out.stdout).contains("usage: kremlin"));
+}
+
+#[test]
+fn metrics_json_reports_every_pipeline_phase() {
+    let src = write_temp("demo_metrics.kc", DEMO);
+    let out = kremlin().arg(&src).arg("--metrics=json").output().expect("runs");
+    assert!(out.status.success(), "stderr: {}", String::from_utf8_lossy(&out.stderr));
+    let stdout = String::from_utf8_lossy(&out.stdout);
+    let json_line = stdout.lines().last().expect("metrics line");
+    let snap = kremlin::obs::Snapshot::from_json(json_line).expect("valid metrics JSON");
+    // Every pipeline stage must have recorded something.
+    for counter in [
+        "minic.funcs",        // parse
+        "ir.regions",         // lower
+        "interp.instrs",      // interp
+        "hcpa.instr_events",  // shadow
+        "compress.dict_hits", // compress
+        "planner.candidates", // plan
+    ] {
+        assert!(snap.counter(counter) > 0, "counter {counter} is zero: {json_line}");
+    }
+    for phase in ["parse", "lower", "interp", "shadow", "plan"] {
+        let (count, _) = snap.phase(phase).unwrap_or_else(|| panic!("phase {phase} missing"));
+        assert!(count > 0, "phase {phase} has no spans");
+    }
+    assert!(snap.gauge("hcpa.shadow.footprint_bytes") > 0, "{json_line}");
+}
+
+#[test]
+fn metrics_pretty_prints_a_table() {
+    let src = write_temp("demo_metrics2.kc", DEMO);
+    let out = kremlin().arg(&src).arg("--metrics").output().expect("runs");
+    assert!(out.status.success());
+    let stdout = String::from_utf8_lossy(&out.stdout);
+    assert!(stdout.contains("-- kremlin metrics --"), "{stdout}");
+    assert!(stdout.contains("interp.instrs"), "{stdout}");
+    assert!(stdout.contains("phase/shadow"), "{stdout}");
+}
+
+#[test]
+fn metrics_absent_without_the_flag() {
+    let src = write_temp("demo_metrics3.kc", DEMO);
+    let out = kremlin().arg(&src).output().expect("runs");
+    assert!(out.status.success());
+    let stdout = String::from_utf8_lossy(&out.stdout);
+    assert!(!stdout.contains("kremlin-metrics"), "{stdout}");
+    assert!(!stdout.contains("-- kremlin metrics --"), "{stdout}");
+}
+
+#[test]
+fn trace_writes_balanced_jsonl_spans() {
+    let src = write_temp("demo_trace.kc", DEMO);
+    let trace = std::env::temp_dir().join("kremlin-cli-tests").join("demo.trace.jsonl");
+    let out = kremlin().arg(&src).arg("--trace").arg(&trace).output().expect("runs");
+    assert!(out.status.success(), "stderr: {}", String::from_utf8_lossy(&out.stderr));
+    let text = std::fs::read_to_string(&trace).expect("trace file written");
+    let mut names = Vec::new();
+    for line in text.lines() {
+        let v = kremlin::obs::json::parse(line).expect("trace line is JSON");
+        names.push(v.get("span").and_then(kremlin::obs::json::Value::as_str).unwrap().to_owned());
+        assert!(v.get("dur_us").is_some() && v.get("depth").is_some(), "{line}");
+    }
+    for expected in ["parse", "lower", "interp", "shadow", "plan"] {
+        assert!(names.iter().any(|n| n == expected), "span {expected} missing: {names:?}");
+    }
 }
 
 #[test]

@@ -91,9 +91,11 @@ pub fn profile_unit_with_machine(
     config: HcpaConfig,
     machine: MachineConfig,
 ) -> Result<ProfileOutcome, InterpError> {
+    let _span = kremlin_obs::span("shadow");
     let mut profiler = Profiler::new(&unit.module, config);
     let run = kremlin_interp::run_with_hook(&unit.module, &mut profiler, machine)?;
     let (dict, stats) = profiler.finish();
+    let _build = kremlin_obs::span("profile.build");
     let mut profile =
         ParallelismProfile::build(&unit.module.regions, dict, &unit.reduction_loops());
     profile.set_source_name(&unit.module.source_name);

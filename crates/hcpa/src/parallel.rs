@@ -206,7 +206,10 @@ pub fn profile_unit_parallel(
         slices.push(o.profile);
     }
     let stats = stats.expect("at least one shard");
+    let stitch_span = kremlin_obs::span("stitch");
     let profile = ParallelismProfile::stitch(&slices, stride + 1);
+    drop(stitch_span);
+    kremlin_obs::counter!("hcpa.stitch.slices").add(slices.len() as u64);
     Ok(ProfileOutcome { profile, stats, run: run.expect("at least one shard") })
 }
 

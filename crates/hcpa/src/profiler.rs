@@ -198,6 +198,19 @@ impl<'m, R: RegShadow, M: MemShadow> ProfilerCore<'m, R, M> {
         self.stats.shadow_pages = self.mem.pages_allocated();
         self.stats.shadow_live_pages = self.mem.live_pages();
         self.stats.shadow_bytes = self.mem.footprint_bytes();
+        if kremlin_obs::metrics_enabled() {
+            // Flush run-local tallies in one shot; nothing is counted per
+            // instruction on the hot path.
+            kremlin_obs::counter!("hcpa.instr_events").add(self.stats.instr_events);
+            kremlin_obs::counter!("hcpa.dynamic_regions").add(self.stats.dynamic_regions);
+            kremlin_obs::counter!("hcpa.shadow.pages_allocated").add(self.stats.shadow_pages);
+            kremlin_obs::gauge!("hcpa.shadow.live_pages").set_max(self.stats.shadow_live_pages);
+            kremlin_obs::gauge!("hcpa.shadow.footprint_bytes").set_max(self.stats.shadow_bytes);
+            kremlin_obs::gauge!("hcpa.max_depth").set_max(self.stats.max_depth as u64);
+            let (hits, misses) = self.mem.cache_stats();
+            kremlin_obs::counter!("hcpa.shadow.cache_hits").add(hits);
+            kremlin_obs::counter!("hcpa.shadow.cache_misses").add(misses);
+        }
         (self.dict, self.stats)
     }
 
@@ -232,6 +245,7 @@ impl<'m, R: RegShadow, M: MemShadow> ProfilerCore<'m, R, M> {
         children.sort_by_key(|(c, _)| *c);
         let id = self.dict.intern(r.static_id.0, work, r.cp, children);
         self.stats.dynamic_regions += 1;
+        kremlin_obs::histogram!("hcpa.region_work").record(work);
         match self.regions.last_mut() {
             Some(parent) => {
                 *parent.children.entry(id).or_insert(0) += 1;

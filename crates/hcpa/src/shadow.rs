@@ -125,6 +125,13 @@ pub trait MemShadow {
     /// Current shadow-memory footprint in bytes, derived from the actual
     /// slot layout of live pages.
     fn footprint_bytes(&self) -> u64;
+
+    /// `(hits, misses)` of the store's page-cache, if it keeps one.
+    /// Counts are collected only while `kremlin_obs` metrics are enabled
+    /// at construction time; stores without a cache report `(0, 0)`.
+    fn cache_stats(&self) -> (u64, u64) {
+        (0, 0)
+    }
 }
 
 // ---------------------------------------------------------------------------
@@ -212,6 +219,13 @@ pub struct ShadowMemory {
     last: Cell<(u64, u32)>,
     /// Pages ever allocated (for reporting historical shadow footprint).
     pages_allocated: u64,
+    /// Last-page-cache hit/miss tally, recorded only when `collect` is
+    /// set (captured from the `kremlin_obs` metrics switch at
+    /// construction) so the disabled hot path pays one predictable
+    /// branch.
+    cache_hits: Cell<u64>,
+    cache_misses: Cell<u64>,
+    collect: bool,
 }
 
 impl ShadowMemory {
@@ -220,7 +234,13 @@ impl ShadowMemory {
         let key = addr / PAGE_SLOTS;
         let (ck, ci) = self.last.get();
         if ck == key {
+            if self.collect {
+                self.cache_hits.set(self.cache_hits.get() + 1);
+            }
             return Some(ci);
+        }
+        if self.collect {
+            self.cache_misses.set(self.cache_misses.get() + 1);
         }
         let i = *self.index.get(&key)?;
         self.last.set((key, i));
@@ -232,7 +252,13 @@ impl ShadowMemory {
         let key = addr / PAGE_SLOTS;
         let (ck, ci) = self.last.get();
         if ck == key {
+            if self.collect {
+                self.cache_hits.set(self.cache_hits.get() + 1);
+            }
             return ci;
+        }
+        if self.collect {
+            self.cache_misses.set(self.cache_misses.get() + 1);
         }
         let i = match self.index.entry(key) {
             std::collections::hash_map::Entry::Occupied(e) => *e.get(),
@@ -276,6 +302,9 @@ impl MemShadow for ShadowMemory {
             pages: Vec::new(),
             last: Cell::new((u64::MAX, 0)),
             pages_allocated: 0,
+            cache_hits: Cell::new(0),
+            cache_misses: Cell::new(0),
+            collect: kremlin_obs::metrics_enabled(),
         }
     }
 
@@ -330,6 +359,10 @@ impl MemShadow for ShadowMemory {
         // Derived from the actual slot layout rather than a hard-coded
         // per-slot constant.
         self.live_pages() * PAGE_SLOTS * self.window as u64 * std::mem::size_of::<Slot>() as u64
+    }
+
+    fn cache_stats(&self) -> (u64, u64) {
+        (self.cache_hits.get(), self.cache_misses.get())
     }
 }
 

@@ -67,6 +67,7 @@ pub fn run_with_hook<H: ExecHook>(
     hook: &mut H,
     config: MachineConfig,
 ) -> Result<RunResult, InterpError> {
+    let _span = kremlin_obs::span("interp");
     let main_id = module.main.ok_or(InterpError::NoMain)?;
     let mut mem = Memory::for_module(module, config.stack_slots);
     let mut frames: Vec<Frame> = Vec::new();
@@ -298,6 +299,8 @@ pub fn run_with_hook<H: ExecHook>(
         }
     }
 
+    kremlin_obs::counter!("interp.instrs").add(executed);
+    kremlin_obs::counter!("interp.runs").incr();
     Ok(RunResult { exit: exit_value, instrs_executed: executed })
 }
 

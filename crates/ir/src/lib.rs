@@ -123,6 +123,7 @@ impl From<verify::VerifyError> for CompileError {
 /// [`CompileError::Verify`] if an internal pass produced malformed IR.
 pub fn compile(src: &str, source_name: &str) -> Result<CompiledUnit, CompileError> {
     let prog = kremlin_minic::compile_frontend(src)?;
+    let _span = kremlin_obs::span("lower");
     let mut module = lower::lower(&prog, source_name);
     verify::verify_module(&module)?;
     let mut indvars = Vec::with_capacity(module.funcs.len());
@@ -132,6 +133,9 @@ pub fn compile(src: &str, source_name: &str) -> Result<CompiledUnit, CompileErro
         indvars.push(indvar::analyze(f));
     }
     verify::verify_module(&module)?;
+    kremlin_obs::counter!("ir.funcs").add(module.funcs.len() as u64);
+    kremlin_obs::counter!("ir.regions").add(module.regions.len() as u64);
+    kremlin_obs::counter!("ir.promoted_allocas").add(m2r.iter().map(|s| s.promoted as u64).sum());
     Ok(CompiledUnit { module, indvars, mem2reg: m2r })
 }
 

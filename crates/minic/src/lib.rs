@@ -49,7 +49,11 @@ pub use types::{Scalar, Type};
 ///
 /// Returns the first lexical, syntactic, or semantic error.
 pub fn compile_frontend(src: &str) -> error::Result<Program> {
-    typeck::check(parser::parse(src)?)
+    let _span = kremlin_obs::span("parse");
+    let prog = typeck::check(parser::parse(src)?)?;
+    kremlin_obs::counter!("minic.funcs").add(prog.funcs.len() as u64);
+    kremlin_obs::counter!("minic.source_bytes").add(src.len() as u64);
+    Ok(prog)
 }
 
 #[cfg(test)]

@@ -1,0 +1,764 @@
+//! # kremlin-obs — pipeline self-instrumentation
+//!
+//! Kremlin's value proposition is *measurement*, so the pipeline measures
+//! itself: a zero-dependency metrics registry (monotonic counters, gauges,
+//! power-of-two latency histograms) plus lightweight span tracing
+//! (enter/exit events with wall-clock and per-phase attribution).
+//!
+//! Everything is **off by default** and costs one predictable branch per
+//! event when disabled (see the `obs_overhead` microbench): hot paths such
+//! as the HCPA per-instruction hook stay unperturbed unless the user asks
+//! for `kremlin --metrics` / `--trace`. Two independent switches exist:
+//!
+//! * [`set_metrics`] — counters, gauges, histograms, and per-phase span
+//!   aggregation start recording;
+//! * [`set_tracing`] — spans additionally append full enter/exit events to
+//!   an in-memory trace buffer, exportable as JSONL.
+//!
+//! Metrics are *named statics* looked up once per call site via the
+//! [`counter!`]/[`gauge!`]/[`histogram!`] macros, so steady-state cost is
+//! one atomic flag load, one branch, and (when enabled) one relaxed
+//! atomic add.
+//!
+//! ```
+//! kremlin_obs::reset();
+//! kremlin_obs::set_metrics(true);
+//! {
+//!     let _span = kremlin_obs::span("demo-phase");
+//!     kremlin_obs::counter!("demo.events").add(3);
+//! }
+//! kremlin_obs::set_metrics(false);
+//! let snap = kremlin_obs::snapshot();
+//! assert_eq!(snap.counter("demo.events"), 3);
+//! assert_eq!(snap.phase("demo-phase").map(|(count, _)| count), Some(1));
+//! kremlin_obs::reset();
+//! ```
+
+pub mod json;
+
+use std::cell::Cell;
+use std::collections::BTreeMap;
+use std::sync::atomic::{AtomicBool, AtomicI64, AtomicU64, AtomicUsize, Ordering};
+use std::sync::{Mutex, OnceLock};
+use std::time::Instant;
+
+// ---------------------------------------------------------------------------
+// Global switches
+// ---------------------------------------------------------------------------
+
+static METRICS: AtomicBool = AtomicBool::new(false);
+static TRACING: AtomicBool = AtomicBool::new(false);
+
+/// True when metric recording is on.
+#[inline(always)]
+pub fn metrics_enabled() -> bool {
+    METRICS.load(Ordering::Relaxed)
+}
+
+/// Turns metric recording on or off (process-global).
+pub fn set_metrics(on: bool) {
+    METRICS.store(on, Ordering::Relaxed);
+}
+
+/// True when span-event tracing is on.
+#[inline(always)]
+pub fn tracing_enabled() -> bool {
+    TRACING.load(Ordering::Relaxed)
+}
+
+/// Turns span-event tracing on or off (process-global).
+pub fn set_tracing(on: bool) {
+    TRACING.store(on, Ordering::Relaxed);
+}
+
+// ---------------------------------------------------------------------------
+// Metrics
+// ---------------------------------------------------------------------------
+
+/// A monotonic counter. Disabled cost: one flag load and one branch.
+#[derive(Debug, Default)]
+pub struct Counter {
+    value: AtomicU64,
+}
+
+impl Counter {
+    /// Creates a detached counter (registry counters come from
+    /// [`counter()`]).
+    pub const fn new() -> Self {
+        Counter { value: AtomicU64::new(0) }
+    }
+
+    /// Adds `n` if metrics are enabled.
+    #[inline(always)]
+    pub fn add(&self, n: u64) {
+        if metrics_enabled() {
+            self.value.fetch_add(n, Ordering::Relaxed);
+        }
+    }
+
+    /// Adds 1 if metrics are enabled.
+    #[inline(always)]
+    pub fn incr(&self) {
+        self.add(1);
+    }
+
+    /// Current value.
+    pub fn get(&self) -> u64 {
+        self.value.load(Ordering::Relaxed)
+    }
+
+    fn reset(&self) {
+        self.value.store(0, Ordering::Relaxed);
+    }
+}
+
+/// A last/max-valued gauge. Disabled cost: one flag load and one branch.
+#[derive(Debug, Default)]
+pub struct Gauge {
+    value: AtomicU64,
+}
+
+impl Gauge {
+    /// Creates a detached gauge.
+    pub const fn new() -> Self {
+        Gauge { value: AtomicU64::new(0) }
+    }
+
+    /// Overwrites the value if metrics are enabled.
+    #[inline(always)]
+    pub fn set(&self, v: u64) {
+        if metrics_enabled() {
+            self.value.store(v, Ordering::Relaxed);
+        }
+    }
+
+    /// Raises the value to at least `v` if metrics are enabled.
+    #[inline(always)]
+    pub fn set_max(&self, v: u64) {
+        if metrics_enabled() {
+            self.value.fetch_max(v, Ordering::Relaxed);
+        }
+    }
+
+    /// Current value.
+    pub fn get(&self) -> u64 {
+        self.value.load(Ordering::Relaxed)
+    }
+
+    fn reset(&self) {
+        self.value.store(0, Ordering::Relaxed);
+    }
+}
+
+/// Number of histogram buckets: bucket `i` counts values in
+/// `[2^(i-1), 2^i)` (bucket 0 counts zero/one), the last bucket is
+/// unbounded.
+pub const HIST_BUCKETS: usize = 16;
+
+/// A power-of-two bucketed histogram (latencies, sizes). Disabled cost:
+/// one flag load and one branch.
+#[derive(Debug, Default)]
+pub struct Histogram {
+    buckets: [AtomicU64; HIST_BUCKETS],
+}
+
+/// The bucket index of `v`: `min(bits needed for v, HIST_BUCKETS-1)`.
+#[inline]
+pub fn hist_bucket(v: u64) -> usize {
+    ((64 - v.leading_zeros()) as usize).min(HIST_BUCKETS - 1)
+}
+
+impl Histogram {
+    /// Creates a detached histogram.
+    pub const fn new() -> Self {
+        #[allow(clippy::declare_interior_mutable_const)]
+        const ZERO: AtomicU64 = AtomicU64::new(0);
+        Histogram { buckets: [ZERO; HIST_BUCKETS] }
+    }
+
+    /// Records `v` if metrics are enabled.
+    #[inline(always)]
+    pub fn record(&self, v: u64) {
+        if metrics_enabled() {
+            self.buckets[hist_bucket(v)].fetch_add(1, Ordering::Relaxed);
+        }
+    }
+
+    /// Bucket counts.
+    pub fn get(&self) -> [u64; HIST_BUCKETS] {
+        std::array::from_fn(|i| self.buckets[i].load(Ordering::Relaxed))
+    }
+
+    /// Total recorded samples.
+    pub fn total(&self) -> u64 {
+        self.get().iter().sum()
+    }
+
+    fn reset(&self) {
+        for b in &self.buckets {
+            b.store(0, Ordering::Relaxed);
+        }
+    }
+}
+
+struct Registry {
+    counters: Mutex<Vec<(&'static str, &'static Counter)>>,
+    gauges: Mutex<Vec<(&'static str, &'static Gauge)>>,
+    histograms: Mutex<Vec<(&'static str, &'static Histogram)>>,
+}
+
+fn registry() -> &'static Registry {
+    static REGISTRY: OnceLock<Registry> = OnceLock::new();
+    REGISTRY.get_or_init(|| Registry {
+        counters: Mutex::new(Vec::new()),
+        gauges: Mutex::new(Vec::new()),
+        histograms: Mutex::new(Vec::new()),
+    })
+}
+
+fn find_or_insert<T>(
+    table: &Mutex<Vec<(&'static str, &'static T)>>,
+    name: &'static str,
+    make: impl FnOnce() -> T,
+) -> &'static T {
+    let mut t = table.lock().expect("obs registry poisoned");
+    if let Some((_, m)) = t.iter().find(|(n, _)| *n == name) {
+        return m;
+    }
+    let m: &'static T = Box::leak(Box::new(make()));
+    t.push((name, m));
+    m
+}
+
+/// The registered counter named `name`, created on first use. Looks the
+/// registry up under a lock — cache the result (the [`counter!`] macro
+/// does) instead of calling this per event.
+pub fn counter(name: &'static str) -> &'static Counter {
+    find_or_insert(&registry().counters, name, Counter::new)
+}
+
+/// The registered gauge named `name`, created on first use.
+pub fn gauge(name: &'static str) -> &'static Gauge {
+    find_or_insert(&registry().gauges, name, Gauge::new)
+}
+
+/// The registered histogram named `name`, created on first use.
+pub fn histogram(name: &'static str) -> &'static Histogram {
+    find_or_insert(&registry().histograms, name, Histogram::new)
+}
+
+/// The registered counter named by the literal, resolved once per call
+/// site.
+#[macro_export]
+macro_rules! counter {
+    ($name:expr) => {{
+        static SITE: ::std::sync::OnceLock<&'static $crate::Counter> = ::std::sync::OnceLock::new();
+        *SITE.get_or_init(|| $crate::counter($name))
+    }};
+}
+
+/// The registered gauge named by the literal, resolved once per call site.
+#[macro_export]
+macro_rules! gauge {
+    ($name:expr) => {{
+        static SITE: ::std::sync::OnceLock<&'static $crate::Gauge> = ::std::sync::OnceLock::new();
+        *SITE.get_or_init(|| $crate::gauge($name))
+    }};
+}
+
+/// The registered histogram named by the literal, resolved once per call
+/// site.
+#[macro_export]
+macro_rules! histogram {
+    ($name:expr) => {{
+        static SITE: ::std::sync::OnceLock<&'static $crate::Histogram> =
+            ::std::sync::OnceLock::new();
+        *SITE.get_or_init(|| $crate::histogram($name))
+    }};
+}
+
+// ---------------------------------------------------------------------------
+// Spans
+// ---------------------------------------------------------------------------
+
+/// One completed span, as recorded by the trace buffer.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct SpanEvent {
+    /// Phase name (`parse`, `interp`, `stitch`, ...).
+    pub name: &'static str,
+    /// Ordinal of the recording thread (0 = first thread to trace).
+    pub thread: usize,
+    /// Nesting depth within the thread at entry (0 = outermost).
+    pub depth: usize,
+    /// Microseconds since the process-wide trace epoch at entry.
+    pub start_us: u64,
+    /// Span duration in microseconds.
+    pub dur_us: u64,
+}
+
+static PHASES: OnceLock<Mutex<BTreeMap<&'static str, (u64, u64)>>> = OnceLock::new();
+static TRACE: OnceLock<Mutex<Vec<SpanEvent>>> = OnceLock::new();
+static OPEN_SPANS: AtomicI64 = AtomicI64::new(0);
+static NEXT_THREAD: AtomicUsize = AtomicUsize::new(0);
+
+thread_local! {
+    static SPAN_DEPTH: Cell<usize> = const { Cell::new(0) };
+    static THREAD_ORD: Cell<Option<usize>> = const { Cell::new(None) };
+}
+
+fn phases() -> &'static Mutex<BTreeMap<&'static str, (u64, u64)>> {
+    PHASES.get_or_init(|| Mutex::new(BTreeMap::new()))
+}
+
+fn trace() -> &'static Mutex<Vec<SpanEvent>> {
+    TRACE.get_or_init(|| Mutex::new(Vec::new()))
+}
+
+fn epoch() -> Instant {
+    static EPOCH: OnceLock<Instant> = OnceLock::new();
+    *EPOCH.get_or_init(Instant::now)
+}
+
+fn thread_ordinal() -> usize {
+    THREAD_ORD.with(|c| match c.get() {
+        Some(o) => o,
+        None => {
+            let o = NEXT_THREAD.fetch_add(1, Ordering::Relaxed);
+            c.set(Some(o));
+            o
+        }
+    })
+}
+
+/// RAII guard for one phase span; records on drop. Obtain via [`span`].
+#[derive(Debug)]
+pub struct SpanGuard {
+    name: &'static str,
+    start: Option<Instant>,
+    start_us: u64,
+    depth: usize,
+}
+
+/// Opens a span named `name`. When metrics are enabled its duration is
+/// aggregated per phase; when tracing is enabled a full [`SpanEvent`] is
+/// appended to the trace buffer. Disabled cost: two flag loads.
+pub fn span(name: &'static str) -> SpanGuard {
+    if !metrics_enabled() && !tracing_enabled() {
+        return SpanGuard { name, start: None, start_us: 0, depth: 0 };
+    }
+    let start = Instant::now();
+    let start_us = start.duration_since(epoch()).as_micros() as u64;
+    let depth = SPAN_DEPTH.with(|d| {
+        let v = d.get();
+        d.set(v + 1);
+        v
+    });
+    OPEN_SPANS.fetch_add(1, Ordering::Relaxed);
+    SpanGuard { name, start: Some(start), start_us, depth }
+}
+
+impl Drop for SpanGuard {
+    fn drop(&mut self) {
+        let Some(start) = self.start else { return };
+        let dur_us = start.elapsed().as_micros() as u64;
+        SPAN_DEPTH.with(|d| d.set(d.get().saturating_sub(1)));
+        OPEN_SPANS.fetch_sub(1, Ordering::Relaxed);
+        if metrics_enabled() {
+            let mut p = phases().lock().expect("obs phases poisoned");
+            let e = p.entry(self.name).or_insert((0, 0));
+            e.0 += 1;
+            e.1 += dur_us;
+        }
+        if tracing_enabled() {
+            trace().lock().expect("obs trace poisoned").push(SpanEvent {
+                name: self.name,
+                thread: thread_ordinal(),
+                depth: self.depth,
+                start_us: self.start_us,
+                dur_us,
+            });
+        }
+    }
+}
+
+/// Number of spans currently open across all threads (0 when every enter
+/// has a matching exit).
+pub fn open_spans() -> i64 {
+    OPEN_SPANS.load(Ordering::Relaxed)
+}
+
+/// Drains and returns the trace buffer.
+pub fn take_trace() -> Vec<SpanEvent> {
+    std::mem::take(&mut *trace().lock().expect("obs trace poisoned"))
+}
+
+/// Renders span events as JSONL, one object per line.
+pub fn trace_to_jsonl(events: &[SpanEvent]) -> String {
+    let mut out = String::new();
+    for e in events {
+        out.push_str(&format!(
+            "{{\"span\":{},\"thread\":{},\"depth\":{},\"start_us\":{},\"dur_us\":{}}}\n",
+            json::escape(e.name),
+            e.thread,
+            e.depth,
+            e.start_us,
+            e.dur_us
+        ));
+    }
+    out
+}
+
+// ---------------------------------------------------------------------------
+// Snapshot
+// ---------------------------------------------------------------------------
+
+/// The JSON schema tag emitted by [`Snapshot::to_json`].
+pub const SCHEMA: &str = "kremlin-metrics-v1";
+
+/// A point-in-time copy of every registered metric and per-phase span
+/// aggregate, name-sorted for stable output.
+#[derive(Debug, Clone, Default, PartialEq)]
+pub struct Snapshot {
+    /// `(name, value)` for every registered counter.
+    pub counters: Vec<(String, u64)>,
+    /// `(name, value)` for every registered gauge.
+    pub gauges: Vec<(String, u64)>,
+    /// `(name, bucket counts)` for every registered histogram.
+    pub histograms: Vec<(String, Vec<u64>)>,
+    /// `(phase, completed spans, total microseconds)`.
+    pub phases: Vec<(String, u64, u64)>,
+}
+
+/// Snapshots the registry and phase aggregates.
+pub fn snapshot() -> Snapshot {
+    let r = registry();
+    let mut counters: Vec<(String, u64)> = r
+        .counters
+        .lock()
+        .expect("obs registry poisoned")
+        .iter()
+        .map(|(n, c)| (n.to_string(), c.get()))
+        .collect();
+    counters.sort();
+    let mut gauges: Vec<(String, u64)> = r
+        .gauges
+        .lock()
+        .expect("obs registry poisoned")
+        .iter()
+        .map(|(n, g)| (n.to_string(), g.get()))
+        .collect();
+    gauges.sort();
+    let mut histograms: Vec<(String, Vec<u64>)> = r
+        .histograms
+        .lock()
+        .expect("obs registry poisoned")
+        .iter()
+        .map(|(n, h)| (n.to_string(), h.get().to_vec()))
+        .collect();
+    histograms.sort();
+    let phases_map = phases().lock().expect("obs phases poisoned");
+    let phases = phases_map.iter().map(|(n, (c, us))| (n.to_string(), *c, *us)).collect();
+    Snapshot { counters, gauges, histograms, phases }
+}
+
+/// Zeroes every registered metric and clears phase aggregates and the
+/// trace buffer. The enable switches are left as they are.
+pub fn reset() {
+    let r = registry();
+    for (_, c) in r.counters.lock().expect("obs registry poisoned").iter() {
+        c.reset();
+    }
+    for (_, g) in r.gauges.lock().expect("obs registry poisoned").iter() {
+        g.reset();
+    }
+    for (_, h) in r.histograms.lock().expect("obs registry poisoned").iter() {
+        h.reset();
+    }
+    phases().lock().expect("obs phases poisoned").clear();
+    trace().lock().expect("obs trace poisoned").clear();
+}
+
+impl Snapshot {
+    /// Value of a counter, 0 if unregistered.
+    pub fn counter(&self, name: &str) -> u64 {
+        self.counters.iter().find(|(n, _)| n == name).map_or(0, |(_, v)| *v)
+    }
+
+    /// Value of a gauge, 0 if unregistered.
+    pub fn gauge(&self, name: &str) -> u64 {
+        self.gauges.iter().find(|(n, _)| n == name).map_or(0, |(_, v)| *v)
+    }
+
+    /// `(count, total microseconds)` of a phase, if any span completed.
+    pub fn phase(&self, name: &str) -> Option<(u64, u64)> {
+        self.phases.iter().find(|(n, _, _)| n == name).map(|(_, c, us)| (*c, *us))
+    }
+
+    /// True when nothing was recorded (every value zero, no phases).
+    pub fn is_noop(&self) -> bool {
+        self.counters.iter().all(|(_, v)| *v == 0)
+            && self.gauges.iter().all(|(_, v)| *v == 0)
+            && self.histograms.iter().all(|(_, b)| b.iter().all(|v| *v == 0))
+            && self.phases.is_empty()
+    }
+
+    /// Renders the snapshot as a single-line JSON object (the
+    /// `kremlin --metrics=json` output).
+    pub fn to_json(&self) -> String {
+        let mut out = String::new();
+        out.push_str(&format!("{{\"schema\":{}", json::escape(SCHEMA)));
+        out.push_str(",\"counters\":{");
+        for (i, (n, v)) in self.counters.iter().enumerate() {
+            if i > 0 {
+                out.push(',');
+            }
+            out.push_str(&format!("{}:{}", json::escape(n), v));
+        }
+        out.push_str("},\"gauges\":{");
+        for (i, (n, v)) in self.gauges.iter().enumerate() {
+            if i > 0 {
+                out.push(',');
+            }
+            out.push_str(&format!("{}:{}", json::escape(n), v));
+        }
+        out.push_str("},\"histograms\":{");
+        for (i, (n, b)) in self.histograms.iter().enumerate() {
+            if i > 0 {
+                out.push(',');
+            }
+            let buckets: Vec<String> = b.iter().map(u64::to_string).collect();
+            out.push_str(&format!("{}:[{}]", json::escape(n), buckets.join(",")));
+        }
+        out.push_str("},\"phases\":{");
+        for (i, (n, c, us)) in self.phases.iter().enumerate() {
+            if i > 0 {
+                out.push(',');
+            }
+            out.push_str(&format!("{}:{{\"count\":{c},\"total_us\":{us}}}", json::escape(n)));
+        }
+        out.push_str("}}");
+        out
+    }
+
+    /// Parses a [`Snapshot::to_json`] document back into a snapshot.
+    ///
+    /// # Errors
+    ///
+    /// Returns an error for malformed JSON or a wrong/missing schema tag.
+    pub fn from_json(text: &str) -> Result<Snapshot, json::JsonError> {
+        let v = json::parse(text)?;
+        let schema = v.get("schema").and_then(json::Value::as_str);
+        if schema != Some(SCHEMA) {
+            return Err(json::JsonError {
+                at: 0,
+                message: format!("unsupported metrics schema {schema:?}"),
+            });
+        }
+        let map_u64 = |key: &str| -> Vec<(String, u64)> {
+            v.get(key)
+                .and_then(json::Value::as_obj)
+                .map(|pairs| {
+                    pairs
+                        .iter()
+                        .filter_map(|(n, v)| v.as_f64().map(|f| (n.clone(), f as u64)))
+                        .collect()
+                })
+                .unwrap_or_default()
+        };
+        let histograms = v
+            .get("histograms")
+            .and_then(json::Value::as_obj)
+            .map(|pairs| {
+                pairs
+                    .iter()
+                    .filter_map(|(n, v)| {
+                        v.as_arr().map(|a| {
+                            let b = a.iter().filter_map(|x| x.as_f64().map(|f| f as u64)).collect();
+                            (n.clone(), b)
+                        })
+                    })
+                    .collect()
+            })
+            .unwrap_or_default();
+        let phases = v
+            .get("phases")
+            .and_then(json::Value::as_obj)
+            .map(|pairs| {
+                pairs
+                    .iter()
+                    .filter_map(|(n, v)| {
+                        let c = v.get("count").and_then(json::Value::as_f64)? as u64;
+                        let us = v.get("total_us").and_then(json::Value::as_f64)? as u64;
+                        Some((n.clone(), c, us))
+                    })
+                    .collect()
+            })
+            .unwrap_or_default();
+        Ok(Snapshot {
+            counters: map_u64("counters"),
+            gauges: map_u64("gauges"),
+            histograms,
+            phases,
+        })
+    }
+
+    /// Renders the snapshot as an aligned human-readable table (the
+    /// `kremlin --metrics=pretty` output).
+    pub fn render_pretty(&self) -> String {
+        let width = self
+            .counters
+            .iter()
+            .map(|(n, _)| n.len())
+            .chain(self.gauges.iter().map(|(n, _)| n.len()))
+            .chain(self.phases.iter().map(|(n, _, _)| n.len() + 8))
+            .max()
+            .unwrap_or(8)
+            .max(8);
+        let mut out = String::from("-- kremlin metrics --\n");
+        for (n, c, us) in &self.phases {
+            out.push_str(&format!(
+                "{:<width$} {:>12} spans {:>12.3} ms\n",
+                format!("phase/{n}"),
+                c,
+                *us as f64 / 1e3
+            ));
+        }
+        for (n, v) in &self.counters {
+            out.push_str(&format!("{n:<width$} {v:>12}\n"));
+        }
+        for (n, v) in &self.gauges {
+            out.push_str(&format!("{n:<width$} {v:>12} (gauge)\n"));
+        }
+        for (n, b) in &self.histograms {
+            let total: u64 = b.iter().sum();
+            out.push_str(&format!("{n:<width$} {total:>12} samples (pow2 buckets)\n"));
+        }
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// Serializes the tests in this module: they flip process-global state.
+    fn lock() -> std::sync::MutexGuard<'static, ()> {
+        static LOCK: Mutex<()> = Mutex::new(());
+        LOCK.lock().unwrap_or_else(std::sync::PoisonError::into_inner)
+    }
+
+    #[test]
+    fn disabled_metrics_record_nothing() {
+        let _l = lock();
+        reset();
+        set_metrics(false);
+        set_tracing(false);
+        counter("t.disabled").add(5);
+        gauge("t.disabled_g").set(7);
+        histogram("t.disabled_h").record(100);
+        {
+            let _s = span("t.disabled_span");
+        }
+        assert_eq!(counter("t.disabled").get(), 0);
+        assert_eq!(gauge("t.disabled_g").get(), 0);
+        assert_eq!(histogram("t.disabled_h").total(), 0);
+        assert!(take_trace().is_empty());
+        assert!(snapshot().phase("t.disabled_span").is_none());
+    }
+
+    #[test]
+    fn enabled_metrics_accumulate_and_reset() {
+        let _l = lock();
+        reset();
+        set_metrics(true);
+        counter("t.hits").add(2);
+        counter("t.hits").incr();
+        gauge("t.depth").set_max(4);
+        gauge("t.depth").set_max(2);
+        histogram("t.lat").record(0);
+        histogram("t.lat").record(1000);
+        {
+            let _s = span("t.phase");
+        }
+        set_metrics(false);
+        let snap = snapshot();
+        assert_eq!(snap.counter("t.hits"), 3);
+        assert_eq!(snap.gauge("t.depth"), 4);
+        assert_eq!(snap.phase("t.phase").map(|(c, _)| c), Some(1));
+        let h = snap.histograms.iter().find(|(n, _)| n == "t.lat").unwrap();
+        assert_eq!(h.1.iter().sum::<u64>(), 2);
+        reset();
+        assert!(snapshot().is_noop());
+    }
+
+    #[test]
+    fn spans_nest_and_trace() {
+        let _l = lock();
+        reset();
+        set_tracing(true);
+        {
+            let _a = span("t.outer");
+            let _b = span("t.inner");
+        }
+        set_tracing(false);
+        let events = take_trace();
+        assert_eq!(open_spans(), 0);
+        assert_eq!(events.len(), 2);
+        // Inner drops first.
+        assert_eq!(events[0].name, "t.inner");
+        assert_eq!(events[0].depth, 1);
+        assert_eq!(events[1].name, "t.outer");
+        assert_eq!(events[1].depth, 0);
+        let jsonl = trace_to_jsonl(&events);
+        assert_eq!(jsonl.lines().count(), 2);
+        for line in jsonl.lines() {
+            let v = json::parse(line).expect("trace line parses");
+            assert!(v.get("span").is_some() && v.get("dur_us").is_some());
+        }
+    }
+
+    #[test]
+    fn snapshot_json_round_trips() {
+        let _l = lock();
+        reset();
+        set_metrics(true);
+        counter("t.rt").add(41);
+        gauge("t.rt_g").set(9);
+        histogram("t.rt_h").record(300);
+        {
+            let _s = span("t.rt_phase");
+        }
+        set_metrics(false);
+        let snap = snapshot();
+        let text = snap.to_json();
+        let back = Snapshot::from_json(&text).expect("round trip");
+        assert_eq!(snap, back);
+        assert_eq!(back.to_json(), text);
+        reset();
+    }
+
+    #[test]
+    fn hist_buckets_are_pow2() {
+        assert_eq!(hist_bucket(0), 0);
+        assert_eq!(hist_bucket(1), 1);
+        assert_eq!(hist_bucket(2), 2);
+        assert_eq!(hist_bucket(3), 2);
+        assert_eq!(hist_bucket(1024), 11);
+        assert_eq!(hist_bucket(u64::MAX), HIST_BUCKETS - 1);
+    }
+
+    #[test]
+    fn macros_resolve_to_registry_metrics() {
+        let _l = lock();
+        reset();
+        set_metrics(true);
+        counter!("t.macro").incr();
+        gauge!("t.macro_g").set(3);
+        histogram!("t.macro_h").record(7);
+        set_metrics(false);
+        assert_eq!(counter("t.macro").get(), 1);
+        assert_eq!(gauge("t.macro_g").get(), 3);
+        assert_eq!(histogram("t.macro_h").total(), 1);
+        reset();
+    }
+}

@@ -55,6 +55,8 @@ fn hotspot_entries(
     min_coverage: f64,
     sp_min: Option<f64>,
 ) -> Vec<PlanEntry> {
+    let _span = kremlin_obs::span("plan");
+    kremlin_obs::counter!("planner.candidates").add(plannable_region_count(profile) as u64);
     let mut entries: Vec<PlanEntry> = profile
         .iter()
         .filter(|s| {
@@ -83,6 +85,7 @@ fn hotspot_entries(
         .collect();
     entries
         .sort_by(|a, b| b.coverage.partial_cmp(&a.coverage).unwrap_or(std::cmp::Ordering::Equal));
+    kremlin_obs::counter!("planner.selected").add(entries.len() as u64);
     entries
 }
 

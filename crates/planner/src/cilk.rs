@@ -91,6 +91,7 @@ impl Personality for CilkPlanner {
         profile: &kremlin_hcpa::ParallelismProfile,
         exclude: &HashSet<RegionId>,
     ) -> Plan {
+        let _span = kremlin_obs::span("plan");
         // Best SP among each region's dynamic parents (spawn sites). A
         // call inside a loop iteration has the loop *body* as its direct
         // parent, but the parallelism across spawns lives at the body's
@@ -140,6 +141,8 @@ impl Personality for CilkPlanner {
         entries.sort_by(|a, b| {
             b.est_speedup.partial_cmp(&a.est_speedup).unwrap_or(std::cmp::Ordering::Equal)
         });
+        kremlin_obs::counter!("planner.candidates").add(profile.iter().count() as u64);
+        kremlin_obs::counter!("planner.selected").add(entries.len() as u64);
         Plan { personality: self.name().into(), entries }
     }
 }

@@ -116,6 +116,7 @@ impl Personality for OpenMpPlanner {
     }
 
     fn plan(&self, profile: &ParallelismProfile, exclude: &HashSet<RegionId>) -> Plan {
+        let _span = kremlin_obs::span("plan");
         let Some(root) = profile.root else {
             return Plan { personality: self.name().into(), entries: vec![] };
         };
@@ -126,6 +127,7 @@ impl Personality for OpenMpPlanner {
             .filter(|s| !exclude.contains(&s.region))
             .filter_map(|s| self.eligible(s, profile.root_work).map(|e| (s.region, e)))
             .collect();
+        kremlin_obs::counter!("planner.candidates").add(own.len() as u64);
 
         // Bottom-up DP over the (possibly cyclic, for recursion) region
         // graph: iterative post-order with an on-stack set; back edges
@@ -227,6 +229,7 @@ impl Personality for OpenMpPlanner {
         entries.sort_by(|a, b| {
             b.est_speedup.partial_cmp(&a.est_speedup).unwrap_or(std::cmp::Ordering::Equal)
         });
+        kremlin_obs::counter!("planner.selected").add(entries.len() as u64);
         Plan { personality: self.name().into(), entries }
     }
 }
