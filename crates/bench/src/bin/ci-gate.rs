@@ -2,7 +2,7 @@
 //!
 //! ```text
 //! ci-gate --baseline=BENCH_profiler.json --fresh=fresh.json
-//!         [--max-speedup-drop=0.5] [--max-shadow-growth=0.10]
+//!         [--max-speedup-drop=0.35] [--max-shadow-growth=0.05]
 //! ```
 //!
 //! Exit codes: 0 all tolerance bands held, 1 regression (or broken

@@ -7,8 +7,9 @@
 //! milliseconds:
 //!
 //! * **speedups** (`speedup_serial_optimized`,
-//!   `speedup_sharded_critical_path`) are dimensionless ratios of two
-//!   passes on the *same* host — a fresh value may not drop more than
+//!   `speedup_sharded_critical_path`,
+//!   `speedup_replay_sharded_critical_path`) are dimensionless ratios of
+//!   two passes on the *same* host — a fresh value may not drop more than
 //!   `Tolerance::speedup_drop` below the baseline (critical-path-speedup
 //!   regression);
 //! * **`instr_events`** is deterministic per workload and must match
@@ -39,9 +40,16 @@ pub struct Tolerance {
 
 impl Default for Tolerance {
     fn default() -> Self {
-        // speedup_drop absorbs CI-runner noise on the ratio; shadow bytes
-        // are deterministic, so the band only covers intentional tweaks.
-        Tolerance { speedup_drop: 0.5, shadow_growth: 0.10 }
+        // Bands sized from observed jitter, not guessed: across the PR-1
+        // and PR-2 baseline regenerations the speedup ratios moved by at
+        // most ~0.08 absolute between runs on the same host, so 0.35 is a
+        // >4x cushion that still catches the failure mode the gate exists
+        // for (a shard or replay path silently degrading from ~2.0x toward
+        // 1.0x). The old 0.5 band would have let a 2.0x -> 1.55x regression
+        // through. Shadow bytes are fully deterministic — the 5% band only
+        // covers intentional layout tweaks, and anything larger is a
+        // footprint blowup that should fail loudly.
+        Tolerance { speedup_drop: 0.35, shadow_growth: 0.05 }
     }
 }
 
@@ -112,7 +120,11 @@ pub fn check(baseline: &str, fresh: &str, tol: Tolerance) -> Result<GateReport, 
         }
 
         // Critical-path-speedup regressions.
-        for key in ["speedup_serial_optimized", "speedup_sharded_critical_path"] {
+        for key in [
+            "speedup_serial_optimized",
+            "speedup_sharded_critical_path",
+            "speedup_replay_sharded_critical_path",
+        ] {
             if let (Some(b), Some(n)) = (num(bw, key), num(nw, key)) {
                 if n < b - tol.speedup_drop {
                     violation(format!(
@@ -176,12 +188,26 @@ mod tests {
     #[test]
     fn speedup_within_band_passes_beyond_band_fails() {
         let base = doc("cg", 1000, 4096, 2.0, "");
-        let ok = doc("cg", 1000, 4096, 1.6, "");
+        let ok = doc("cg", 1000, 4096, 1.7, "");
         assert!(check(&base, &ok, Tolerance::default()).unwrap().passed());
-        let bad = doc("cg", 1000, 4096, 1.4, "");
+        let bad = doc("cg", 1000, 4096, 1.6, "");
         let r = check(&base, &bad, Tolerance::default()).unwrap();
         assert!(!r.passed());
         assert!(r.violations.iter().any(|v| v.contains("regressed")), "{:?}", r.violations);
+    }
+
+    #[test]
+    fn replay_sharded_speedup_is_gated_too() {
+        let mk = |spd: f64| {
+            format!(
+                r#"{{"workloads":[{{"name":"bt","instr_events":5,
+                   "speedup_replay_sharded_critical_path":{spd}}}]}}"#
+            )
+        };
+        let base = mk(2.1);
+        assert!(check(&base, &mk(1.8), Tolerance::default()).unwrap().passed());
+        let r = check(&base, &mk(1.5), Tolerance::default()).unwrap();
+        assert!(r.violations.iter().any(|v| v.contains("replay_sharded")), "{:?}", r.violations);
     }
 
     #[test]

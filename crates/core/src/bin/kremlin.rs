@@ -2,6 +2,9 @@
 //!
 //! ```text
 //! kremlin <program.kc> [options]
+//! kremlin record <program.kc> [-o FILE]      record an execution trace
+//! kremlin replay <trace> [--jobs=N] [...]    profile a recorded trace
+//! kremlin --metrics-diff A.json B.json       compare two metrics snapshots
 //!
 //! options:
 //!   --personality=<openmp|cilk|work-only|self-parallelism>   (default openmp)
@@ -15,6 +18,8 @@
 //!   --no-break-deps               disable induction/reduction breaking
 //!   --save-profile=<path>         write the parallelism profile
 //!   --load-profile=<path>         plan from a saved profile (skips execution)
+//!   --save-trace=<path>           record the event trace, profile by replay,
+//!                                 and write the trace file
 //!   --dump-ir                     print the instrumented IR and exit
 //!   --metrics[=json|pretty]       self-instrumentation: print pipeline
 //!                                 counters/gauges/phase timings (json: one
@@ -22,15 +27,16 @@
 //!   --trace <file>                write phase spans as JSONL
 //! ```
 //!
-//! Exit codes: 0 success, 1 pipeline failure (I/O, compile, runtime),
-//! 2 usage error.
+//! Exit codes: 0 success, 1 pipeline failure (I/O, compile, runtime,
+//! corrupt trace), 2 usage error.
 
-use kremlin::persist::{load_profile, save_profile};
+use kremlin::persist::{load_profile, load_trace, save_profile, save_trace};
 use kremlin::{
     CilkPlanner, HcpaConfig, Kremlin, OpenMpPlanner, Personality, SelfPFilterPlanner,
     WorkOnlyPlanner,
 };
 use std::collections::HashSet;
+use std::path::Path;
 use std::process::ExitCode;
 
 /// CLI outcomes that are not plain success, each with its exit code.
@@ -67,6 +73,8 @@ struct Options {
     break_deps: bool,
     save_profile: Option<String>,
     load_profile: Option<String>,
+    save_trace: Option<String>,
+    metrics_diff: Option<(String, String)>,
     dump_ir: bool,
     report: bool,
     metrics: MetricsMode,
@@ -77,8 +85,12 @@ fn usage() -> &'static str {
     "usage: kremlin <program.kc> [--personality=openmp|cilk|work-only|self-parallelism]\n\
      \x20              [--exclude=l1,l2] [--regions] [--evaluate] [--runs=N]\n\
      \x20              [--window=N] [--jobs=N|--depth-shards=N] [--no-break-deps]\n\
-     \x20              [--save-profile=PATH] [--load-profile=PATH] [--dump-ir] [--report]\n\
-     \x20              [--metrics[=json|pretty]] [--trace FILE]"
+     \x20              [--save-profile=PATH] [--load-profile=PATH] [--save-trace=PATH]\n\
+     \x20              [--dump-ir] [--report] [--metrics[=json|pretty]] [--trace FILE]\n\
+     \x20      kremlin record <program.kc> [-o FILE] [--metrics[=json|pretty]]\n\
+     \x20      kremlin replay <trace-file> [--jobs=N] [--personality=...] [--evaluate]\n\
+     \x20              [--metrics[=json|pretty]]\n\
+     \x20      kremlin --metrics-diff A.json B.json"
 }
 
 fn parse_args(args: &[String]) -> Result<Options, CliError> {
@@ -94,6 +106,8 @@ fn parse_args(args: &[String]) -> Result<Options, CliError> {
         break_deps: true,
         save_profile: None,
         load_profile: None,
+        save_trace: None,
+        metrics_diff: None,
         dump_ir: false,
         report: false,
         metrics: MetricsMode::Off,
@@ -132,6 +146,14 @@ fn parse_args(args: &[String]) -> Result<Options, CliError> {
             o.save_profile = Some(v.to_owned());
         } else if let Some(v) = a.strip_prefix("--load-profile=") {
             o.load_profile = Some(v.to_owned());
+        } else if let Some(v) = a.strip_prefix("--save-trace=") {
+            o.save_trace = Some(v.to_owned());
+        } else if a == "--metrics-diff" {
+            let (Some(p1), Some(p2)) = (args.get(i), args.get(i + 1)) else {
+                return Err(bad("--metrics-diff requires two metrics JSON files".into()));
+            };
+            o.metrics_diff = Some((p1.clone(), p2.clone()));
+            i += 2;
         } else if a == "--dump-ir" {
             o.dump_ir = true;
         } else if a == "--report" {
@@ -192,12 +214,163 @@ fn emit_observability(o: &Options) -> Result<(), CliError> {
     Ok(())
 }
 
+/// Parses the arguments a subcommand shares with the main mode (metrics,
+/// jobs, personality, evaluate) plus up to `positionals` free arguments.
+fn parse_sub_args(
+    args: &[String],
+    positionals: &mut Vec<String>,
+    allow_out: bool,
+) -> Result<Options, CliError> {
+    let bad = |msg: String| CliError::Usage(format!("{msg}\n{}", usage()));
+    let mut o = parse_args(&[])?;
+    let mut i = 0;
+    while i < args.len() {
+        let a = &args[i];
+        i += 1;
+        if a == "--help" || a == "-h" {
+            return Err(CliError::Help);
+        } else if a == "--metrics" || a == "--metrics=pretty" {
+            o.metrics = MetricsMode::Pretty;
+        } else if a == "--metrics=json" {
+            o.metrics = MetricsMode::Json;
+        } else if let Some(v) = a.strip_prefix("--jobs=") {
+            o.jobs = v.parse().map_err(|_| bad(format!("bad --jobs value `{v}`")))?;
+            if o.jobs == 0 {
+                return Err(bad("--jobs must be at least 1".into()));
+            }
+        } else if a == "--jobs" {
+            let Some(v) = args.get(i) else {
+                return Err(bad("--jobs requires a value".into()));
+            };
+            o.jobs = v.parse().map_err(|_| bad(format!("bad --jobs value `{v}`")))?;
+            if o.jobs == 0 {
+                return Err(bad("--jobs must be at least 1".into()));
+            }
+            i += 1;
+        } else if let Some(v) = a.strip_prefix("--personality=") {
+            o.personality = v.to_owned();
+        } else if a == "--evaluate" {
+            o.evaluate = true;
+        } else if allow_out && a == "-o" {
+            let Some(v) = args.get(i) else {
+                return Err(bad("-o requires a file argument".into()));
+            };
+            o.save_trace = Some(v.clone());
+            i += 1;
+        } else if allow_out && a.starts_with("--out=") {
+            o.save_trace = Some(a["--out=".len()..].to_owned());
+        } else if a.starts_with('-') {
+            return Err(bad(format!("unknown option `{a}`")));
+        } else {
+            positionals.push(a.clone());
+        }
+    }
+    Ok(o)
+}
+
+/// `kremlin record <program.kc> [-o FILE]`: execute once, capture the
+/// event stream, and write a self-contained trace file.
+fn cmd_record(args: &[String]) -> Result<(), CliError> {
+    let mut positionals = Vec::new();
+    let o = parse_sub_args(args, &mut positionals, true)?;
+    let [input] = positionals.as_slice() else {
+        return Err(CliError::Usage(format!("record takes exactly one program file\n{}", usage())));
+    };
+    if o.metrics != MetricsMode::Off {
+        kremlin::obs::set_metrics(true);
+    }
+    let out = o.save_trace.clone().unwrap_or_else(|| format!("{input}.ktrace"));
+    let src = std::fs::read_to_string(input).map_err(|e| fail(format!("{input}: {e}")))?;
+    let name = source_name(input);
+    let unit = kremlin::ir::compile(&src, &name).map_err(fail)?;
+    let mut trace = kremlin::interp::trace::record(&unit.module, kremlin::MachineConfig::default())
+        .map_err(fail)?;
+    trace.source = src;
+    save_trace(Path::new(&out), &trace).map_err(fail)?;
+    kremlin::obs::gauge!("trace.file.bytes").set(trace.to_bytes().len() as u64);
+    eprintln!(
+        "[kremlin] trace: {} events, {} payload bytes -> {out}",
+        trace.events(),
+        trace.encoded_len()
+    );
+    print!("{}", kremlin::report::render_trace_info(&trace));
+    emit_observability(&o)
+}
+
+/// `kremlin replay <trace> [--jobs=N]`: recompile the embedded source and
+/// profile by replaying the recorded event stream — no execution at all.
+fn cmd_replay(args: &[String]) -> Result<(), CliError> {
+    let mut positionals = Vec::new();
+    let o = parse_sub_args(args, &mut positionals, false)?;
+    let [path] = positionals.as_slice() else {
+        return Err(CliError::Usage(format!("replay takes exactly one trace file\n{}", usage())));
+    };
+    let planner = personality(&o.personality)?;
+    if o.metrics != MetricsMode::Off {
+        kremlin::obs::set_metrics(true);
+    }
+    let trace = load_trace(Path::new(path)).map_err(fail)?;
+    if trace.source.is_empty() {
+        return Err(fail(format!("{path}: trace has no embedded source to recompile")));
+    }
+    let analysis = Kremlin::new().analyze_trace(&trace, o.jobs).map_err(fail)?;
+    eprintln!(
+        "[kremlin] replayed {} events: exit={} instrs={} dynamic-regions={} max-depth={}",
+        trace.events(),
+        analysis.outcome.run.exit,
+        analysis.outcome.run.instrs_executed,
+        analysis.outcome.stats.dynamic_regions,
+        analysis.outcome.stats.max_depth
+    );
+    let plan = planner.plan(analysis.profile(), &HashSet::new());
+    print!("{plan}");
+    if o.evaluate {
+        let eval = analysis.evaluate(&plan);
+        println!(
+            "\nestimated: {:.2}x speedup on {} cores (serial {:.0} -> {:.0})",
+            eval.speedup, eval.best_cores, eval.serial_time, eval.parallel_time
+        );
+    }
+    emit_observability(&o)
+}
+
+/// `kremlin --metrics-diff A.json B.json`: per-counter deltas between two
+/// saved `kremlin-metrics-v1` snapshots.
+fn cmd_metrics_diff(a: &str, b: &str) -> Result<(), CliError> {
+    let load = |path: &str| -> Result<kremlin::obs::Snapshot, CliError> {
+        let text = std::fs::read_to_string(path).map_err(|e| fail(format!("{path}: {e}")))?;
+        // Snapshots are the last stdout line of `--metrics=json` runs, so
+        // accept a file with leading plan output before the JSON object.
+        let line = text.lines().rfind(|l| !l.trim().is_empty()).unwrap_or("");
+        kremlin::obs::Snapshot::from_json(line).map_err(|e| fail(format!("{path}: {e}")))
+    };
+    let base = load(a)?;
+    let fresh = load(b)?;
+    print!("{}", base.render_diff(&fresh));
+    Ok(())
+}
+
+fn source_name(input: &str) -> String {
+    std::path::Path::new(input)
+        .file_name()
+        .map(|f| f.to_string_lossy().into_owned())
+        .unwrap_or_else(|| input.to_owned())
+}
+
 fn run() -> Result<(), CliError> {
     let args: Vec<String> = std::env::args().skip(1).collect();
     if args.is_empty() {
         return Err(CliError::Usage(usage().to_owned()));
     }
+    match args[0].as_str() {
+        "record" => return cmd_record(&args[1..]),
+        "replay" => return cmd_replay(&args[1..]),
+        _ => {}
+    }
     let o = parse_args(&args)?;
+    if let Some((a, b)) = &o.metrics_diff {
+        return cmd_metrics_diff(a, b);
+    }
     let planner = personality(&o.personality)?;
     if o.metrics != MetricsMode::Off {
         kremlin::obs::set_metrics(true);
@@ -230,10 +403,7 @@ fn run() -> Result<(), CliError> {
 
     let input = o.input.as_deref().ok_or_else(|| CliError::Usage(usage().to_owned()))?;
     let src = std::fs::read_to_string(input).map_err(|e| fail(format!("{input}: {e}")))?;
-    let name = std::path::Path::new(input)
-        .file_name()
-        .map(|f| f.to_string_lossy().into_owned())
-        .unwrap_or_else(|| input.to_owned());
+    let name = source_name(input);
 
     if o.dump_ir {
         let unit = kremlin::ir::compile(&src, &name).map_err(fail)?;
@@ -251,7 +421,25 @@ fn run() -> Result<(), CliError> {
     if o.jobs > 1 && o.runs > 1 {
         return Err(CliError::Usage(format!("--jobs and --runs cannot be combined\n{}", usage())));
     }
-    let analysis = if o.runs > 1 {
+    if o.save_trace.is_some() && o.runs > 1 {
+        return Err(CliError::Usage(format!(
+            "--save-trace and --runs cannot be combined\n{}",
+            usage()
+        )));
+    }
+    let analysis = if let Some(path) = &o.save_trace {
+        // Record-once/replay path: the profile below comes from replaying
+        // the very trace being saved, so the file provably reproduces it.
+        let (analysis, trace) = tool.analyze_recorded(&src, &name, o.jobs).map_err(fail)?;
+        save_trace(Path::new(path), &trace).map_err(fail)?;
+        kremlin::obs::gauge!("trace.file.bytes").set(trace.to_bytes().len() as u64);
+        eprintln!(
+            "[kremlin] trace saved to {path} ({} events, {} payload bytes)",
+            trace.events(),
+            trace.encoded_len()
+        );
+        Ok(analysis)
+    } else if o.runs > 1 {
         tool.analyze_runs(&src, &name, o.runs)
     } else if o.jobs > 1 {
         tool.analyze_parallel(&src, &name, o.jobs)

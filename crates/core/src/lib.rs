@@ -56,7 +56,7 @@ pub use kremlin_planner as planner;
 pub use kremlin_sim as sim;
 
 pub use kremlin_hcpa::{HcpaConfig, ParallelismProfile, ProfileOutcome, RegionStats};
-pub use kremlin_interp::MachineConfig;
+pub use kremlin_interp::{MachineConfig, Trace, TraceError};
 pub use kremlin_ir::{CompiledUnit, RegionId};
 pub use kremlin_planner::{
     CilkPlanner, OpenMpPlanner, Personality, Plan, SelfPFilterPlanner, WorkOnlyPlanner,
@@ -75,6 +75,9 @@ pub enum KremlinError {
     Runtime(kremlin_interp::InterpError),
     /// A MANUAL-plan label does not name a region of the program.
     UnknownRegion(String),
+    /// A recorded trace could not be replayed (corrupt, or recorded from
+    /// a different program).
+    Trace(kremlin_interp::TraceError),
 }
 
 impl fmt::Display for KremlinError {
@@ -83,6 +86,7 @@ impl fmt::Display for KremlinError {
             KremlinError::Compile(e) => write!(f, "{e}"),
             KremlinError::Runtime(e) => write!(f, "{e}"),
             KremlinError::UnknownRegion(l) => write!(f, "unknown region label `{l}`"),
+            KremlinError::Trace(e) => write!(f, "{e}"),
         }
     }
 }
@@ -93,6 +97,7 @@ impl std::error::Error for KremlinError {
             KremlinError::Compile(e) => Some(e),
             KremlinError::Runtime(e) => Some(e),
             KremlinError::UnknownRegion(_) => None,
+            KremlinError::Trace(e) => Some(e),
         }
     }
 }
@@ -106,6 +111,12 @@ impl From<kremlin_ir::CompileError> for KremlinError {
 impl From<kremlin_interp::InterpError> for KremlinError {
     fn from(e: kremlin_interp::InterpError) -> Self {
         KremlinError::Runtime(e)
+    }
+}
+
+impl From<kremlin_interp::TraceError> for KremlinError {
+    fn from(e: kremlin_interp::TraceError) -> Self {
+        KremlinError::Trace(e)
     }
 }
 
@@ -167,6 +178,76 @@ impl Kremlin {
                 machine: self.machine,
             },
         )?;
+        Ok(Analysis { unit, outcome })
+    }
+
+    /// Like [`Kremlin::analyze`] (or [`Kremlin::analyze_parallel`] when
+    /// `jobs > 1`), but via the record-once/replay-many path: the program
+    /// executes exactly once while its event stream is recorded, the
+    /// profile is produced by replaying that trace, and the trace — with
+    /// the source embedded so it is self-contained — is returned for
+    /// saving. This is the `kremlin --save-trace` path.
+    ///
+    /// # Errors
+    ///
+    /// As [`Kremlin::analyze`].
+    pub fn analyze_recorded(
+        &self,
+        src: &str,
+        name: &str,
+        jobs: usize,
+    ) -> Result<(Analysis, kremlin_interp::Trace), KremlinError> {
+        let unit = kremlin_ir::compile(src, name)?;
+        let mut trace = kremlin_interp::trace::record(&unit.module, self.machine)?;
+        trace.source = src.to_owned();
+        let outcome = if jobs > 1 {
+            kremlin_hcpa::profile_trace_parallel(
+                &unit,
+                &trace,
+                kremlin_hcpa::ParallelConfig {
+                    jobs,
+                    depth_hint: None,
+                    hcpa: self.hcpa,
+                    machine: self.machine,
+                },
+            )
+        } else {
+            kremlin_hcpa::profile_trace(&unit, &trace, self.hcpa)
+        }
+        .expect("a freshly recorded trace replays against its own module");
+        Ok((Analysis { unit, outcome }, trace))
+    }
+
+    /// Profiles a previously recorded trace without executing anything:
+    /// recompiles the trace's embedded source and replays the event
+    /// stream into the profiler — sharded across `jobs` worker threads
+    /// when `jobs > 1`. This is the `kremlin replay` path.
+    ///
+    /// # Errors
+    ///
+    /// [`KremlinError::Compile`] if the embedded source no longer
+    /// compiles, [`KremlinError::Trace`] if the recompiled module does
+    /// not match the trace's fingerprint or the event stream is corrupt.
+    pub fn analyze_trace(
+        &self,
+        trace: &kremlin_interp::Trace,
+        jobs: usize,
+    ) -> Result<Analysis, KremlinError> {
+        let unit = kremlin_ir::compile(&trace.source, &trace.source_name)?;
+        let outcome = if jobs > 1 {
+            kremlin_hcpa::profile_trace_parallel(
+                &unit,
+                trace,
+                kremlin_hcpa::ParallelConfig {
+                    jobs,
+                    depth_hint: None,
+                    hcpa: self.hcpa,
+                    machine: self.machine,
+                },
+            )?
+        } else {
+            kremlin_hcpa::profile_trace(&unit, trace, self.hcpa)?
+        };
         Ok(Analysis { unit, outcome })
     }
 
@@ -307,6 +388,23 @@ mod tests {
             serial.plan_openmp().regions(),
             "planning must not depend on how the profile was collected"
         );
+    }
+
+    #[test]
+    fn recorded_analysis_matches_live_and_replays_from_disk() {
+        let serial = Kremlin::new().analyze(DEMO, "demo.kc").unwrap();
+        let (recorded, trace) = Kremlin::new().analyze_recorded(DEMO, "demo.kc", 3).unwrap();
+        assert!(
+            recorded.profile().identical_stats(serial.profile()),
+            "replay-collected profile must match live collection"
+        );
+        assert_eq!(recorded.outcome.run, serial.outcome.run);
+        // Serialize, reload, and replay — the full record/replay workflow.
+        let back = Trace::from_bytes(&trace.to_bytes()).unwrap();
+        assert_eq!(back.source, DEMO, "trace must be self-contained");
+        let replayed = Kremlin::new().analyze_trace(&back, 2).unwrap();
+        assert!(replayed.profile().identical_stats(serial.profile()));
+        assert_eq!(replayed.plan_openmp().regions(), serial.plan_openmp().regions());
     }
 
     #[test]

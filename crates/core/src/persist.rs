@@ -19,13 +19,42 @@
 //!
 //! Entries appear leaf-to-root (their dictionary order), so loading can
 //! re-intern them in one pass.
+//!
+//! Recorded execution traces follow the same conventions (magic line,
+//! version, integrity check, graceful errors) in a binary format owned by
+//! [`kremlin_interp::trace`]; [`save_trace`]/[`load_trace`] are the
+//! path-level entry points used by `kremlin record`/`replay` and
+//! `--save-trace`.
 
 use kremlin_compress::{Dictionary, EntryId};
 use kremlin_hcpa::ParallelismProfile;
+use kremlin_interp::Trace;
 use kremlin_ir::{RegionId, RegionKind, RegionTable};
 use kremlin_minic::Span;
 use std::collections::HashSet;
 use std::fmt;
+use std::path::Path;
+
+/// Writes a recorded trace to `path` in the binary `kremlin-trace`
+/// format.
+///
+/// # Errors
+///
+/// Returns a path-prefixed message on I/O failure.
+pub fn save_trace(path: &Path, trace: &Trace) -> Result<(), String> {
+    std::fs::write(path, trace.to_bytes()).map_err(|e| format!("{}: {e}", path.display()))
+}
+
+/// Reads and validates a `kremlin-trace` file.
+///
+/// # Errors
+///
+/// Returns a path-prefixed message on I/O failure, truncation, corruption,
+/// or version mismatch — never panics on damaged input.
+pub fn load_trace(path: &Path) -> Result<Trace, String> {
+    let bytes = std::fs::read(path).map_err(|e| format!("{}: {e}", path.display()))?;
+    Trace::from_bytes(&bytes).map_err(|e| format!("{}: {e}", path.display()))
+}
 
 /// A self-contained, reloadable profile: region metadata plus the
 /// compressed dictionary.

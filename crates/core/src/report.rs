@@ -28,6 +28,30 @@ impl Default for ReportOptions {
     }
 }
 
+/// Renders a short markdown summary of a recorded execution trace —
+/// printed by `kremlin record` and `kremlin replay` so the user can see
+/// what a trace file contains (and how compact the encoding is).
+pub fn render_trace_info(trace: &kremlin_interp::Trace) -> String {
+    let mut out = String::new();
+    let _ = writeln!(out, "## Recorded trace — `{}`\n", trace.source_name);
+    let _ = writeln!(
+        out,
+        "- events: **{}** ({} bytes encoded, {:.2} bytes/event)",
+        trace.events(),
+        trace.encoded_len(),
+        trace.encoded_len() as f64 / trace.events().max(1) as f64
+    );
+    let run = trace.run_result();
+    let _ = writeln!(
+        out,
+        "- recorded run: exit {} after {} instructions",
+        run.exit, run.instrs_executed
+    );
+    let _ = writeln!(out, "- max nesting depth: {}", trace.max_depth());
+    let _ = writeln!(out, "- module fingerprint: {:016x}\n", trace.fingerprint());
+    out
+}
+
 /// Renders a full markdown report for one analysis.
 pub fn render(analysis: &Analysis, personality: &dyn Personality, opts: ReportOptions) -> String {
     let mut out = String::new();

@@ -196,6 +196,164 @@ fn trace_writes_balanced_jsonl_spans() {
 }
 
 #[test]
+fn record_then_replay_reproduces_the_plan() {
+    let src = write_temp("demo_rr.kc", DEMO);
+    let trace = std::env::temp_dir().join("kremlin-cli-tests").join("demo_rr.ktrace");
+
+    let out = kremlin().arg("record").arg(&src).arg("-o").arg(&trace).output().expect("runs");
+    assert!(out.status.success(), "stderr: {}", String::from_utf8_lossy(&out.stderr));
+    assert!(trace.exists());
+    let stdout = String::from_utf8_lossy(&out.stdout);
+    assert!(stdout.contains("Recorded trace"), "{stdout}");
+    assert!(stdout.contains("bytes/event"), "{stdout}");
+
+    let live = kremlin().arg(&src).output().expect("runs");
+    let live_plan = String::from_utf8_lossy(&live.stdout).to_string();
+
+    for jobs in ["1", "3"] {
+        let out =
+            kremlin().arg("replay").arg(&trace).arg("--jobs").arg(jobs).output().expect("runs");
+        assert!(out.status.success(), "stderr: {}", String::from_utf8_lossy(&out.stderr));
+        assert_eq!(
+            String::from_utf8_lossy(&out.stdout),
+            live_plan,
+            "replayed plan ({jobs} jobs) must match live analysis"
+        );
+        let stderr = String::from_utf8_lossy(&out.stderr);
+        assert!(stderr.contains("replayed"), "{stderr}");
+    }
+}
+
+#[test]
+fn save_trace_writes_a_replayable_file() {
+    let src = write_temp("demo_st.kc", DEMO);
+    let trace = std::env::temp_dir().join("kremlin-cli-tests").join("demo_st.ktrace");
+    let out = kremlin()
+        .arg(&src)
+        .arg(format!("--save-trace={}", trace.display()))
+        .arg("--jobs=2")
+        .output()
+        .expect("runs");
+    assert!(out.status.success(), "stderr: {}", String::from_utf8_lossy(&out.stderr));
+    assert!(String::from_utf8_lossy(&out.stderr).contains("trace saved"), "stderr");
+
+    let out = kremlin().arg("replay").arg(&trace).output().expect("runs");
+    assert!(out.status.success(), "stderr: {}", String::from_utf8_lossy(&out.stderr));
+}
+
+#[test]
+fn corrupt_and_truncated_traces_fail_cleanly() {
+    let src = write_temp("demo_corrupt.kc", DEMO);
+    let trace = std::env::temp_dir().join("kremlin-cli-tests").join("demo_corrupt.ktrace");
+    let out = kremlin().arg("record").arg(&src).arg("-o").arg(&trace).output().expect("runs");
+    assert!(out.status.success());
+    let bytes = std::fs::read(&trace).expect("trace bytes");
+
+    // Truncated file.
+    let cut = write_temp_bytes("cut.ktrace", &bytes[..bytes.len() / 2]);
+    let out = kremlin().arg("replay").arg(&cut).output().expect("runs");
+    assert_eq!(out.status.code(), Some(1));
+    assert!(String::from_utf8_lossy(&out.stderr).contains("truncated"), "stderr");
+
+    // Bit-flipped file.
+    let mut flipped = bytes.clone();
+    let mid = flipped.len() / 2;
+    flipped[mid] ^= 0x20;
+    let flip = write_temp_bytes("flip.ktrace", &flipped);
+    let out = kremlin().arg("replay").arg(&flip).output().expect("runs");
+    assert_eq!(out.status.code(), Some(1));
+    let stderr = String::from_utf8_lossy(&out.stderr);
+    assert!(
+        stderr.contains("checksum") || stderr.contains("corrupt") || stderr.contains("truncated"),
+        "{stderr}"
+    );
+
+    // Not a trace at all.
+    let junk = write_temp("junk.ktrace", "this is not a trace");
+    let out = kremlin().arg("replay").arg(&junk).output().expect("runs");
+    assert_eq!(out.status.code(), Some(1));
+    assert!(String::from_utf8_lossy(&out.stderr).contains("bad magic"), "stderr");
+}
+
+fn write_temp_bytes(name: &str, content: &[u8]) -> std::path::PathBuf {
+    let dir = std::env::temp_dir().join("kremlin-cli-tests");
+    std::fs::create_dir_all(&dir).expect("temp dir");
+    let path = dir.join(name);
+    std::fs::write(&path, content).expect("write temp file");
+    path
+}
+
+#[test]
+fn replay_with_jobs_reports_per_shard_metrics() {
+    let src = write_temp("demo_shardmetrics.kc", DEMO);
+    let trace = std::env::temp_dir().join("kremlin-cli-tests").join("demo_sm.ktrace");
+    let out = kremlin().arg("record").arg(&src).arg("-o").arg(&trace).output().expect("runs");
+    assert!(out.status.success());
+    let out = kremlin()
+        .arg("replay")
+        .arg(&trace)
+        .arg("--jobs=3")
+        .arg("--metrics=json")
+        .output()
+        .expect("runs");
+    assert!(out.status.success(), "stderr: {}", String::from_utf8_lossy(&out.stderr));
+    let stdout = String::from_utf8_lossy(&out.stdout);
+    let json_line = stdout.lines().last().expect("metrics line");
+    let snap = kremlin::obs::Snapshot::from_json(json_line).expect("valid metrics JSON");
+    assert!(snap.counter("trace.replay.events") > 0, "{json_line}");
+    // Each worker publishes its own shard.N.* counter set.
+    for shard in 0..2 {
+        assert!(
+            snap.counter(&format!("shard.{shard}.events")) > 0,
+            "shard {shard} events missing: {json_line}"
+        );
+        assert!(
+            snap.gauge(&format!("shard.{shard}.wall_us")) > 0
+                || snap.counter(&format!("shard.{shard}.instr_events")) > 0,
+            "shard {shard} worker metrics missing: {json_line}"
+        );
+    }
+    let (count, _) = snap.phase("replay").expect("replay phase");
+    assert!(count >= 2, "one replay span per shard: {json_line}");
+}
+
+#[test]
+fn metrics_diff_compares_two_snapshots() {
+    let src = write_temp("demo_diff.kc", DEMO);
+    let dir = std::env::temp_dir().join("kremlin-cli-tests");
+    let a = dir.join("diff-a.json");
+    let b = dir.join("diff-b.json");
+    for (path, runs) in [(&a, "1"), (&b, "2")] {
+        let out = kremlin()
+            .arg(&src)
+            .arg("--metrics=json")
+            .arg(format!("--runs={runs}"))
+            .output()
+            .expect("runs");
+        assert!(out.status.success());
+        let stdout = String::from_utf8_lossy(&out.stdout);
+        std::fs::write(path, stdout.lines().last().unwrap()).expect("write snapshot");
+    }
+
+    let out = kremlin().arg("--metrics-diff").arg(&a).arg(&b).output().expect("runs");
+    assert!(out.status.success(), "stderr: {}", String::from_utf8_lossy(&out.stderr));
+    let stdout = String::from_utf8_lossy(&out.stdout);
+    assert!(stdout.contains("kremlin metrics diff"), "{stdout}");
+    assert!(stdout.contains("interp.instrs"), "{stdout}");
+    assert!(stdout.contains('%'), "{stdout}");
+
+    // Schema mismatch exits 1.
+    let bogus = write_temp("bogus-metrics.json", "{\"schema\":\"not-kremlin\"}");
+    let out = kremlin().arg("--metrics-diff").arg(&a).arg(&bogus).output().expect("runs");
+    assert_eq!(out.status.code(), Some(1));
+    assert!(String::from_utf8_lossy(&out.stderr).contains("schema"), "stderr");
+
+    // Missing file also exits 1; missing second argument is a usage error.
+    let out = kremlin().arg("--metrics-diff").arg(&a).output().expect("runs");
+    assert_eq!(out.status.code(), Some(2));
+}
+
+#[test]
 fn exclusion_changes_the_plan() {
     let src = write_temp("demo6.kc", DEMO);
     let out = kremlin().arg(&src).output().expect("runs");

@@ -48,11 +48,12 @@ pub mod seed;
 pub mod shadow;
 
 pub use cost::CostModel;
-pub use parallel::{profile_unit_parallel, ParallelConfig, ShardSpec};
+pub use parallel::{profile_trace_parallel, profile_unit_parallel, ParallelConfig, ShardSpec};
 pub use profile::{ParallelismProfile, RegionStats};
 pub use profiler::{BaselineProfiler, HcpaConfig, Profiler, ProfilerCore, ProfilerStats};
 pub use seed::{profile_unit_seed, SeedProfiler};
 
+use kremlin_interp::trace::{Trace, TraceError};
 use kremlin_interp::{InterpError, MachineConfig, RunResult};
 use kremlin_ir::CompiledUnit;
 
@@ -102,17 +103,45 @@ pub fn profile_unit_with_machine(
     Ok(ProfileOutcome { profile, stats, run })
 }
 
+/// Profiles a *recorded* execution: replays `trace` into the HCPA
+/// profiler instead of re-interpreting the program. The replayed event
+/// stream is observably identical to live execution, so the outcome is
+/// [`identical_stats`](ParallelismProfile::identical_stats) to
+/// [`profile_unit`] with the same `config` — this is the trace-consuming
+/// entry point the record-once/replay-many workflow builds on.
+///
+/// # Errors
+///
+/// [`TraceError::ModuleMismatch`] when the trace was not recorded from
+/// `unit`'s module; [`TraceError::Corrupt`] for damaged event streams.
+pub fn profile_trace(
+    unit: &CompiledUnit,
+    trace: &Trace,
+    config: HcpaConfig,
+) -> Result<ProfileOutcome, TraceError> {
+    let _span = kremlin_obs::span("shadow");
+    let mut profiler = Profiler::new(&unit.module, config);
+    let run = kremlin_interp::trace::replay(trace, &unit.module, &mut profiler)?;
+    let (dict, stats) = profiler.finish();
+    let _build = kremlin_obs::span("profile.build");
+    let mut profile =
+        ParallelismProfile::build(&unit.module.regions, dict, &unit.reduction_loops());
+    profile.set_source_name(&unit.module.source_name);
+    Ok(ProfileOutcome { profile, stats, run })
+}
+
 /// Profiles `unit` in depth slices of the given `window` and stitches the
 /// results — the paper's §4.2 workflow for bounding shadow-state cost and
 /// collecting deep programs in (potentially parallel) pieces.
 ///
-/// Runs `ceil(max_depth / (window-1))` profiled executions. The returned
-/// profile is planning-ready; see [`ParallelismProfile::stitch`] for the
+/// Records the execution once, then replays `ceil(max_depth /
+/// (window-1))` depth slices over the shared trace. The returned profile
+/// is planning-ready; see [`ParallelismProfile::stitch`] for the
 /// simulator caveat.
 ///
 /// # Errors
 ///
-/// Propagates interpreter failures from any slice.
+/// Propagates interpreter failures from the recording pass.
 ///
 /// # Panics
 ///
@@ -123,14 +152,17 @@ pub fn profile_unit_sliced(
 ) -> Result<ProfileOutcome, InterpError> {
     assert!(window >= 2, "window must cover a region and its children");
     let stride = window - 1;
-    let first = profile_unit(unit, HcpaConfig { window, min_depth: 0, ..HcpaConfig::default() })?;
+    let trace = kremlin_interp::trace::record(&unit.module, MachineConfig::default())?;
+    let slice = |lo: usize| {
+        profile_trace(unit, &trace, HcpaConfig { window, min_depth: lo, ..HcpaConfig::default() })
+            .expect("a freshly recorded trace replays")
+    };
+    let first = slice(0);
     let max_depth = first.stats.max_depth;
     let mut slices = vec![first.profile.clone()];
     let mut lo = stride;
     while lo < max_depth {
-        let outcome =
-            profile_unit(unit, HcpaConfig { window, min_depth: lo, ..HcpaConfig::default() })?;
-        slices.push(outcome.profile);
+        slices.push(slice(lo).profile);
         lo += stride;
     }
     let stitched = ParallelismProfile::stitch(&slices, window);

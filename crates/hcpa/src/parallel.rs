@@ -1,13 +1,17 @@
-//! Depth-sharded parallel HCPA collection.
+//! Depth-sharded parallel HCPA collection over a recorded trace.
 //!
 //! The paper's §4.2 depth-range flag "facilitat[es] parallel data
 //! collection for the HCPA": since shadow state for one depth range is
 //! independent of every other range, the profile can be collected as K
-//! runs with disjoint ranges and stitched. This module turns that into a
-//! first-class API: [`profile_unit_parallel`] plans the shard ranges,
-//! runs one interpreter + profiler pass per shard on its own
-//! `std::thread` worker, and stitches the slices with
-//! [`ParallelismProfile::stitch`].
+//! passes with disjoint ranges and stitched. This module turns that into
+//! a first-class API — and, unlike instrumented native re-execution,
+//! pays for the program's execution **once**: [`profile_unit_parallel`]
+//! records the event stream with [`kremlin_interp::trace::record`], then
+//! [`profile_trace_parallel`] replays the shared immutable trace into K
+//! depth-shard profilers, one per `std::thread` worker, and stitches the
+//! slices with [`ParallelismProfile::stitch`]. Replay also makes the
+//! depth-discovery pre-pass free: the recorder tracks the maximum
+//! nesting depth as it goes.
 //!
 //! Shard ranges overlap by exactly one depth
 //! (`min_depth = k * stride`, `window = stride + 1`): a region's
@@ -16,15 +20,17 @@
 //! tracks `d + 1`. With ranges planned this way the stitched profile is
 //! **bit-identical** to a single full-window pass
 //! ([`ParallelismProfile::identical_stats`]) whenever the depth estimate
-//! covers the real nesting depth — which [`profile_unit_parallel`]
-//! guarantees by measuring the depth with a cheap uninstrumented
-//! discovery pass when no hint is supplied.
+//! covers the real nesting depth — which the recorded trace's own
+//! [`max_depth`](kremlin_interp::trace::Trace::max_depth) guarantees
+//! when no hint is supplied.
 
 use crate::profile::ParallelismProfile;
 use crate::profiler::HcpaConfig;
-use crate::{profile_unit_with_machine, ProfileOutcome};
+use crate::{profile_trace, ProfileOutcome};
+use kremlin_interp::trace::{Trace, TraceError};
 use kremlin_interp::{ExecHook, InterpError, MachineConfig, RetCtx};
 use kremlin_ir::{CompiledUnit, FuncId, RegionId};
+use std::time::Instant;
 
 /// One shard's tracked depth range.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -138,9 +144,10 @@ pub fn discover_depth(unit: &CompiledUnit, machine: MachineConfig) -> Result<usi
     Ok(probe.max)
 }
 
-/// Profiles `unit` with depth-sharded parallel collection: K profiling
-/// passes with disjoint (one-depth-overlapping) tracked ranges, each on
-/// its own thread, stitched into one profile.
+/// Profiles `unit` with depth-sharded parallel collection: **one**
+/// recorded execution, replayed into K depth-shard profilers (disjoint,
+/// one-depth-overlapping tracked ranges), each on its own thread,
+/// stitched into one profile.
 ///
 /// The stitched profile's per-region statistics are bit-identical to a
 /// single serial pass with `config.hcpa` (see
@@ -152,7 +159,7 @@ pub fn discover_depth(unit: &CompiledUnit, machine: MachineConfig) -> Result<usi
 ///
 /// # Errors
 ///
-/// Propagates interpreter failures from the discovery pass or any shard.
+/// Propagates interpreter failures from the recording pass.
 ///
 /// # Panics
 ///
@@ -163,25 +170,67 @@ pub fn profile_unit_parallel(
 ) -> Result<ProfileOutcome, InterpError> {
     assert_eq!(config.hcpa.min_depth, 0, "sharding owns the depth ranges");
     assert!(config.hcpa.window >= 2, "window must cover a region and its children");
-    let depth = match config.depth_hint {
-        Some(d) => d,
-        None => discover_depth(unit, config.machine)?,
-    };
+    let trace = kremlin_interp::trace::record(&unit.module, config.machine)?;
+    Ok(profile_trace_parallel(unit, &trace, config)
+        .expect("a freshly recorded trace replays against its own module"))
+}
+
+/// [`profile_unit_parallel`] over an already-recorded trace: replays the
+/// shared immutable `trace` into K depth-shard profilers without any
+/// execution at all. This is what `kremlin replay FILE --jobs N` runs.
+///
+/// When metrics are enabled, each worker additionally publishes its own
+/// counter set under a `shard.N.` prefix: `events` (events replayed),
+/// `instr_events` and `shadow_live_pages` (shadow slots touched), and a
+/// `wall_us` gauge (worker wall time).
+///
+/// # Errors
+///
+/// [`TraceError::ModuleMismatch`] when the trace was not recorded from
+/// `unit`'s module; [`TraceError::Corrupt`] for damaged event streams.
+///
+/// # Panics
+///
+/// Panics if `config.hcpa.min_depth != 0` or `config.hcpa.window < 2`.
+pub fn profile_trace_parallel(
+    unit: &CompiledUnit,
+    trace: &Trace,
+    config: ParallelConfig,
+) -> Result<ProfileOutcome, TraceError> {
+    assert_eq!(config.hcpa.min_depth, 0, "sharding owns the depth ranges");
+    assert!(config.hcpa.window >= 2, "window must cover a region and its children");
+    if !trace.matches(&unit.module) {
+        return Err(TraceError::ModuleMismatch);
+    }
+    let depth = config.depth_hint.unwrap_or_else(|| trace.max_depth());
     let shards = plan_shards(depth, config.hcpa.window, config.jobs);
     if shards.len() <= 1 {
-        return profile_unit_with_machine(unit, config.hcpa, config.machine);
+        return profile_trace(unit, trace, config.hcpa);
     }
     let stride = shards[0].window - 1;
 
-    let mut outcomes: Vec<Option<Result<ProfileOutcome, InterpError>>> = Vec::new();
+    let mut outcomes: Vec<Option<Result<ProfileOutcome, TraceError>>> = Vec::new();
     outcomes.resize_with(shards.len(), || None);
     std::thread::scope(|scope| {
-        for (shard, slot) in shards.iter().zip(outcomes.iter_mut()) {
+        for (k, (shard, slot)) in shards.iter().zip(outcomes.iter_mut()).enumerate() {
             let hcpa =
                 HcpaConfig { window: shard.window, min_depth: shard.min_depth, ..config.hcpa };
-            let machine = config.machine;
             scope.spawn(move || {
-                *slot = Some(profile_unit_with_machine(unit, hcpa, machine));
+                let started = Instant::now();
+                let res = profile_trace(unit, trace, hcpa);
+                if kremlin_obs::metrics_enabled() {
+                    if let Ok(o) = &res {
+                        kremlin_obs::counter_named(&format!("shard.{k}.events"))
+                            .add(trace.events());
+                        kremlin_obs::counter_named(&format!("shard.{k}.instr_events"))
+                            .add(o.stats.instr_events);
+                        kremlin_obs::counter_named(&format!("shard.{k}.shadow_live_pages"))
+                            .add(o.stats.shadow_live_pages);
+                        kremlin_obs::gauge_named(&format!("shard.{k}.wall_us"))
+                            .set_max(started.elapsed().as_micros() as u64);
+                    }
+                }
+                *slot = Some(res);
             });
         }
     });
@@ -301,6 +350,44 @@ mod tests {
         )
         .unwrap();
         assert!(sharded.profile.identical_stats(&serial.profile));
+    }
+
+    #[test]
+    fn recorded_trace_knows_the_discovery_depth() {
+        let unit = kremlin_ir::compile(DEEP_SRC, "deep.kc").unwrap();
+        let depth = discover_depth(&unit, MachineConfig::default()).unwrap();
+        let trace = kremlin_interp::trace::record(&unit.module, MachineConfig::default()).unwrap();
+        assert_eq!(trace.max_depth(), depth);
+    }
+
+    #[test]
+    fn replaying_one_trace_into_shards_matches_serial() {
+        let unit = kremlin_ir::compile(DEEP_SRC, "deep.kc").unwrap();
+        let serial = profile_unit(&unit, HcpaConfig::default()).unwrap();
+        let trace = kremlin_interp::trace::record(&unit.module, MachineConfig::default()).unwrap();
+        for jobs in [2, 3] {
+            let sharded = profile_trace_parallel(
+                &unit,
+                &trace,
+                ParallelConfig { jobs, ..ParallelConfig::default() },
+            )
+            .unwrap();
+            assert!(
+                sharded.profile.identical_stats(&serial.profile),
+                "{jobs}-way replay-sharded profile differs from serial"
+            );
+            assert_eq!(sharded.run, serial.run);
+            assert_eq!(sharded.stats.instr_events, serial.stats.instr_events);
+        }
+    }
+
+    #[test]
+    fn foreign_trace_is_rejected_not_misattributed() {
+        let unit = kremlin_ir::compile(DEEP_SRC, "deep.kc").unwrap();
+        let other = kremlin_ir::compile("int main() { return 1; }", "other.kc").unwrap();
+        let trace = kremlin_interp::trace::record(&other.module, MachineConfig::default()).unwrap();
+        let e = profile_trace_parallel(&unit, &trace, ParallelConfig::default()).unwrap_err();
+        assert!(matches!(e, TraceError::ModuleMismatch));
     }
 
     #[test]

@@ -88,6 +88,64 @@ pub struct NullHook;
 
 impl ExecHook for NullHook {}
 
+/// Forwards every event to two hooks in order, so one interpretation can
+/// feed two consumers — e.g. a trace [`Recorder`](crate::trace::Recorder)
+/// and a live profiler in the same pass.
+#[derive(Debug)]
+pub struct TeeHook<'a, A, B> {
+    first: &'a mut A,
+    second: &'a mut B,
+}
+
+impl<'a, A: ExecHook, B: ExecHook> TeeHook<'a, A, B> {
+    /// Pairs two hooks; `first` sees each event before `second`.
+    pub fn new(first: &'a mut A, second: &'a mut B) -> Self {
+        TeeHook { first, second }
+    }
+}
+
+impl<A: ExecHook, B: ExecHook> ExecHook for TeeHook<'_, A, B> {
+    fn on_instr(&mut self, ctx: &InstrCtx<'_>) {
+        self.first.on_instr(ctx);
+        self.second.on_instr(ctx);
+    }
+
+    fn on_call(&mut self, ctx: &CallCtx<'_>) {
+        self.first.on_call(ctx);
+        self.second.on_call(ctx);
+    }
+
+    fn on_function_enter(&mut self, func: FuncId, region: RegionId) {
+        self.first.on_function_enter(func, region);
+        self.second.on_function_enter(func, region);
+    }
+
+    fn on_return(&mut self, ctx: &RetCtx) {
+        self.first.on_return(ctx);
+        self.second.on_return(ctx);
+    }
+
+    fn on_region_enter(&mut self, region: RegionId) {
+        self.first.on_region_enter(region);
+        self.second.on_region_enter(region);
+    }
+
+    fn on_region_exit(&mut self, region: RegionId) {
+        self.first.on_region_exit(region);
+        self.second.on_region_exit(region);
+    }
+
+    fn on_cd_push(&mut self, cond: ValueId) {
+        self.first.on_cd_push(cond);
+        self.second.on_cd_push(cond);
+    }
+
+    fn on_cd_pop(&mut self) {
+        self.first.on_cd_pop();
+        self.second.on_cd_pop();
+    }
+}
+
 /// A recording hook that captures the marker stream; used by tests to
 /// check that region events nest properly and that the control-dependence
 /// stack balances.

@@ -21,11 +21,13 @@ pub mod error;
 pub mod hooks;
 pub mod machine;
 pub mod memory;
+pub mod trace;
 pub mod value;
 
 pub use error::InterpError;
-pub use hooks::{CallCtx, ExecHook, InstrCtx, NullHook, RetCtx, TraceHook};
+pub use hooks::{CallCtx, ExecHook, InstrCtx, NullHook, RetCtx, TeeHook, TraceHook};
 pub use machine::{run, run_with_hook, MachineConfig, RunResult};
+pub use trace::{record, replay, Recorder, Trace, TraceError};
 pub use value::Value;
 
 #[cfg(test)]

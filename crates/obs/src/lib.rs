@@ -230,11 +230,41 @@ fn find_or_insert<T>(
     m
 }
 
+fn find_or_insert_dyn<T>(
+    table: &Mutex<Vec<(&'static str, &'static T)>>,
+    name: &str,
+    make: impl FnOnce() -> T,
+) -> &'static T {
+    let mut t = table.lock().expect("obs registry poisoned");
+    if let Some((_, m)) = t.iter().find(|(n, _)| *n == name) {
+        return m;
+    }
+    // First registration of this name: leak one copy so the registry can
+    // keep its `&'static str` keys. Repeat lookups reuse it.
+    let name: &'static str = Box::leak(name.to_owned().into_boxed_str());
+    let m: &'static T = Box::leak(Box::new(make()));
+    t.push((name, m));
+    m
+}
+
 /// The registered counter named `name`, created on first use. Looks the
 /// registry up under a lock — cache the result (the [`counter!`] macro
 /// does) instead of calling this per event.
 pub fn counter(name: &'static str) -> &'static Counter {
     find_or_insert(&registry().counters, name, Counter::new)
+}
+
+/// [`counter`] for runtime-built names (e.g. a `shard.3.` prefix). The
+/// name is interned — leaked once — on first registration, so use this
+/// for small, bounded name sets only.
+pub fn counter_named(name: &str) -> &'static Counter {
+    find_or_insert_dyn(&registry().counters, name, Counter::new)
+}
+
+/// [`gauge`] for runtime-built names; same interning caveat as
+/// [`counter_named`].
+pub fn gauge_named(name: &str) -> &'static Gauge {
+    find_or_insert_dyn(&registry().gauges, name, Gauge::new)
 }
 
 /// The registered gauge named `name`, created on first use.
@@ -602,6 +632,68 @@ impl Snapshot {
         })
     }
 
+    /// Renders a per-metric comparison of `self` (baseline) against
+    /// `fresh`: absolute and percentage deltas for every counter and
+    /// gauge, and span-count/total-time deltas for every phase. Metrics
+    /// that are zero on both sides are omitted. This is the
+    /// `kremlin --metrics-diff A.json B.json` output.
+    pub fn render_diff(&self, fresh: &Snapshot) -> String {
+        fn merged(a: &[(String, u64)], b: &[(String, u64)]) -> Vec<(String, u64, u64)> {
+            let mut names: Vec<&String> =
+                a.iter().map(|(n, _)| n).chain(b.iter().map(|(n, _)| n)).collect();
+            names.sort();
+            names.dedup();
+            let get = |side: &[(String, u64)], name: &str| {
+                side.iter().find(|(n, _)| n == name).map_or(0, |(_, v)| *v)
+            };
+            names
+                .into_iter()
+                .map(|n| (n.clone(), get(a, n), get(b, n)))
+                .filter(|(_, x, y)| *x != 0 || *y != 0)
+                .collect()
+        }
+        fn delta_cell(base: u64, fresh: u64) -> String {
+            let d = fresh as i128 - base as i128;
+            let pct = if base == 0 {
+                if d == 0 {
+                    " +0.0%".to_owned()
+                } else {
+                    "   new".to_owned()
+                }
+            } else {
+                format!("{:>+6.1}%", d as f64 / base as f64 * 100.0)
+            };
+            format!("{d:>+14} {pct}")
+        }
+        let counters = merged(&self.counters, &fresh.counters);
+        let gauges = merged(&self.gauges, &fresh.gauges);
+        let phase_us = |p: &[(String, u64, u64)]| -> Vec<(String, u64)> {
+            p.iter().map(|(n, _, us)| (format!("phase/{n}"), *us)).collect()
+        };
+        let phases = merged(&phase_us(&self.phases), &phase_us(&fresh.phases));
+        let width = counters
+            .iter()
+            .chain(&gauges)
+            .chain(&phases)
+            .map(|(n, _, _)| n.len())
+            .max()
+            .unwrap_or(8)
+            .max(8);
+        let mut out = String::from("-- kremlin metrics diff (A -> B) --\n");
+        for (rows, tag) in [(&phases, " us"), (&counters, ""), (&gauges, "")] {
+            for (n, a, b) in rows {
+                out.push_str(&format!(
+                    "{n:<width$} {a:>14} -> {b:>14}{tag}  {}\n",
+                    delta_cell(*a, *b)
+                ));
+            }
+        }
+        if counters.is_empty() && gauges.is_empty() && phases.is_empty() {
+            out.push_str("(both snapshots empty)\n");
+        }
+        out
+    }
+
     /// Renders the snapshot as an aligned human-readable table (the
     /// `kremlin --metrics=pretty` output).
     pub fn render_pretty(&self) -> String {
@@ -745,6 +837,53 @@ mod tests {
         assert_eq!(hist_bucket(3), 2);
         assert_eq!(hist_bucket(1024), 11);
         assert_eq!(hist_bucket(u64::MAX), HIST_BUCKETS - 1);
+    }
+
+    #[test]
+    fn dyn_named_metrics_intern_and_share() {
+        let _l = lock();
+        reset();
+        set_metrics(true);
+        let shard = 7;
+        counter_named(&format!("t.shard.{shard}.events")).add(4);
+        counter_named(&format!("t.shard.{shard}.events")).add(2);
+        gauge_named(&format!("t.shard.{shard}.wall_us")).set_max(99);
+        set_metrics(false);
+        let snap = snapshot();
+        assert_eq!(snap.counter("t.shard.7.events"), 6);
+        assert_eq!(snap.gauge("t.shard.7.wall_us"), 99);
+        // Same name resolves to the same static metric as the &'static path.
+        assert!(std::ptr::eq(counter_named("t.shard.7.events"), counter("t.shard.7.events")));
+        reset();
+    }
+
+    #[test]
+    fn diff_reports_absolute_and_percent_deltas() {
+        let a = Snapshot {
+            counters: vec![("t.hits".into(), 100), ("t.gone".into(), 5)],
+            gauges: vec![("t.g".into(), 10)],
+            histograms: vec![],
+            phases: vec![("t.p".into(), 1, 1000)],
+        };
+        let b = Snapshot {
+            counters: vec![("t.hits".into(), 150), ("t.born".into(), 3)],
+            gauges: vec![("t.g".into(), 10)],
+            histograms: vec![],
+            phases: vec![("t.p".into(), 2, 1500)],
+        };
+        let text = a.render_diff(&b);
+        assert!(text.contains("t.hits"), "{text}");
+        assert!(text.contains("+50"), "{text}");
+        assert!(text.contains("+50.0%"), "{text}");
+        assert!(text.contains("t.gone"), "{text}");
+        assert!(text.contains("-100.0%"), "{text}");
+        assert!(text.contains("t.born"), "{text}");
+        assert!(text.contains("new"), "{text}");
+        assert!(text.contains("phase/t.p"), "{text}");
+        // Unchanged metrics still listed with a zero delta.
+        assert!(text.contains("t.g"), "{text}");
+        let empty = Snapshot::default().render_diff(&Snapshot::default());
+        assert!(empty.contains("both snapshots empty"), "{empty}");
     }
 
     #[test]

@@ -96,6 +96,54 @@ fn spans_balance_across_every_workload() {
 }
 
 #[test]
+fn sharded_replay_publishes_per_shard_worker_metrics() {
+    let _guard = clean_slate();
+
+    let w = kremlin_repro::workloads::by_name("bt").expect("bt exists");
+    let unit = kremlin_repro::ir::compile(w.source, &w.file_name()).expect("compiles");
+    let trace = kremlin_repro::interp::record(
+        &unit.module,
+        kremlin_repro::interp::MachineConfig::default(),
+    )
+    .expect("record");
+
+    obs::set_metrics(true);
+    let jobs = 3;
+    kremlin_repro::hcpa::profile_trace_parallel(
+        &unit,
+        &trace,
+        kremlin_repro::hcpa::ParallelConfig { jobs, ..Default::default() },
+    )
+    .expect("sharded replay");
+    obs::set_metrics(false);
+
+    let snap = obs::snapshot();
+    for shard in 0..jobs {
+        assert_eq!(
+            snap.counter(&format!("shard.{shard}.events")),
+            trace.events(),
+            "shard {shard} must replay the whole shared trace"
+        );
+        assert!(
+            snap.counter(&format!("shard.{shard}.instr_events")) > 0,
+            "shard {shard} touched no instruction events"
+        );
+        assert!(
+            snap.counter(&format!("shard.{shard}.shadow_live_pages")) > 0,
+            "shard {shard} reported no shadow slots"
+        );
+        assert!(
+            snap.gauge(&format!("shard.{shard}.wall_us")) > 0,
+            "shard {shard} reported no wall time"
+        );
+    }
+    // The snapshot survives its own JSON round trip with dynamic names.
+    let restored = obs::Snapshot::from_json(&snap.to_json()).expect("parses");
+    assert_eq!(snap, restored);
+    obs::reset();
+}
+
+#[test]
 fn snapshot_schema_round_trips_through_a_file() {
     let _guard = clean_slate();
 

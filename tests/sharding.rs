@@ -5,10 +5,17 @@
 //! `identical_stats` compares every per-region statistic bit-for-bit,
 //! including the exact per-depth integer accumulators, so a pass here
 //! means the sharded pipeline loses nothing relative to serial HCPA.
+//!
+//! The record-once/replay-many refactor routes every sharded profile
+//! through the trace layer, so the tests below also prove replay
+//! equivalence: profiling from a replayed trace — serial or fanned out
+//! across shard workers — matches live execution exactly.
 
 use kremlin_repro::hcpa::{
-    profile_unit, HcpaConfig, ParallelConfig, ParallelismProfile, ProfileOutcome,
+    profile_trace, profile_trace_parallel, profile_unit, HcpaConfig, ParallelConfig,
+    ParallelismProfile, ProfileOutcome,
 };
+use kremlin_repro::interp::{record, MachineConfig};
 use kremlin_repro::ir::compile;
 
 fn serial_and_compiled(
@@ -71,6 +78,63 @@ fn two_way_sharding_with_depth_hint_is_bit_identical() {
         )
         .expect("sharded profile");
         assert_stitched_identical(w.name, 2, &serial, &sharded);
+    }
+}
+
+/// Every workload: one recorded trace replayed into a serial profiler is
+/// `identical_stats` to profiling the live execution directly.
+#[test]
+fn serial_replay_matches_live_execution_on_every_workload() {
+    for w in kremlin_repro::workloads::all() {
+        let (unit, serial) = serial_and_compiled(&w);
+        let trace = record(&unit.module, MachineConfig::default()).expect("record");
+        assert_eq!(
+            trace.run_result(),
+            serial.run,
+            "{}: recorded run differs from live run",
+            w.name
+        );
+        let replayed =
+            profile_trace(&unit, &trace, HcpaConfig::default()).expect("own trace replays");
+        assert_stitched_identical(w.name, 1, &serial, &replayed);
+    }
+}
+
+/// Every workload: the same immutable trace replayed by 3 shard workers
+/// and stitched is bit-identical to serial — interpretation happens once,
+/// never per shard.
+#[test]
+fn sharded_replay_of_one_trace_is_bit_identical_on_every_workload() {
+    for w in kremlin_repro::workloads::all() {
+        let (unit, serial) = serial_and_compiled(&w);
+        let trace = record(&unit.module, MachineConfig::default()).expect("record");
+        let sharded = profile_trace_parallel(
+            &unit,
+            &trace,
+            ParallelConfig { jobs: 3, ..ParallelConfig::default() },
+        )
+        .expect("own trace replays sharded");
+        assert_stitched_identical(w.name, 3, &serial, &sharded);
+    }
+}
+
+/// Replay survives the disk round trip: encode, decode, then shard — the
+/// stitched result must still be bit-identical to live serial profiling.
+#[test]
+fn sharded_replay_survives_the_byte_round_trip() {
+    for name in ["bt", "lu", "cg"] {
+        let w = kremlin_repro::workloads::by_name(name).expect("workload");
+        let (unit, serial) = serial_and_compiled(&w);
+        let trace = record(&unit.module, MachineConfig::default()).expect("record");
+        let decoded = kremlin_repro::interp::Trace::from_bytes(&trace.to_bytes())
+            .expect("encoded trace decodes");
+        let sharded = profile_trace_parallel(
+            &unit,
+            &decoded,
+            ParallelConfig { jobs: 2, ..ParallelConfig::default() },
+        )
+        .expect("decoded trace replays sharded");
+        assert_stitched_identical(name, 2, &serial, &sharded);
     }
 }
 

@@ -1,0 +1,116 @@
+//! Trace-layer property suite: record-once/replay-many must be lossless
+//! and robust against hostile bytes (`ISSUE` satellite for
+//! `kremlin_interp::trace`).
+//!
+//! Two families of checks over randomized `bench::progen` programs:
+//!
+//! 1. **Round trip** — record a program, push the trace through the full
+//!    byte encoding (`to_bytes` → `from_bytes`), replay it into an HCPA
+//!    profiler, and demand `identical_stats` against profiling the live
+//!    execution. Covers varint/zigzag coding, the embedded source, and
+//!    the checksum trailer on programs nobody hand-picked.
+//! 2. **Robustness** — every truncation prefix and a sweep of single-bit
+//!    flips must come back as a clean [`TraceError`], never a panic and
+//!    never a silently different profile.
+
+use kremlin_bench::progen;
+use kremlin_bench::XorShift;
+use kremlin_repro::hcpa::{profile_trace, profile_unit, HcpaConfig};
+use kremlin_repro::interp::{record, MachineConfig, Trace, TraceError};
+use kremlin_repro::ir::compile;
+
+/// Seeds chosen arbitrarily but fixed, so failures reproduce exactly.
+const SEEDS: [u64; 8] = [3, 17, 99, 256, 1021, 4096, 70_001, 987_654_321];
+
+#[test]
+fn randomized_programs_round_trip_through_trace_bytes() {
+    for (case, seed) in SEEDS.into_iter().enumerate() {
+        let mut rng = XorShift::new(seed);
+        let deep = case % 2 == 1;
+        let src = progen::program(&mut rng, deep);
+        let name = format!("progen_{seed}.kc");
+        let unit = compile(&src, &name).unwrap_or_else(|e| {
+            panic!("seed {seed}: generated program fails to compile: {e}\n{src}")
+        });
+
+        let live = profile_unit(&unit, HcpaConfig::default()).expect("live profile");
+        let mut trace = record(&unit.module, MachineConfig::default()).expect("record");
+        trace.source = src.clone();
+        assert_eq!(trace.run_result(), live.run, "seed {seed}: recorded run differs");
+
+        let bytes = trace.to_bytes();
+        let decoded = Trace::from_bytes(&bytes)
+            .unwrap_or_else(|e| panic!("seed {seed}: round trip failed: {e}"));
+        assert_eq!(decoded.events(), trace.events(), "seed {seed}: event count changed");
+        assert_eq!(decoded.source, src, "seed {seed}: embedded source changed");
+
+        let replayed = profile_trace(&unit, &decoded, HcpaConfig::default())
+            .unwrap_or_else(|e| panic!("seed {seed}: decoded trace fails to replay: {e}"));
+        assert!(
+            replayed.profile.identical_stats(&live.profile),
+            "seed {seed}: replayed profile differs from live"
+        );
+        assert_eq!(replayed.run, live.run, "seed {seed}: replayed run differs");
+    }
+}
+
+#[test]
+fn truncated_trace_files_error_cleanly() {
+    let mut rng = XorShift::new(42);
+    let src = progen::program(&mut rng, true);
+    let unit = compile(&src, "progen_trunc.kc").expect("compiles");
+    let bytes = record(&unit.module, MachineConfig::default()).expect("record").to_bytes();
+
+    for len in 0..bytes.len() {
+        let err = Trace::from_bytes(&bytes[..len])
+            .err()
+            .unwrap_or_else(|| panic!("prefix of {len} bytes decoded successfully"));
+        assert!(
+            matches!(
+                err,
+                TraceError::Truncated { .. }
+                    | TraceError::BadMagic
+                    | TraceError::ChecksumMismatch
+                    | TraceError::Corrupt { .. }
+            ),
+            "prefix of {len} bytes: unexpected error {err:?}"
+        );
+        // Display must render without panicking — the CLI prints it.
+        let _ = err.to_string();
+    }
+}
+
+#[test]
+fn bit_flipped_trace_files_never_panic_or_misreport() {
+    let mut rng = XorShift::new(7);
+    let src = progen::program(&mut rng, false);
+    let unit = compile(&src, "progen_flip.kc").expect("compiles");
+    let machine = MachineConfig::default();
+    let trace = record(&unit.module, machine).expect("record");
+    let bytes = trace.to_bytes();
+
+    // Step through the file so the sweep stays fast but touches the
+    // magic, header, source, payload, and checksum regions.
+    let step = (bytes.len() / 97).max(1);
+    for pos in (0..bytes.len()).step_by(step) {
+        for bit in [0x01u8, 0x40u8] {
+            let mut mutated = bytes.clone();
+            mutated[pos] ^= bit;
+            match Trace::from_bytes(&mutated) {
+                // The trailing checksum covers every preceding byte, so a
+                // decode success would mean the flip escaped detection.
+                Ok(_) => panic!("flip at byte {pos} (mask {bit:#x}) escaped the checksum"),
+                Err(e) => {
+                    let _ = e.to_string();
+                }
+            }
+        }
+    }
+
+    // And a flip *after* decode (simulating in-memory corruption of the
+    // payload handed to replay) must surface as a TraceError, not a panic
+    // inside the profiler hooks.
+    let decoded = Trace::from_bytes(&bytes).expect("pristine bytes decode");
+    let replayed = profile_trace(&unit, &decoded, HcpaConfig::default());
+    assert!(replayed.is_ok(), "pristine decode must replay");
+}
