@@ -2,6 +2,7 @@
 //!
 //! ```text
 //! kremlin <program.kc> [options]
+//! kremlin analyze <program.kc> [--json]      static dependence lint, no run
 //! kremlin record <program.kc> [-o FILE]      record an execution trace
 //! kremlin replay <trace> [--jobs=N] [...]    profile a recorded trace
 //! kremlin --metrics-diff A.json B.json       compare two metrics snapshots
@@ -20,6 +21,10 @@
 //!   --load-profile=<path>         plan from a saved profile (skips execution)
 //!   --save-trace=<path>           record the event trace, profile by replay,
 //!                                 and write the trace file
+//!   --audit-plan                  cross-check the plan against the static
+//!                                 dependence verdicts (K010 hazards exit 1)
+//!   --verify-ir                   run the IR verifier on the compiled module
+//!                                 (always on in debug builds)
 //!   --dump-ir                     print the instrumented IR and exit
 //!   --metrics[=json|pretty]       self-instrumentation: print pipeline
 //!                                 counters/gauges/phase timings (json: one
@@ -77,6 +82,8 @@ struct Options {
     metrics_diff: Option<(String, String)>,
     dump_ir: bool,
     report: bool,
+    audit_plan: bool,
+    verify_ir: bool,
     metrics: MetricsMode,
     trace: Option<String>,
 }
@@ -86,7 +93,9 @@ fn usage() -> &'static str {
      \x20              [--exclude=l1,l2] [--regions] [--evaluate] [--runs=N]\n\
      \x20              [--window=N] [--jobs=N|--depth-shards=N] [--no-break-deps]\n\
      \x20              [--save-profile=PATH] [--load-profile=PATH] [--save-trace=PATH]\n\
-     \x20              [--dump-ir] [--report] [--metrics[=json|pretty]] [--trace FILE]\n\
+     \x20              [--dump-ir] [--report] [--audit-plan] [--verify-ir]\n\
+     \x20              [--metrics[=json|pretty]] [--trace FILE]\n\
+     \x20      kremlin analyze <program.kc> [--json] [--verify-ir]\n\
      \x20      kremlin record <program.kc> [-o FILE] [--metrics[=json|pretty]]\n\
      \x20      kremlin replay <trace-file> [--jobs=N] [--personality=...] [--evaluate]\n\
      \x20              [--metrics[=json|pretty]]\n\
@@ -110,6 +119,8 @@ fn parse_args(args: &[String]) -> Result<Options, CliError> {
         metrics_diff: None,
         dump_ir: false,
         report: false,
+        audit_plan: false,
+        verify_ir: false,
         metrics: MetricsMode::Off,
         trace: None,
     };
@@ -158,6 +169,10 @@ fn parse_args(args: &[String]) -> Result<Options, CliError> {
             o.dump_ir = true;
         } else if a == "--report" {
             o.report = true;
+        } else if a == "--audit-plan" {
+            o.audit_plan = true;
+        } else if a == "--verify-ir" {
+            o.verify_ir = true;
         } else if a == "--metrics" || a == "--metrics=pretty" {
             o.metrics = MetricsMode::Pretty;
         } else if a == "--metrics=json" {
@@ -268,6 +283,66 @@ fn parse_sub_args(
     Ok(o)
 }
 
+/// Runs the IR verifier when `--verify-ir` was passed; always runs it in
+/// debug builds so pipeline bugs surface as reports, not bad profiles.
+fn maybe_verify(module: &kremlin::ir::Module, requested: bool) -> Result<(), CliError> {
+    if requested || cfg!(debug_assertions) {
+        kremlin::ir::verify::verify_module(module)
+            .map_err(|e| fail(format!("IR verification failed: {e}")))?;
+        if requested {
+            eprintln!("[kremlin] IR verified");
+        }
+    }
+    Ok(())
+}
+
+/// `kremlin analyze <program.kc> [--json]`: compile-time dependence lint
+/// over every loop region — no execution, no profile.
+fn cmd_analyze(args: &[String]) -> Result<(), CliError> {
+    let mut input = None;
+    let mut json = false;
+    let mut verify_ir = false;
+    for a in args {
+        match a.as_str() {
+            "--json" => json = true,
+            "--verify-ir" => verify_ir = true,
+            "--help" | "-h" => return Err(CliError::Help),
+            _ if a.starts_with('-') => {
+                return Err(CliError::Usage(format!("unknown option `{a}`\n{}", usage())))
+            }
+            _ if input.is_none() => input = Some(a.clone()),
+            _ => return Err(CliError::Usage(format!("unexpected argument `{a}`\n{}", usage()))),
+        }
+    }
+    let Some(input) = input else {
+        return Err(CliError::Usage(format!(
+            "analyze takes exactly one program file\n{}",
+            usage()
+        )));
+    };
+    let src = std::fs::read_to_string(&input).map_err(|e| fail(format!("{input}: {e}")))?;
+    let name = source_name(&input);
+    let unit = kremlin::ir::compile(&src, &name).map_err(fail)?;
+    maybe_verify(&unit.module, verify_ir)?;
+    let diags = kremlin::diag::static_diagnostics(&unit);
+    if json {
+        println!("{}", kremlin::diag::to_json(&unit, &diags));
+    } else {
+        let c = unit.depend.counts();
+        println!(
+            "static dependence analysis — {name}: {} loops ({} provably doall, {} doall after \
+             breaking, {} carried, {} unknown)",
+            unit.depend.loops.len(),
+            c[0],
+            c[1],
+            c[2],
+            c[3]
+        );
+        print!("{}", kremlin::diag::render(&name, &diags));
+    }
+    Ok(())
+}
+
 /// `kremlin record <program.kc> [-o FILE]`: execute once, capture the
 /// event stream, and write a self-contained trace file.
 fn cmd_record(args: &[String]) -> Result<(), CliError> {
@@ -322,7 +397,7 @@ fn cmd_replay(args: &[String]) -> Result<(), CliError> {
         analysis.outcome.stats.dynamic_regions,
         analysis.outcome.stats.max_depth
     );
-    let plan = planner.plan(analysis.profile(), &HashSet::new());
+    let plan = analysis.plan_with(planner.as_ref(), &HashSet::new());
     print!("{plan}");
     if o.evaluate {
         let eval = analysis.evaluate(&plan);
@@ -363,6 +438,7 @@ fn run() -> Result<(), CliError> {
         return Err(CliError::Usage(usage().to_owned()));
     }
     match args[0].as_str() {
+        "analyze" => return cmd_analyze(&args[1..]),
         "record" => return cmd_record(&args[1..]),
         "replay" => return cmd_replay(&args[1..]),
         _ => {}
@@ -447,6 +523,7 @@ fn run() -> Result<(), CliError> {
         tool.analyze(&src, &name)
     }
     .map_err(fail)?;
+    maybe_verify(&analysis.unit.module, o.verify_ir)?;
 
     eprintln!(
         "[kremlin] exit={} instrs={} dynamic-regions={} max-depth={}",
@@ -501,8 +578,27 @@ fn run() -> Result<(), CliError> {
     }
 
     let exclude = resolve_excludes(&o.exclude, |l| analysis.unit.module.regions.by_label(l))?;
-    let plan = planner.plan(analysis.profile(), &exclude);
+    let plan = analysis.plan_with(planner.as_ref(), &exclude);
     print!("{plan}");
+
+    if o.audit_plan {
+        let diags = kremlin::diag::audit_plan(&analysis, &plan);
+        if diags.is_empty() {
+            println!("\nplan audit: clean (every planned region statically consistent)");
+        } else {
+            println!("\nplan audit:");
+            print!("{}", kremlin::diag::render(&name, &diags));
+        }
+        let counts = kremlin::diag::count_severities(&diags);
+        if counts.errors > 0 {
+            emit_observability(&o)?;
+            return Err(fail(format!(
+                "plan audit found {} hazard(s): dynamic DOALL contradicted by a statically \
+                 proven dependence",
+                counts.errors
+            )));
+        }
+    }
 
     if o.evaluate {
         let eval = analysis.evaluate(&plan);

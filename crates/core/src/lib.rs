@@ -43,6 +43,7 @@
 //! # Ok::<(), kremlin::KremlinError>(())
 //! ```
 
+pub mod diag;
 pub mod persist;
 pub mod report;
 
@@ -57,7 +58,7 @@ pub use kremlin_sim as sim;
 
 pub use kremlin_hcpa::{HcpaConfig, ParallelismProfile, ProfileOutcome, RegionStats};
 pub use kremlin_interp::{MachineConfig, Trace, TraceError};
-pub use kremlin_ir::{CompiledUnit, RegionId};
+pub use kremlin_ir::{CompiledUnit, DependenceInfo, LoopVerdict, RegionId};
 pub use kremlin_planner::{
     CilkPlanner, OpenMpPlanner, Personality, Plan, SelfPFilterPlanner, WorkOnlyPlanner,
 };
@@ -293,9 +294,12 @@ impl Analysis {
         &self.outcome.profile
     }
 
-    /// Plans with an arbitrary personality and exclusion list.
+    /// Plans with an arbitrary personality and exclusion list. Entries
+    /// are annotated with their static dependence verdicts.
     pub fn plan_with(&self, personality: &dyn Personality, exclude: &HashSet<RegionId>) -> Plan {
-        personality.plan(&self.outcome.profile, exclude)
+        let mut plan = personality.plan(&self.outcome.profile, exclude);
+        plan.annotate(&self.unit.depend);
+        plan
     }
 
     /// Plans with the OpenMP personality (the paper's default).

@@ -58,7 +58,7 @@ pub fn render(analysis: &Analysis, personality: &dyn Personality, opts: ReportOp
     let profile = analysis.profile();
     let name = &analysis.unit.module.source_name;
     let none = HashSet::new();
-    let plan = personality.plan(profile, &none);
+    let plan = analysis.plan_with(personality, &none);
 
     let _ = writeln!(out, "# Kremlin parallelism report — `{name}`\n");
     let _ = writeln!(out, "- executed instructions: **{}**", analysis.outcome.run.instrs_executed);
@@ -88,19 +88,27 @@ pub fn render(analysis: &Analysis, personality: &dyn Personality, opts: ReportOp
     if plan.is_empty() {
         let _ = writeln!(out, "No profitable regions found.\n");
     } else {
-        let _ = writeln!(out, "| # | region | location | self-P | cov % | type | est. speedup |");
-        let _ = writeln!(out, "|---|--------|----------|--------|-------|------|--------------|");
+        let _ = writeln!(
+            out,
+            "| # | region | location | self-P | cov % | type | est. speedup | static |"
+        );
+        let _ = writeln!(
+            out,
+            "|---|--------|----------|--------|-------|------|--------------|--------|"
+        );
         for (i, e) in plan.entries.iter().take(opts.max_plan_entries).enumerate() {
+            let verdict = e.verdict.map(|v| v.to_string()).unwrap_or_else(|| "-".into());
             let _ = writeln!(
                 out,
-                "| {} | `{}` | {} | {:.1} | {:.2} | {} | {:.2}x |",
+                "| {} | `{}` | {} | {:.1} | {:.2} | {} | {:.2}x | {} |",
                 i + 1,
                 e.label,
                 e.location,
                 e.self_p,
                 e.coverage * 100.0,
                 e.kind,
-                e.est_speedup
+                e.est_speedup,
+                verdict
             );
         }
         if plan.len() > opts.max_plan_entries {

@@ -1,0 +1,114 @@
+//! Golden tests for the static loop-dependence analyzer.
+//!
+//! The verdict tables live next to the workloads
+//! (`kremlin_workloads::expected_verdicts`) so the CI analyze-smoke job
+//! and these tests gate the same expectations:
+//!
+//! * every loop of every workload gets exactly the checked-in verdict;
+//! * the suite exercises all four verdict classes;
+//! * **zero false hazards** — no region the planner recommends as DOALL
+//!   (or reduction) is statically classified as loop-carried;
+//! * the `--json` output is schema-versioned and deterministic.
+
+use kremlin::diag::{audit_plan, static_diagnostics, to_json, Severity};
+use kremlin::planner::PlanKind;
+use kremlin::{Kremlin, LoopVerdict, OpenMpPlanner};
+use std::collections::HashSet;
+
+/// Compiles one workload (no execution) and checks its verdict table.
+fn check_verdicts(name: &str) {
+    let w = kremlin_workloads::by_name(name).expect("workload exists");
+    let unit = kremlin::ir::compile(w.source, &w.file_name()).expect("workload compiles");
+    let expected = kremlin_workloads::expected_verdicts(name).expect("golden table exists");
+
+    let got: Vec<(&str, &str)> =
+        unit.depend.loops.iter().map(|l| (l.label.as_str(), l.verdict.name())).collect();
+    assert_eq!(got, expected.to_vec(), "{name}: verdict table drifted from golden");
+}
+
+/// Runs one workload end to end and checks the plan audit finds no
+/// hazards: every planned DOALL/reduction region must be statically
+/// provably-doall, doall-after-breaking, or (at worst) unknown — never
+/// a definite carried dependence.
+fn check_no_false_hazards(name: &str) {
+    let w = kremlin_workloads::by_name(name).expect("workload exists");
+    let analysis = Kremlin::new().analyze(w.source, &w.file_name()).expect("workload runs");
+    let plan = analysis.plan_with(&OpenMpPlanner::default(), &HashSet::new());
+
+    for e in &plan.entries {
+        if matches!(e.kind, PlanKind::Doall | PlanKind::Reduction) {
+            assert!(
+                !matches!(e.verdict, Some(LoopVerdict::Carried { .. })),
+                "{name}: planner recommends `{}` as {} but static analysis proves a \
+                 loop-carried dependence — a false hazard",
+                e.label,
+                e.kind,
+            );
+        }
+    }
+
+    let diags = audit_plan(&analysis, &plan);
+    let hazards: Vec<_> = diags.iter().filter(|d| d.code == "K010").collect();
+    assert!(hazards.is_empty(), "{name}: plan audit reported hazards: {hazards:?}");
+    assert!(
+        diags.iter().all(|d| d.severity != Severity::Error),
+        "{name}: plan audit reported errors: {diags:?}"
+    );
+}
+
+macro_rules! workload_tests {
+    ($($name:ident),* $(,)?) => {
+        $(
+            mod $name {
+                #[test]
+                fn golden_verdicts() {
+                    super::check_verdicts(stringify!($name));
+                }
+
+                #[test]
+                fn no_false_hazards() {
+                    super::check_no_false_hazards(stringify!($name));
+                }
+            }
+        )*
+    };
+}
+
+workload_tests!(ammp, art, equake, bt, cg, ep, ft, is, lu, mg, sp, tracking);
+
+#[test]
+fn suite_exercises_all_four_verdicts() {
+    let mut totals = [0usize; 4];
+    for w in kremlin_workloads::all() {
+        let unit = kremlin::ir::compile(w.source, &w.file_name()).expect("workload compiles");
+        let counts = unit.depend.counts();
+        for (t, c) in totals.iter_mut().zip(counts) {
+            *t += c;
+        }
+    }
+    let names = ["provably-doall", "doall-after-breaking", "carried", "unknown"];
+    for (name, total) in names.iter().zip(totals) {
+        assert!(total > 0, "no workload loop is classified `{name}`");
+    }
+}
+
+#[test]
+fn json_output_is_schema_versioned_and_deterministic() {
+    let w = kremlin_workloads::by_name("tracking").expect("workload exists");
+    let render = || {
+        let unit = kremlin::ir::compile(w.source, &w.file_name()).expect("workload compiles");
+        let diags = static_diagnostics(&unit);
+        to_json(&unit, &diags)
+    };
+    let a = render();
+    let b = render();
+    assert_eq!(a, b, "analyze JSON must be deterministic across runs");
+    assert!(
+        a.starts_with("{\"schema\":\"kremlin-analyze-v1\""),
+        "JSON must lead with the schema version: {}",
+        &a[..a.len().min(80)]
+    );
+    for key in ["\"source\":", "\"verdicts\":", "\"loops\":", "\"diagnostics\":"] {
+        assert!(a.contains(key), "JSON missing {key}");
+    }
+}

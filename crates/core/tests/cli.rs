@@ -382,3 +382,55 @@ fn no_break_deps_flag_changes_analysis() {
         "without breaking, the reduction loop must not appear DOALL: {off}"
     );
 }
+
+#[test]
+fn analyze_subcommand_lints_without_running() {
+    let src = write_temp(
+        "stencil.kc",
+        "float x[64];\n\
+         int main() {\n\
+           for (int i = 0; i < 64; i++) { x[i] = (float) i; }\n\
+           for (int i = 1; i < 64; i++) { x[i] = x[i-1] * 0.5; }\n\
+           return 0;\n\
+         }",
+    );
+    let out = kremlin().arg("analyze").arg(&src).output().expect("runs");
+    assert!(out.status.success(), "stderr: {}", String::from_utf8_lossy(&out.stderr));
+    let stdout = String::from_utf8_lossy(&out.stdout);
+    assert!(stdout.contains("static dependence analysis"), "{stdout}");
+    assert!(stdout.contains("K001"), "first loop should be proven DOALL: {stdout}");
+    assert!(stdout.contains("K003"), "second loop carries a dependence: {stdout}");
+    assert!(stdout.contains("distance 1"), "{stdout}");
+
+    // --json is schema-versioned and machine readable.
+    let out = kremlin().arg("analyze").arg(&src).arg("--json").output().expect("runs");
+    assert!(out.status.success());
+    let json = String::from_utf8_lossy(&out.stdout);
+    assert!(json.starts_with("{\"schema\":\"kremlin-analyze-v1\""), "{json}");
+    assert!(json.contains("\"verdict\":\"carried\""), "{json}");
+
+    // Usage errors exit 2.
+    let out = kremlin().arg("analyze").output().expect("runs");
+    assert_eq!(out.status.code(), Some(2));
+    let out = kremlin().arg("analyze").arg(&src).arg("--bogus").output().expect("runs");
+    assert_eq!(out.status.code(), Some(2));
+}
+
+#[test]
+fn audit_plan_flag_reports_consistency() {
+    let src = write_temp("audit.kc", DEMO);
+    let out = kremlin().arg(&src).arg("--audit-plan").output().expect("runs");
+    assert!(out.status.success(), "stderr: {}", String::from_utf8_lossy(&out.stderr));
+    let stdout = String::from_utf8_lossy(&out.stdout);
+    assert!(stdout.contains("plan audit"), "{stdout}");
+    assert!(!stdout.contains("K010"), "the demo DOALL must not be a hazard: {stdout}");
+}
+
+#[test]
+fn verify_ir_flag_confirms_verification() {
+    let src = write_temp("verify.kc", DEMO);
+    let out = kremlin().arg(&src).arg("--verify-ir").output().expect("runs");
+    let stderr = String::from_utf8_lossy(&out.stderr);
+    assert!(out.status.success(), "stderr: {stderr}");
+    assert!(stderr.contains("IR verified"), "{stderr}");
+}

@@ -162,7 +162,7 @@ mod tests {
         let f = graph(4, &[(0, 1), (0, 2), (1, 3), (2, 3)]);
         let cfg = Cfg::build(&f);
         assert_eq!(cfg.rpo[0], BlockId(0));
-        assert_eq!(*cfg.rpo.last().unwrap(), BlockId(3));
+        assert_eq!(*cfg.rpo.last().expect("RPO of a nonempty CFG is nonempty"), BlockId(3));
         assert_eq!(cfg.preds[3].len(), 2);
         assert_eq!(cfg.exits, vec![BlockId(3)]);
         assert!(cfg.is_reachable(BlockId(2)));

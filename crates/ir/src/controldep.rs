@@ -73,7 +73,7 @@ mod tests {
     }
 
     fn deps_for<'m>(m: &'m Module, fname: &str) -> (ControlDeps, &'m Function) {
-        let f = m.func_by_name(fname).unwrap();
+        let f = m.func_by_name(fname).expect("test source defines the requested function");
         let cfg = Cfg::build(f);
         let pdom = DomTree::post_dominators(&cfg);
         (control_deps(f, &cfg, &pdom), f)

@@ -1,0 +1,1156 @@
+//! Static loop-dependence analysis: classic dependence tests over affine
+//! subscripts, folded into a per-loop verdict lattice.
+//!
+//! For every loop region the analysis answers: *could iterations of this
+//! loop be executed in parallel?* The answer is one of four verdicts
+//! ([`LoopVerdict`]):
+//!
+//! * **`ProvablyDoall`** — no loop-carried dependence exists beyond the
+//!   loop's own induction variables (which parallelization privatizes via
+//!   their closed form, so they are free).
+//! * **`DoallAfterBreaking`** — the only carried dependences are the
+//!   induction/reduction variables `indvar` already detects and the
+//!   profiler breaks (paper §4.1); a `reduction(...)` clause makes the
+//!   loop DOALL.
+//! * **`Carried { distance }`** — a definite loop-carried dependence was
+//!   proven: an unconditional scalar recurrence (distance 1) or a memory
+//!   dependence whose distance the strong-SIV test pinned.
+//! * **`Unknown`** — a dependence *may* exist but could not be proven:
+//!   non-affine subscripts, data-dependent indices, possible aliasing
+//!   (array parameters), conditionally-updated accumulators, or calls
+//!   with unanalyzable effects.
+//!
+//! The memory tests are the textbook trio, applied per subscript
+//! dimension and intersected:
+//!
+//! * **ZIV** — both subscripts invariant: equal → dependence at every
+//!   distance, different → independent;
+//! * **strong SIV** — equal induction coefficients: the distance is
+//!   `Δc / (coeff·step)`, non-integral → independent, larger than the
+//!   trip count → independent;
+//! * **value-range + GCD fallback** — differing coefficients: disjoint
+//!   subscript ranges (from constant loop bounds) prove independence,
+//!   otherwise a GCD divisibility test either refutes the dependence or
+//!   gives up (`Unknown`).
+//!
+//! Base objects disambiguate cheaply: distinct globals never overlap,
+//! distinct stack arrays never overlap, globals and stack arrays never
+//! overlap, but array *parameters* may alias anything a caller could have
+//! passed. Calls inside a loop contribute their callee's transitive
+//! read/write object summary with unknown subscripts. Subscripts are
+//! assumed in-bounds per dimension (the interpreter traps on genuinely
+//! out-of-bounds accesses, so proofs match runtime behavior).
+
+use crate::affine::{self, AffineExpr, LoopCtx};
+use crate::cfg::Cfg;
+use crate::dom::DomTree;
+use crate::func::Function;
+use crate::ids::{AllocaId, BlockId, FuncId, GlobalId, RegionId, ValueId};
+use crate::indvar::{CarriedVar, IndvarInfo};
+use crate::instr::{InstrKind, Terminator};
+use crate::loops::find_loops;
+use crate::module::Module;
+use std::collections::{BTreeSet, HashMap};
+use std::fmt;
+
+/// The four-point verdict lattice for one loop region.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum LoopVerdict {
+    /// Iterations are independent; no dependence breaking needed.
+    ProvablyDoall,
+    /// DOALL once the detected induction/reduction variables are broken.
+    DoallAfterBreaking,
+    /// A definite loop-carried dependence; `distance` is the dependence
+    /// distance in iterations when a single constant distance was proven.
+    Carried {
+        /// Proven constant dependence distance, if unique.
+        distance: Option<i64>,
+    },
+    /// A dependence may exist but the analysis could not decide.
+    Unknown,
+}
+
+impl LoopVerdict {
+    /// Stable machine-readable name (used in JSON output and goldens).
+    pub fn name(&self) -> &'static str {
+        match self {
+            LoopVerdict::ProvablyDoall => "provably-doall",
+            LoopVerdict::DoallAfterBreaking => "doall-after-breaking",
+            LoopVerdict::Carried { .. } => "carried",
+            LoopVerdict::Unknown => "unknown",
+        }
+    }
+}
+
+impl fmt::Display for LoopVerdict {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            LoopVerdict::Carried { distance: Some(d) } => write!(f, "carried(d={d})"),
+            other => write!(f, "{}", other.name()),
+        }
+    }
+}
+
+/// One piece of evidence behind a verdict, for diagnostics.
+#[derive(Debug, Clone)]
+pub struct DepEvidence {
+    /// Human-readable description of the dependence (or obstacle).
+    pub detail: String,
+    /// Name of the memory object involved, if any.
+    pub object: Option<String>,
+    /// Dependence distance in iterations, when proven.
+    pub distance: Option<i64>,
+    /// True for proven dependences, false for may-dependences.
+    pub definite: bool,
+    /// 1-based source line the evidence anchors to.
+    pub line: u32,
+}
+
+/// Dependence analysis result for one loop region.
+#[derive(Debug, Clone)]
+pub struct LoopDependence {
+    /// The loop region this verdict describes.
+    pub region: RegionId,
+    /// The loop region's stable label (e.g. `main#L0`).
+    pub label: String,
+    /// The verdict.
+    pub verdict: LoopVerdict,
+    /// Number of induction variables detected (privatized for free).
+    pub inductions: usize,
+    /// Number of reduction accumulators detected (need breaking).
+    pub reductions: usize,
+    /// Evidence lines, deterministic order, capped.
+    pub evidence: Vec<DepEvidence>,
+}
+
+/// Module-wide static dependence analysis results.
+#[derive(Debug, Clone, Default)]
+pub struct DependenceInfo {
+    /// One entry per loop region, in region-ID order.
+    pub loops: Vec<LoopDependence>,
+}
+
+impl DependenceInfo {
+    /// The verdict for a loop region, if `region` is a loop.
+    pub fn verdict(&self, region: RegionId) -> Option<LoopVerdict> {
+        self.get(region).map(|l| l.verdict)
+    }
+
+    /// Full analysis record for a loop region.
+    pub fn get(&self, region: RegionId) -> Option<&LoopDependence> {
+        self.loops.iter().find(|l| l.region == region)
+    }
+
+    /// Verdict tallies `[provably-doall, after-breaking, carried, unknown]`.
+    pub fn counts(&self) -> [usize; 4] {
+        let mut c = [0usize; 4];
+        for l in &self.loops {
+            match l.verdict {
+                LoopVerdict::ProvablyDoall => c[0] += 1,
+                LoopVerdict::DoallAfterBreaking => c[1] += 1,
+                LoopVerdict::Carried { .. } => c[2] += 1,
+                LoopVerdict::Unknown => c[3] += 1,
+            }
+        }
+        c
+    }
+}
+
+/// A statically-disambiguated base memory object.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+enum MemObject {
+    /// A global array or scalar.
+    Global(GlobalId),
+    /// A stack allocation in a specific function's frame.
+    Alloca(FuncId, AllocaId),
+    /// Memory reachable through a pointer parameter: aliasing depends on
+    /// the caller, so it may overlap globals, other params, or a caller's
+    /// stack arrays.
+    Param(FuncId, u32),
+}
+
+/// Can two base objects overlap?
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+enum Alias {
+    Same,
+    Never,
+    May,
+}
+
+fn alias(a: MemObject, b: MemObject) -> Alias {
+    use MemObject::*;
+    if a == b {
+        return Alias::Same;
+    }
+    match (a, b) {
+        // Distinct globals, distinct same-frame allocas, and
+        // global-vs-stack never overlap.
+        (Global(_), Global(_)) | (Alloca(..), Alloca(..)) => Alias::Never,
+        (Global(_), Alloca(..)) | (Alloca(..), Global(_)) => Alias::Never,
+        // A parameter of function f cannot point into f's own fresh frame,
+        // but may alias globals or another parameter.
+        (Param(pf, _), Alloca(af, _)) | (Alloca(af, _), Param(pf, _)) if pf == af => Alias::Never,
+        _ => Alias::May,
+    }
+}
+
+/// What a function (transitively) reads and writes, for modeling calls
+/// inside loops. `Param` entries are translated at each call site.
+#[derive(Debug, Clone, Default)]
+struct FnSummary {
+    reads: BTreeSet<MemObject>,
+    writes: BTreeSet<MemObject>,
+    /// Reads/writes through a pointer we could not trace to an object.
+    unknown_reads: bool,
+    unknown_writes: bool,
+    /// Recursive or otherwise unanalyzable: treat as clobbering anything.
+    opaque: bool,
+}
+
+/// Resolved base of an address expression.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+enum Base {
+    Obj(MemObject),
+    Unknown,
+}
+
+fn resolve_base(f: &Function, mut v: ValueId) -> Base {
+    loop {
+        match &f.value(v).kind {
+            InstrKind::Gep { base, .. } => v = *base,
+            InstrKind::GlobalAddr(g) => return Base::Obj(MemObject::Global(*g)),
+            InstrKind::Alloca(a) => return Base::Obj(MemObject::Alloca(f.id, *a)),
+            InstrKind::Param(i) => return Base::Obj(MemObject::Param(f.id, *i)),
+            _ => return Base::Unknown,
+        }
+    }
+}
+
+/// Computes transitive read/write summaries for every function.
+fn function_summaries(m: &Module) -> Vec<FnSummary> {
+    #[derive(Clone, Copy, PartialEq)]
+    enum State {
+        Unvisited,
+        InProgress,
+        Done,
+    }
+    let mut summaries: Vec<FnSummary> = vec![FnSummary::default(); m.funcs.len()];
+    let mut state = vec![State::Unvisited; m.funcs.len()];
+
+    fn visit(m: &Module, fi: usize, summaries: &mut Vec<FnSummary>, state: &mut Vec<State>) {
+        if state[fi] != State::Unvisited {
+            if state[fi] == State::InProgress {
+                // Recursion: the cycle members become opaque below.
+                summaries[fi].opaque = true;
+            }
+            return;
+        }
+        state[fi] = State::InProgress;
+        let f = &m.funcs[fi];
+        let mut s = FnSummary::default();
+        for b in &f.blocks {
+            for &vi in &b.instrs {
+                match &f.value(vi).kind {
+                    InstrKind::Load(p) => match resolve_base(f, *p) {
+                        Base::Obj(o) => {
+                            s.reads.insert(o);
+                        }
+                        Base::Unknown => s.unknown_reads = true,
+                    },
+                    InstrKind::Store { ptr, .. } => match resolve_base(f, *ptr) {
+                        Base::Obj(o) => {
+                            s.writes.insert(o);
+                        }
+                        Base::Unknown => s.unknown_writes = true,
+                    },
+                    InstrKind::Call { func, args } => {
+                        let ci = func.index();
+                        visit(m, ci, summaries, state);
+                        if state[ci] != State::Done {
+                            // Recursive edge: summary incomplete.
+                            s.opaque = true;
+                            continue;
+                        }
+                        let callee = summaries[ci].clone();
+                        s.opaque |= callee.opaque;
+                        s.unknown_reads |= callee.unknown_reads;
+                        s.unknown_writes |= callee.unknown_writes;
+                        let map_obj = |o: MemObject| -> Option<Base> {
+                            match o {
+                                MemObject::Global(_) => Some(Base::Obj(o)),
+                                // Callee-frame memory is invisible to the
+                                // caller: it cannot alias anything here.
+                                MemObject::Alloca(af, _) if af == *func => None,
+                                MemObject::Alloca(..) => Some(Base::Obj(o)),
+                                MemObject::Param(pf, i) if pf == *func => args
+                                    .get(i as usize)
+                                    .map(|&a| resolve_base(f, a))
+                                    .or(Some(Base::Unknown)),
+                                MemObject::Param(..) => Some(Base::Obj(o)),
+                            }
+                        };
+                        for &o in &callee.reads {
+                            match map_obj(o) {
+                                Some(Base::Obj(mapped)) => {
+                                    s.reads.insert(mapped);
+                                }
+                                Some(Base::Unknown) => s.unknown_reads = true,
+                                None => {}
+                            }
+                        }
+                        for &o in &callee.writes {
+                            match map_obj(o) {
+                                Some(Base::Obj(mapped)) => {
+                                    s.writes.insert(mapped);
+                                }
+                                Some(Base::Unknown) => s.unknown_writes = true,
+                                None => {}
+                            }
+                        }
+                    }
+                    _ => {}
+                }
+            }
+        }
+        // Merge (recursion may have set `opaque` on a partial entry).
+        s.opaque |= summaries[fi].opaque;
+        summaries[fi] = s;
+        state[fi] = State::Done;
+    }
+
+    for fi in 0..m.funcs.len() {
+        visit(m, fi, &mut summaries, &mut state);
+    }
+    summaries
+}
+
+/// One memory reference inside the analyzed loop.
+struct MemRef {
+    object: MemObject,
+    /// `(stride, affine index or None)` per Gep dimension, outermost
+    /// first. `None` for the whole vector means the access pattern is
+    /// unknown (it came from a call summary).
+    dims: Option<Vec<(u32, Option<AffineExpr>)>>,
+    is_store: bool,
+    /// Executes on every iteration that completes (block dominates the
+    /// latch); required for *definite* dependence claims.
+    unconditional: bool,
+    line: u32,
+}
+
+/// Outcome of testing one pair of references.
+#[derive(Debug, Clone, Copy, PartialEq)]
+enum PairDep {
+    /// No dependence possible at any non-zero distance.
+    Independent,
+    /// Definite carried dependence (distance pinned when `Some`).
+    Proven(Option<i64>),
+    /// Possible carried dependence.
+    May,
+}
+
+/// Per-dimension constraint from one subscript pair.
+#[derive(Debug, Clone, Copy, PartialEq)]
+enum DimDep {
+    Independent,
+    Exact(i64),
+    All,
+    May,
+}
+
+/// Runs the static dependence analysis for a whole module.
+pub fn analyze_module(m: &Module, indvars: &[IndvarInfo]) -> DependenceInfo {
+    let _span = kremlin_obs::span("depend");
+    let summaries = function_summaries(m);
+    let mut loops = Vec::new();
+    for f in &m.funcs {
+        analyze_function(m, f, indvars.get(f.id.index()), &summaries, &mut loops);
+    }
+    loops.sort_by_key(|l| l.region);
+    let info = DependenceInfo { loops };
+    let c = info.counts();
+    kremlin_obs::counter!("analyze.verdict.provably_doall").add(c[0] as u64);
+    kremlin_obs::counter!("analyze.verdict.doall_after_breaking").add(c[1] as u64);
+    kremlin_obs::counter!("analyze.verdict.carried").add(c[2] as u64);
+    kremlin_obs::counter!("analyze.verdict.unknown").add(c[3] as u64);
+    info
+}
+
+const MAX_EVIDENCE: usize = 8;
+
+fn analyze_function(
+    m: &Module,
+    f: &Function,
+    indvars: Option<&IndvarInfo>,
+    summaries: &[FnSummary],
+    out: &mut Vec<LoopDependence>,
+) {
+    if f.loops.is_empty() {
+        return;
+    }
+    let cfg = Cfg::build(f);
+    let dom = DomTree::dominators(&cfg);
+    let natural = find_loops(f, &cfg, &dom);
+    let live = affine::live_values(f);
+    let value_block = affine::value_blocks(f);
+    let empty = IndvarInfo::default();
+    let indvars = indvars.unwrap_or(&empty);
+
+    for meta in &f.loops {
+        let Some(nl) = natural.iter().find(|l| l.header == meta.header) else {
+            continue; // lowering metadata without a CFG loop (cannot happen)
+        };
+        // Phis indvar classified for THIS loop region.
+        let classified: HashMap<ValueId, (ValueId, CarriedVar)> = indvars
+            .vars
+            .iter()
+            .filter(|(r, _, _, _)| *r == meta.region)
+            .map(|(_, phi, upd, c)| (*phi, (*upd, *c)))
+            .collect();
+        let induction_phis: Vec<(ValueId, ValueId)> = classified
+            .iter()
+            .filter(|(_, (_, c))| *c == CarriedVar::Induction)
+            .map(|(phi, (upd, _))| (*phi, *upd))
+            .collect();
+        let ctx = LoopCtx::build(f, meta, &nl.blocks, &induction_phis);
+
+        let mut evidence: Vec<DepEvidence> = Vec::new();
+        let mut definite: Vec<Option<i64>> = Vec::new();
+        let mut may = false;
+        let mut inductions = 0usize;
+        let mut reductions = 0usize;
+
+        // ---- scalar loop-carried state (header phis) --------------------
+        scalar_deps(
+            f,
+            meta,
+            &ctx,
+            &dom,
+            &live,
+            &value_block,
+            &classified,
+            &mut inductions,
+            &mut reductions,
+            &mut definite,
+            &mut may,
+            &mut evidence,
+        );
+
+        // ---- memory references ------------------------------------------
+        let refs = collect_refs(f, &ctx, &dom, meta.latch, summaries, &value_block, &mut may);
+        if refs.is_none() {
+            // An opaque call: anything could happen.
+            may = true;
+            push_evidence(
+                &mut evidence,
+                DepEvidence {
+                    detail: "loop contains a call with unanalyzable (recursive) effects".into(),
+                    object: None,
+                    distance: None,
+                    definite: false,
+                    line: m.regions.info(meta.region).span.line_start,
+                },
+            );
+        }
+        let refs = refs.unwrap_or_default();
+        for i in 0..refs.len() {
+            for j in i..refs.len() {
+                let (a, b) = (&refs[i], &refs[j]);
+                if !a.is_store && !b.is_store {
+                    continue; // read-read pairs never constrain
+                }
+                match test_pair(a, b, &ctx) {
+                    PairDep::Independent => {}
+                    PairDep::Proven(d) => {
+                        definite.push(d);
+                        push_evidence(
+                            &mut evidence,
+                            DepEvidence {
+                                detail: match d {
+                                    Some(d) => format!(
+                                        "loop-carried memory dependence on `{}` (distance {d})",
+                                        object_name(m, f, a.object)
+                                    ),
+                                    None => format!(
+                                        "loop-carried memory dependence on `{}` (same location \
+                                         every iteration)",
+                                        object_name(m, f, a.object)
+                                    ),
+                                },
+                                object: Some(object_name(m, f, a.object)),
+                                distance: d,
+                                definite: true,
+                                line: a.line.min(b.line),
+                            },
+                        );
+                    }
+                    PairDep::May => {
+                        may = true;
+                        push_evidence(
+                            &mut evidence,
+                            DepEvidence {
+                                detail: format!(
+                                    "possible loop-carried dependence on `{}` \
+                                     (unprovable subscripts or aliasing)",
+                                    object_name(m, f, a.object)
+                                ),
+                                object: Some(object_name(m, f, a.object)),
+                                distance: None,
+                                definite: false,
+                                line: a.line.min(b.line),
+                            },
+                        );
+                    }
+                }
+            }
+        }
+
+        // ---- fold into the verdict --------------------------------------
+        let verdict = if !definite.is_empty() {
+            // Prefer a pinned distance; several distinct distances → None.
+            let mut dists: Vec<i64> = definite.iter().flatten().map(|d| d.abs()).collect();
+            dists.sort_unstable();
+            dists.dedup();
+            let distance = match (dists.len(), definite.iter().all(|d| d.is_some())) {
+                (1, true) => Some(dists[0]),
+                _ => None,
+            };
+            LoopVerdict::Carried { distance }
+        } else if may {
+            LoopVerdict::Unknown
+        } else if reductions > 0 {
+            LoopVerdict::DoallAfterBreaking
+        } else {
+            LoopVerdict::ProvablyDoall
+        };
+
+        out.push(LoopDependence {
+            region: meta.region,
+            label: m.regions.info(meta.region).label.clone(),
+            verdict,
+            inductions,
+            reductions,
+            evidence,
+        });
+    }
+}
+
+fn push_evidence(evidence: &mut Vec<DepEvidence>, e: DepEvidence) {
+    if evidence.len() < MAX_EVIDENCE && !evidence.iter().any(|x| x.detail == e.detail) {
+        evidence.push(e);
+    }
+}
+
+/// Classifies the loop's header phis: inductions are free, reductions are
+/// breakable, anything else live is loop-carried scalar state.
+#[allow(clippy::too_many_arguments)]
+fn scalar_deps(
+    f: &Function,
+    meta: &crate::func::LoopMeta,
+    ctx: &LoopCtx,
+    dom: &DomTree,
+    live: &[bool],
+    value_block: &HashMap<ValueId, BlockId>,
+    classified: &HashMap<ValueId, (ValueId, CarriedVar)>,
+    inductions: &mut usize,
+    reductions: &mut usize,
+    definite: &mut Vec<Option<i64>>,
+    may: &mut bool,
+    evidence: &mut Vec<DepEvidence>,
+) {
+    let header_instrs = &f.block(meta.header).instrs;
+    for &phi in header_instrs {
+        let vd = f.value(phi);
+        let InstrKind::Phi { incoming } = &vd.kind else { continue };
+        if !live[phi.index()] {
+            continue; // dead minimal-SSA phi: not real dataflow
+        }
+        let mut next = None;
+        for &(pred, v) in incoming {
+            if ctx.blocks.contains(&pred) {
+                next = Some(v);
+            }
+        }
+        let Some(next) = next else { continue };
+        if next == phi {
+            continue; // unchanged in the loop
+        }
+        if let Some((_, class)) = classified.get(&phi) {
+            match class {
+                CarriedVar::Induction => *inductions += 1,
+                CarriedVar::Reduction => *reductions += 1,
+            }
+            continue;
+        }
+        // An unclassified carried scalar. Count its in-loop uses by
+        // non-phi consumers; a phi used only after the loop exits is a
+        // last-value copy (lastprivate), not a carried dependence.
+        let mut uses_in_loop = 0usize;
+        let mut unconditional_use = false;
+        let mut ops = Vec::new();
+        for &blk in &ctx.blocks {
+            let b = f.block(blk);
+            for &vi in &b.instrs {
+                let ud = f.value(vi);
+                if matches!(ud.kind, InstrKind::Phi { .. }) {
+                    continue;
+                }
+                ops.clear();
+                ud.kind.operands(&mut ops);
+                if ops.contains(&phi) {
+                    uses_in_loop += 1;
+                    if dom.dominates(blk, meta.latch) {
+                        unconditional_use = true;
+                    }
+                }
+            }
+            if let Some(Terminator::CondBr { cond, .. }) = &b.term {
+                if *cond == phi {
+                    uses_in_loop += 1;
+                    if dom.dominates(blk, meta.latch) {
+                        unconditional_use = true;
+                    }
+                }
+            }
+        }
+        if uses_in_loop == 0 {
+            continue; // last-value only: privatizable
+        }
+        // Definite recurrence: updated AND consumed on every iteration.
+        let unconditional_update = !matches!(f.value(next).kind, InstrKind::Phi { .. })
+            && value_block.get(&next).is_some_and(|b| dom.dominates(*b, meta.latch));
+        if unconditional_update && unconditional_use {
+            definite.push(Some(1));
+            push_evidence(
+                evidence,
+                DepEvidence {
+                    detail: format!(
+                        "loop-carried scalar recurrence through {phi} (each iteration reads the \
+                         previous iteration's value)"
+                    ),
+                    object: None,
+                    distance: Some(1),
+                    definite: true,
+                    line: f.value(next).span.line_start,
+                },
+            );
+        } else {
+            *may = true;
+            push_evidence(
+                evidence,
+                DepEvidence {
+                    detail: format!(
+                        "conditionally-updated scalar {phi} may carry a dependence across \
+                         iterations"
+                    ),
+                    object: None,
+                    distance: None,
+                    definite: false,
+                    line: f.value(next).span.line_start,
+                },
+            );
+        }
+    }
+}
+
+/// Collects the loop's memory references (direct loads/stores plus call
+/// summaries). Returns `None` when an opaque call makes the loop's effects
+/// unanalyzable.
+#[allow(clippy::too_many_arguments)]
+fn collect_refs(
+    f: &Function,
+    ctx: &LoopCtx,
+    dom: &DomTree,
+    latch: BlockId,
+    summaries: &[FnSummary],
+    value_block: &HashMap<ValueId, BlockId>,
+    may: &mut bool,
+) -> Option<Vec<MemRef>> {
+    let mut refs = Vec::new();
+    let mut memo: HashMap<ValueId, Option<AffineExpr>> = HashMap::new();
+    let mut blocks: Vec<BlockId> = ctx.blocks.iter().copied().collect();
+    blocks.sort();
+    for blk in blocks {
+        let unconditional = dom.dominates(blk, latch);
+        for &vi in &f.block(blk).instrs {
+            let vd = f.value(vi);
+            let line = vd.span.line_start;
+            match &vd.kind {
+                InstrKind::Load(p) | InstrKind::Store { ptr: p, .. } => {
+                    let is_store = matches!(vd.kind, InstrKind::Store { .. });
+                    match resolve_base(f, *p) {
+                        Base::Obj(object) => refs.push(MemRef {
+                            object,
+                            dims: Some(subscripts(f, ctx, value_block, *p, &mut memo)),
+                            is_store,
+                            unconditional,
+                            line,
+                        }),
+                        Base::Unknown => {
+                            // Address from an unknown source: give up on
+                            // provenances involving it.
+                            *may = true;
+                        }
+                    }
+                }
+                InstrKind::Call { func, .. } => {
+                    let s = &summaries[func.index()];
+                    if s.opaque {
+                        return None;
+                    }
+                    if s.unknown_writes || (s.unknown_reads && !s.writes.is_empty()) {
+                        *may = true;
+                    }
+                    for (set, is_store) in [(&s.reads, false), (&s.writes, true)] {
+                        for &o in set.iter() {
+                            // Map callee-namespace objects into this frame.
+                            let mapped = match o {
+                                MemObject::Param(pf, i) if pf == *func => {
+                                    // Translate through the call's argument.
+                                    let InstrKind::Call { args, .. } = &vd.kind else {
+                                        unreachable!("matched Call above")
+                                    };
+                                    match args.get(i as usize).map(|&a| resolve_base(f, a)) {
+                                        Some(Base::Obj(obj)) => Some(obj),
+                                        _ => {
+                                            *may = true;
+                                            None
+                                        }
+                                    }
+                                }
+                                MemObject::Alloca(af, _) if af == *func => None,
+                                other => Some(other),
+                            };
+                            if let Some(object) = mapped {
+                                refs.push(MemRef {
+                                    object,
+                                    dims: None,
+                                    is_store,
+                                    unconditional: false,
+                                    line,
+                                });
+                            }
+                        }
+                    }
+                }
+                _ => {}
+            }
+        }
+    }
+    Some(refs)
+}
+
+/// Unwraps a Gep chain into `(stride, affine index)` dimensions,
+/// outermost (first-applied) dimension first.
+fn subscripts(
+    f: &Function,
+    ctx: &LoopCtx,
+    value_block: &HashMap<ValueId, BlockId>,
+    mut p: ValueId,
+    memo: &mut HashMap<ValueId, Option<AffineExpr>>,
+) -> Vec<(u32, Option<AffineExpr>)> {
+    let mut dims = Vec::new();
+    while let InstrKind::Gep { base, index, stride } = &f.value(p).kind {
+        dims.push((*stride, affine::summarize(f, ctx, value_block, *index, memo)));
+        p = *base;
+    }
+    dims.reverse();
+    dims
+}
+
+fn object_name(m: &Module, f: &Function, o: MemObject) -> String {
+    match o {
+        MemObject::Global(g) => m.global(g).name.clone(),
+        MemObject::Alloca(af, a) => {
+            if af == f.id {
+                f.allocas[a.index()].name.clone()
+            } else {
+                format!("{}:{}", m.func(af).name, m.func(af).allocas[a.index()].name)
+            }
+        }
+        MemObject::Param(pf, i) => format!("{} parameter {i}", m.func(pf).name),
+    }
+}
+
+/// Tests one pair of references for a loop-carried dependence.
+fn test_pair(a: &MemRef, b: &MemRef, ctx: &LoopCtx) -> PairDep {
+    match alias(a.object, b.object) {
+        Alias::Never => return PairDep::Independent,
+        Alias::May => return PairDep::May,
+        Alias::Same => {}
+    }
+    let (Some(da), Some(db)) = (&a.dims, &b.dims) else {
+        return PairDep::May; // whole-object access from a call summary
+    };
+    let dims = if da.len() == db.len() && da.iter().zip(db).all(|(x, y)| x.0 == y.0) {
+        // Matching shapes: test dimension by dimension.
+        da.iter()
+            .zip(db)
+            .map(|((_, ea), (_, eb))| match (ea, eb) {
+                (Some(ea), Some(eb)) => test_dim(ea, eb, ctx),
+                _ => DimDep::May,
+            })
+            .collect::<Vec<_>>()
+    } else {
+        // Shape mismatch (e.g. linearized vs 2-D): compare total offsets.
+        match (linearize(da), linearize(db)) {
+            (Some(ea), Some(eb)) => vec![test_dim(&ea, &eb, ctx)],
+            _ => vec![DimDep::May],
+        }
+    };
+
+    // Intersect the per-dimension constraints: a dependence needs every
+    // dimension to agree simultaneously.
+    let mut exact: Option<i64> = None;
+    let mut any_may = false;
+    for d in dims {
+        match d {
+            DimDep::Independent => return PairDep::Independent,
+            DimDep::Exact(d) => match exact {
+                Some(prev) if prev != d => return PairDep::Independent,
+                _ => exact = Some(d),
+            },
+            DimDep::All => {}
+            DimDep::May => any_may = true,
+        }
+    }
+    match exact {
+        // Some dimension pins the distance: 0 means any dependence is
+        // loop-independent — it cannot cross iterations.
+        Some(0) => PairDep::Independent,
+        Some(d) => {
+            if !any_may && a.unconditional && b.unconditional {
+                PairDep::Proven(Some(d))
+            } else {
+                PairDep::May
+            }
+        }
+        None => {
+            if !any_may && a.unconditional && b.unconditional {
+                PairDep::Proven(None) // ZIV-equal on every dimension
+            } else {
+                PairDep::May
+            }
+        }
+    }
+}
+
+/// Folds a Gep dimension list into one affine total-offset expression.
+fn linearize(dims: &[(u32, Option<AffineExpr>)]) -> Option<AffineExpr> {
+    let mut total = AffineExpr::default();
+    for (stride, e) in dims {
+        let scaled = e.clone()?.scale(*stride as i64)?;
+        total = total.plus(&scaled)?;
+    }
+    Some(total)
+}
+
+/// Classic dependence tests for one subscript dimension.
+fn test_dim(e1: &AffineExpr, e2: &AffineExpr, ctx: &LoopCtx) -> DimDep {
+    // Symbolic parts must cancel: symbols are loop-invariant, so equal
+    // multisets contribute identically at every iteration.
+    let Some(diff) = e2.sub(e1) else { return DimDep::May };
+    if !diff.syms.is_empty() {
+        return DimDep::May;
+    }
+    let dc = diff.cst; // c2 - c1
+
+    if e1.terms == e2.terms {
+        // Common-coefficient path: initial values cancel, only strides
+        // matter. Per-iteration advance A = Σ coeff·step.
+        let mut advance: Option<i64> = Some(0);
+        for &(phi, coeff) in &e1.terms {
+            let step = ctx.inductions.get(&phi).and_then(|i| i.step);
+            advance = match (advance, step) {
+                (Some(acc), Some(s)) => coeff.checked_mul(s).and_then(|x| acc.checked_add(x)),
+                _ => None,
+            };
+        }
+        return match advance {
+            Some(0) => {
+                // ZIV (or mutually-cancelling strides): the subscript is
+                // the same expression every iteration.
+                if dc == 0 {
+                    DimDep::All
+                } else {
+                    DimDep::Independent
+                }
+            }
+            Some(a) => {
+                // Strong SIV: distance must be exactly Δc / A.
+                if dc % a != 0 {
+                    return DimDep::Independent;
+                }
+                let d = dc / a;
+                if let Some(trip) = min_trip(e1, ctx) {
+                    if d.abs() >= trip {
+                        return DimDep::Independent; // beyond the iteration space
+                    }
+                }
+                DimDep::Exact(d)
+            }
+            None => {
+                // Unknown stride: only the zero-distance case is decidable.
+                if dc == 0 {
+                    DimDep::Exact(0)
+                } else {
+                    DimDep::May
+                }
+            }
+        };
+    }
+
+    // Differing coefficients. First try the value-range test: with
+    // constant loop bounds the two subscripts each span a known interval;
+    // disjoint intervals mean the references can never collide.
+    if let (Some((lo1, hi1)), Some((lo2, hi2))) = (value_range(e1, ctx), value_range(e2, ctx)) {
+        if hi1 < lo2 || hi2 < lo1 {
+            return DimDep::Independent;
+        }
+    }
+
+    // GCD fallback in iteration space: with phi(k) = init + step·k the
+    // collision equation is A1·k1 − A2·k2 = −C; solvable over ℤ only if
+    // gcd(A1, A2) divides C.
+    let ks1 = k_space(e1, ctx);
+    let ks2 = k_space(e2, ctx);
+    if let (Some((a1, c1)), Some((a2, c2))) = (ks1, ks2) {
+        let c = c2 - c1;
+        if a1 == a2 {
+            if a1 == 0 {
+                return if c == 0 { DimDep::All } else { DimDep::Independent };
+            }
+            if c % a1 != 0 {
+                return DimDep::Independent;
+            }
+            return DimDep::Exact(c / a1);
+        }
+        let g = gcd(a1.unsigned_abs(), a2.unsigned_abs());
+        if g != 0 && c.unsigned_abs() % g != 0 {
+            return DimDep::Independent;
+        }
+    }
+    DimDep::May
+}
+
+/// Rewrites an affine expression into iteration space: `A·k + C`, using
+/// `phi(k) = init + step·k`. Requires constant steps and inits.
+fn k_space(e: &AffineExpr, ctx: &LoopCtx) -> Option<(i64, i64)> {
+    let mut a = 0i64;
+    let mut c = e.cst;
+    for &(phi, coeff) in &e.terms {
+        let ind = ctx.inductions.get(&phi)?;
+        a = a.checked_add(coeff.checked_mul(ind.step?)?)?;
+        c = c.checked_add(coeff.checked_mul(ind.init?)?)?;
+    }
+    Some((a, c))
+}
+
+/// Interval a subscript expression spans across the whole iteration
+/// space, when every induction phi involved has a known value range.
+fn value_range(e: &AffineExpr, ctx: &LoopCtx) -> Option<(i64, i64)> {
+    let (mut lo, mut hi) = (e.cst, e.cst);
+    if !e.syms.is_empty() {
+        return None;
+    }
+    for &(phi, coeff) in &e.terms {
+        let (rlo, rhi) = ctx.inductions.get(&phi)?.range?;
+        if rlo > rhi {
+            return None; // loop never runs; no meaningful range
+        }
+        let (a, b) = (coeff.checked_mul(rlo)?, coeff.checked_mul(rhi)?);
+        lo = lo.checked_add(a.min(b))?;
+        hi = hi.checked_add(a.max(b))?;
+    }
+    Some((lo, hi))
+}
+
+/// Smallest known trip count among the induction phis used by `e`.
+fn min_trip(e: &AffineExpr, ctx: &LoopCtx) -> Option<i64> {
+    e.terms.iter().filter_map(|(phi, _)| ctx.inductions.get(phi).and_then(|i| i.trip)).min()
+}
+
+fn gcd(mut a: u64, mut b: u64) -> u64 {
+    while b != 0 {
+        let t = a % b;
+        a = b;
+        b = t;
+    }
+    a
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn verdicts(src: &str) -> Vec<(String, LoopVerdict)> {
+        let unit = crate::compile(src, "t.kc").expect("test source compiles");
+        unit.depend.loops.iter().map(|l| (l.label.clone(), l.verdict)).collect()
+    }
+
+    fn verdict_of<'a>(vs: &'a [(String, LoopVerdict)], label: &str) -> &'a LoopVerdict {
+        &vs.iter().find(|(l, _)| l == label).unwrap_or_else(|| panic!("no loop {label}: {vs:?}")).1
+    }
+
+    #[test]
+    fn independent_stores_are_provably_doall() {
+        let vs = verdicts(
+            "float a[64]; float b[64];\n\
+             int main() { for (int i = 0; i < 64; i++) { a[i] = b[i] * 2.0; } return 0; }",
+        );
+        assert_eq!(*verdict_of(&vs, "main#L0"), LoopVerdict::ProvablyDoall);
+    }
+
+    #[test]
+    fn reduction_is_doall_after_breaking() {
+        let vs = verdicts(
+            "float a[64];\n\
+             int main() { float s = 0.0; for (int i = 0; i < 64; i++) { s += a[i]; } return (int) s; }",
+        );
+        assert_eq!(*verdict_of(&vs, "main#L0"), LoopVerdict::DoallAfterBreaking);
+    }
+
+    #[test]
+    fn stencil_distance_is_detected() {
+        let vs = verdicts(
+            "float x[512];\n\
+             int main() { for (int i = 1; i < 512; i++) { x[i] = x[i - 1] * 0.5; } return 0; }",
+        );
+        assert_eq!(*verdict_of(&vs, "main#L0"), LoopVerdict::Carried { distance: Some(1) });
+    }
+
+    #[test]
+    fn wider_stencil_distance() {
+        let vs = verdicts(
+            "float x[512];\n\
+             int main() { for (int i = 3; i < 512; i++) { x[i] = x[i - 3] + 1.0; } return 0; }",
+        );
+        assert_eq!(*verdict_of(&vs, "main#L0"), LoopVerdict::Carried { distance: Some(3) });
+    }
+
+    #[test]
+    fn scalar_recurrence_is_carried() {
+        let vs = verdicts(
+            "int main() { int s = 1; for (int i = 0; i < 9; i++) { s = s * 3 % 7; } return s; }",
+        );
+        assert_eq!(*verdict_of(&vs, "main#L0"), LoopVerdict::Carried { distance: Some(1) });
+    }
+
+    #[test]
+    fn data_dependent_subscript_is_unknown() {
+        let vs = verdicts(
+            "int h[64]; int k[64];\n\
+             int main() { for (int i = 0; i < 64; i++) { h[k[i]] = h[k[i]] + 1; } return 0; }",
+        );
+        assert_eq!(*verdict_of(&vs, "main#L0"), LoopVerdict::Unknown);
+    }
+
+    #[test]
+    fn read_only_loops_have_no_memory_deps() {
+        let vs = verdicts(
+            "float a[64];\n\
+             int main() { float s = 0.0; for (int i = 0; i < 64; i++) { s += a[i] * a[63 - i]; } return (int) s; }",
+        );
+        assert_eq!(*verdict_of(&vs, "main#L0"), LoopVerdict::DoallAfterBreaking);
+    }
+
+    #[test]
+    fn range_test_separates_mirrored_stores() {
+        // a[i] and a[63 - i] both stored, but i < 16 keeps them disjoint.
+        let vs = verdicts(
+            "float a[64];\n\
+             int main() { for (int i = 0; i < 16; i++) { a[i] = 1.0; a[63 - i] = 2.0; } return 0; }",
+        );
+        assert_eq!(*verdict_of(&vs, "main#L0"), LoopVerdict::ProvablyDoall);
+    }
+
+    #[test]
+    fn gcd_test_separates_interleaved_strides() {
+        // a[2i] written, a[2i + 1] read: even vs odd never collide.
+        let vs = verdicts(
+            "float a[128];\n\
+             int main() { for (int i = 0; i < 63; i++) { a[i * 2] = a[i * 2 + 1]; } return 0; }",
+        );
+        assert_eq!(*verdict_of(&vs, "main#L0"), LoopVerdict::ProvablyDoall);
+    }
+
+    #[test]
+    fn outer_loop_of_row_disjoint_nest_is_doall() {
+        // Inner index j is non-affine for the outer loop, but the row
+        // dimension pins the distance to 0: no carried dependence.
+        let vs = verdicts(
+            "float m[16][16];\n\
+             int main() {\n\
+               for (int i = 0; i < 16; i++) {\n\
+                 for (int j = 0; j < 16; j++) { m[i][j] = (float)(i + j); }\n\
+               }\n\
+               return 0;\n\
+             }",
+        );
+        assert_eq!(*verdict_of(&vs, "main#L0"), LoopVerdict::ProvablyDoall);
+        assert_eq!(*verdict_of(&vs, "main#L1"), LoopVerdict::ProvablyDoall);
+    }
+
+    #[test]
+    fn distinct_globals_never_alias() {
+        let vs = verdicts(
+            "float a[32]; float b[32];\n\
+             int main() { for (int i = 0; i < 32; i++) { a[i] = b[31 - i]; } return 0; }",
+        );
+        assert_eq!(*verdict_of(&vs, "main#L0"), LoopVerdict::ProvablyDoall);
+    }
+
+    #[test]
+    fn array_params_may_alias() {
+        // Writing through one parameter while reading another: a caller
+        // could pass the same array twice, so this stays Unknown.
+        let vs = verdicts(
+            "float g[32]; float h[32];\n\
+             void axpy(float x[], float y[]) { for (int i = 1; i < 32; i++) { y[i] = x[i - 1]; } }\n\
+             int main() { axpy(g, h); axpy(g, g); return 0; }",
+        );
+        assert_eq!(*verdict_of(&vs, "axpy#L0"), LoopVerdict::Unknown);
+    }
+
+    #[test]
+    fn conditional_accumulator_is_unknown_not_carried() {
+        let vs = verdicts(
+            "int a[64];\n\
+             int main() { int n = 0; for (int i = 0; i < 64; i++) { if (a[i] > 3) { n = n + a[i] % 5; } } return n; }",
+        );
+        assert_eq!(*verdict_of(&vs, "main#L0"), LoopVerdict::Unknown);
+    }
+
+    #[test]
+    fn call_effects_flow_into_caller_loops() {
+        // touch() writes g[0] every call: the caller's loop carries a
+        // dependence through it (whole-object summary → Unknown).
+        let vs = verdicts(
+            "float g[8];\n\
+             void touch() { g[0] = g[0] + 1.0; }\n\
+             int main() { for (int i = 0; i < 9; i++) { touch(); } return 0; }",
+        );
+        assert_eq!(*verdict_of(&vs, "main#L0"), LoopVerdict::Unknown);
+    }
+
+    #[test]
+    fn recursive_calls_are_opaque() {
+        let vs = verdicts(
+            "int f(int n) { if (n < 2) { return 1; } return n * f(n - 1); }\n\
+             int main() { int s = 0; for (int i = 0; i < 6; i++) { s += f(4); } return s; }",
+        );
+        assert_eq!(*verdict_of(&vs, "main#L0"), LoopVerdict::Unknown);
+    }
+
+    #[test]
+    fn verdict_display_and_counts() {
+        assert_eq!(LoopVerdict::ProvablyDoall.to_string(), "provably-doall");
+        assert_eq!(LoopVerdict::Carried { distance: Some(2) }.to_string(), "carried(d=2)");
+        assert_eq!(LoopVerdict::Carried { distance: None }.to_string(), "carried");
+        let vs = verdicts(
+            "float a[64];\n\
+             int main() { for (int i = 0; i < 64; i++) { a[i] = 1.0; } return 0; }",
+        );
+        assert_eq!(vs.len(), 1);
+    }
+}

@@ -27,8 +27,10 @@
 //! # Ok::<(), kremlin_ir::CompileError>(())
 //! ```
 
+pub mod affine;
 pub mod cfg;
 pub mod controldep;
+pub mod depend;
 pub mod dom;
 pub mod func;
 pub mod ids;
@@ -43,6 +45,7 @@ pub mod printer;
 pub mod regions;
 pub mod verify;
 
+pub use depend::{DepEvidence, DependenceInfo, LoopDependence, LoopVerdict};
 pub use func::Function;
 pub use ids::{AllocaId, BlockId, FuncId, GlobalId, LoopId, RegionId, ValueId};
 pub use instr::{BinOp, Cmp, InstrKind, Intrinsic, Terminator, Ty, UnOp};
@@ -61,6 +64,8 @@ pub struct CompiledUnit {
     pub indvars: Vec<indvar::IndvarInfo>,
     /// Per-function mem2reg statistics, indexed by [`FuncId`].
     pub mem2reg: Vec<mem2reg::Mem2RegStats>,
+    /// Static loop-dependence verdicts for every loop region.
+    pub depend: depend::DependenceInfo,
 }
 
 impl CompiledUnit {
@@ -133,10 +138,11 @@ pub fn compile(src: &str, source_name: &str) -> Result<CompiledUnit, CompileErro
         indvars.push(indvar::analyze(f));
     }
     verify::verify_module(&module)?;
+    let depend = depend::analyze_module(&module, &indvars);
     kremlin_obs::counter!("ir.funcs").add(module.funcs.len() as u64);
     kremlin_obs::counter!("ir.regions").add(module.regions.len() as u64);
     kremlin_obs::counter!("ir.promoted_allocas").add(m2r.iter().map(|s| s.promoted as u64).sum());
-    Ok(CompiledUnit { module, indvars, mem2reg: m2r })
+    Ok(CompiledUnit { module, indvars, mem2reg: m2r, depend })
 }
 
 /// [`compile`] followed by the marker-preserving cleanup passes of
@@ -174,7 +180,7 @@ mod tests {
              }",
             "dot.kc",
         )
-        .unwrap();
+        .expect("test source compiles");
         assert_eq!(unit.module.funcs.len(), 2);
         // dot: func + loop + body; main: func + loop + body
         assert_eq!(unit.module.regions.len(), 6);
@@ -196,7 +202,7 @@ mod tests {
              int main() { return fact(10); }",
             "fact.kc",
         )
-        .unwrap();
+        .expect("test source compiles");
         assert_eq!(unit.module.regions.len(), 2); // two function regions
     }
 }

@@ -121,8 +121,10 @@ mod tests {
         let dom = DomTree::dominators(&cfg);
         let loops = find_loops(&f, &cfg, &dom);
         assert_eq!(loops.len(), 2);
-        let inner = loops.iter().position(|l| l.header == BlockId(2)).unwrap();
-        let outer = loops.iter().position(|l| l.header == BlockId(1)).unwrap();
+        let inner =
+            loops.iter().position(|l| l.header == BlockId(2)).expect("inner loop headed at bb2");
+        let outer =
+            loops.iter().position(|l| l.header == BlockId(1)).expect("outer loop headed at bb1");
         assert_eq!(loops[inner].parent, Some(outer));
         assert_eq!(loops[outer].parent, None);
         assert!(loops[outer].contains(BlockId(4)));
@@ -134,7 +136,7 @@ mod tests {
         let prog = kremlin_minic::compile_frontend(
             "int main() { int s = 0; for (int i = 0; i < 3; i++) { for (int j = 0; j < 3; j++) { s += j; } } return s; }",
         )
-        .unwrap();
+        .expect("test source compiles");
         let m = lower(&prog, "t.kc");
         let f = &m.funcs[0];
         let cfg = Cfg::build(f);

@@ -792,12 +792,17 @@ mod tests {
         );
         // main, L0, L0b, L1, L1b
         assert_eq!(m.regions.len(), 5);
-        let l1 = m.regions.by_label("main#L1").unwrap();
-        let l0b = m.regions.by_label("main#L0b").unwrap();
+        let l1 = m.regions.by_label("main#L1").expect("lowering labels the second loop main#L1");
+        let l0b =
+            m.regions.by_label("main#L0b").expect("lowering labels the first loop body main#L0b");
         assert_eq!(m.regions.info(l1).parent, Some(l0b));
         let f = &m.funcs[0];
         assert_eq!(f.loops.len(), 2);
-        let inner = f.loops.iter().find(|l| l.region == l1).unwrap();
+        let inner = f
+            .loops
+            .iter()
+            .find(|l| l.region == l1)
+            .expect("loop metadata exists for region main#L1");
         assert!(inner.parent.is_some());
     }
 
@@ -833,7 +838,7 @@ mod tests {
             "int f() { for (int i = 0; i < 4; i++) { for (int j = 0; j < 4; j++) { if (j == 2) { return j; } } } return 0; }\
              int main() { return f(); }",
         );
-        let f = m.func_by_name("f").unwrap();
+        let f = m.func_by_name("f").expect("test source defines f");
         let ret_block = f
             .blocks
             .iter()
@@ -877,7 +882,7 @@ mod tests {
     #[test]
     fn scalar_params_get_frame_slots() {
         let m = lower_src("int f(int x) { x = x + 1; return x; } int main() { return f(1); }");
-        let f = m.func_by_name("f").unwrap();
+        let f = m.func_by_name("f").expect("test source defines f");
         assert_eq!(f.allocas.len(), 1);
         assert!(f.allocas[0].is_scalar);
         assert_eq!(f.param_tys, vec![Ty::I64]);
@@ -886,7 +891,7 @@ mod tests {
     #[test]
     fn array_params_are_pointers() {
         let m = lower_src("float f(float a[], int i) { return a[i]; } float g[8]; int main() { float x = f(g, 0); return 0; }");
-        let f = m.func_by_name("f").unwrap();
+        let f = m.func_by_name("f").expect("test source defines f");
         assert_eq!(f.param_tys, vec![Ty::Ptr, Ty::I64]);
         assert_eq!(f.allocas.len(), 1); // only `i`
     }

@@ -392,7 +392,7 @@ mod tests {
                 Some(Terminator::Ret(Some(v))) => Some(*v),
                 _ => None,
             })
-            .unwrap();
+            .expect("function has a block returning a value");
         assert!(matches!(f.value(ret).kind, InstrKind::Phi { .. }));
         if let InstrKind::Phi { incoming } = &f.value(ret).kind {
             assert_eq!(incoming.len(), 2);
@@ -452,7 +452,7 @@ mod tests {
                 Some(Terminator::Ret(Some(v))) => Some(*v),
                 _ => None,
             })
-            .unwrap();
+            .expect("function has a block returning a value");
         if let InstrKind::Phi { incoming } = &f.value(ret).kind {
             let has_zero =
                 incoming.iter().any(|(_, v)| matches!(f.value(*v).kind, InstrKind::ConstInt(0)));

@@ -276,7 +276,7 @@ mod tests {
         assert!(stats.folded >= 3, "{stats:?}");
         assert!(stats.eliminated >= 3, "{stats:?}");
         assert!(run_module(&m) < before);
-        verify_module(&m).unwrap();
+        verify_module(&m).expect("optimization must preserve IR validity");
         // The return value collapses to a single constant.
         let f = &m.funcs[0];
         let live: Vec<_> = f.blocks.iter().flat_map(|b| &b.instrs).collect();
@@ -304,7 +304,7 @@ mod tests {
         assert!(stats.folded >= 1, "1.0 + 2.0 must fold");
         assert_eq!(count(&m, &|k| k.is_marker()), markers_before);
         assert_eq!(count(&m, &|k| matches!(k, InstrKind::Store { .. })), stores_before);
-        verify_module(&m).unwrap();
+        verify_module(&m).expect("optimization must preserve IR validity");
     }
 
     #[test]
@@ -326,7 +326,7 @@ mod tests {
         let stats = optimize(&mut m);
         // `sqrt` is an intrinsic (pure) and its result unused: removed.
         assert!(stats.eliminated >= 2, "{stats:?}");
-        verify_module(&m).unwrap();
+        verify_module(&m).expect("optimization must preserve IR validity");
         let f = &m.funcs[0];
         let has_sqrt = f
             .blocks
@@ -344,7 +344,7 @@ mod tests {
             "float a[16]; int main() { for (int i = 0; i < 16; i++) { a[i] = (float) i; } return 0; }",
         );
         optimize(&mut m);
-        verify_module(&m).unwrap();
+        verify_module(&m).expect("optimization must preserve IR validity");
         let f = &m.funcs[0];
         let live_phis = f
             .blocks

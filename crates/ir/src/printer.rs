@@ -137,7 +137,7 @@ mod tests {
                return (int) f(s);\n\
              }",
         )
-        .unwrap();
+        .expect("test source compiles");
         let mut m = lower(&prog, "t.kc");
         for f in &mut m.funcs {
             promote(f);

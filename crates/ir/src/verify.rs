@@ -186,7 +186,7 @@ mod tests {
              float sum(float x[], int n) { float s = 0.0; for (int i = 0; i < n; i++) { s += x[i]; } return s; }\n\
              int main() { for (int i = 0; i < 16; i++) { a[i] = (float) i; } return (int) sum(a, 16); }",
         );
-        verify_module(&m).unwrap();
+        verify_module(&m).expect("freshly built IR passes verification");
     }
 
     #[test]
@@ -198,7 +198,7 @@ mod tests {
         for f in &mut m.funcs {
             promote(f);
         }
-        verify_module(&m).unwrap();
+        verify_module(&m).expect("mem2reg preserves IR validity");
     }
 
     #[test]
@@ -215,11 +215,70 @@ mod tests {
         let mut m = build("int main() { return 1 + 2; }");
         // Orphan the constant feeding the add.
         let f = &mut m.funcs[0];
-        let add = *f.blocks[0].instrs.iter().next_back().unwrap();
+        let add = *f.blocks[0].instrs.iter().next_back().expect("main entry block is nonempty");
         let _ = add;
         f.blocks[0].instrs.remove(0);
         let e = verify_module(&m).unwrap_err();
         assert!(e.message.contains("undefined value") || e.message.contains("uses"), "{e}");
+    }
+
+    #[test]
+    fn detects_clobbered_phi_edge() {
+        let mut m =
+            build("int main() { int s = 0; for (int i = 0; i < 4; i++) { s += i; } return s; }");
+        for f in &mut m.funcs {
+            promote(f);
+        }
+        // Redirect one phi's incoming edge to a block that is not a CFG
+        // predecessor of the phi's block.
+        let f = &mut m.funcs[0];
+        let mut clobbered = false;
+        'outer: for b in &f.blocks {
+            for &v in &b.instrs {
+                if let InstrKind::Phi { incoming } = &mut f.values[v.index()].kind {
+                    if let Some((p, _)) = incoming.first_mut() {
+                        *p = BlockId::from_index(f.blocks.len() - 1);
+                        clobbered = true;
+                        break 'outer;
+                    }
+                }
+            }
+        }
+        assert!(clobbered, "promoted loop should contain a phi");
+        let e = verify_module(&m).unwrap_err();
+        assert!(
+            e.message.contains("do not match predecessors")
+                || e.message.contains("does not dominate"),
+            "{e}"
+        );
+    }
+
+    #[test]
+    fn detects_definition_below_use() {
+        let mut m = build("int main() { return 1 + 2; }");
+        // Rotate the entry block so a constant is defined after the add
+        // that consumes it.
+        let instrs = &mut m.funcs[0].blocks[0].instrs;
+        let first = instrs.remove(0);
+        instrs.push(first);
+        let e = verify_module(&m).unwrap_err();
+        assert!(e.message.contains("does not dominate"), "{e}");
+    }
+
+    #[test]
+    fn detects_broken_block_ordering() {
+        let mut m =
+            build("int main() { int s = 0; for (int i = 0; i < 4; i++) { s += i; } return s; }");
+        // Point the entry terminator at an out-of-range block.
+        let n = m.funcs[0].blocks.len();
+        let bogus = BlockId::from_index(n + 7);
+        match m.funcs[0].blocks[0].term.as_mut().expect("entry block has a terminator") {
+            Terminator::Br(t) => *t = bogus,
+            Terminator::CondBr { then_bb, .. } => *then_bb = bogus,
+            t => panic!("unexpected entry terminator {t:?}"),
+        }
+        let e = verify_module(&m).unwrap_err();
+        assert!(e.message.contains("out-of-range"), "{e}");
     }
 
     #[test]

@@ -81,6 +81,7 @@ fn hotspot_entries(
             } else {
                 PlanKind::Doacross
             },
+            verdict: None,
         })
         .collect();
     entries

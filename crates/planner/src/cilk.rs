@@ -135,6 +135,7 @@ impl Personality for CilkPlanner {
                     coverage: s.coverage,
                     est_speedup: est,
                     kind,
+                    verdict: None,
                 })
             })
             .collect();

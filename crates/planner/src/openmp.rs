@@ -223,6 +223,7 @@ impl Personality for OpenMpPlanner {
                     coverage: s.coverage,
                     est_speedup: program_speedup(s, profile.root_work),
                     kind,
+                    verdict: None,
                 })
             })
             .collect();

@@ -1,6 +1,6 @@
 //! Parallelism plans: the ordered region lists Kremlin presents to users.
 
-use kremlin_ir::RegionId;
+use kremlin_ir::{DependenceInfo, LoopVerdict, RegionId};
 use std::collections::HashSet;
 use std::fmt;
 
@@ -47,6 +47,9 @@ pub struct PlanEntry {
     pub est_speedup: f64,
     /// Parallelization kind.
     pub kind: PlanKind,
+    /// Static dependence verdict for the region, when the static
+    /// analyzer has one (see [`Plan::annotate`]).
+    pub verdict: Option<LoopVerdict>,
 }
 
 /// An ordered parallelism plan.
@@ -79,22 +82,40 @@ impl Plan {
         self.entries.iter().any(|e| e.region == r)
     }
 
-    /// Renders the plan as the paper's Figure 3 table.
+    /// Attaches static dependence verdicts to every entry whose region
+    /// the analyzer classified (loop regions; function/task entries keep
+    /// `None`).
+    pub fn annotate(&mut self, depend: &DependenceInfo) {
+        for e in &mut self.entries {
+            e.verdict = depend.verdict(e.region);
+        }
+    }
+
+    /// Renders the plan as the paper's Figure 3 table, extended with the
+    /// static dependence verdict when [`Plan::annotate`] has run.
     pub fn render(&self) -> String {
         let mut out = String::new();
         out.push_str(&format!(
-            "{:>3}  {:<28} {:>9} {:>8} {:>10} {:>9}\n",
-            "#", "File (lines)", "Self-P", "Cov.(%)", "Type", "Speedup"
+            "{:>3}  {:<28} {:>9} {:>8} {:>10} {:>9}  {:<8}\n",
+            "#", "File (lines)", "Self-P", "Cov.(%)", "Type", "Speedup", "Static"
         ));
         for (i, e) in self.entries.iter().enumerate() {
+            let verdict = match e.verdict {
+                Some(LoopVerdict::ProvablyDoall) => "doall",
+                Some(LoopVerdict::DoallAfterBreaking) => "doall*",
+                Some(LoopVerdict::Carried { .. }) => "carried!",
+                Some(LoopVerdict::Unknown) => "unknown",
+                None => "-",
+            };
             out.push_str(&format!(
-                "{:>3}  {:<28} {:>9.1} {:>8.2} {:>10} {:>8.2}x\n",
+                "{:>3}  {:<28} {:>9.1} {:>8.2} {:>10} {:>8.2}x  {:<8}\n",
                 i + 1,
                 e.location,
                 e.self_p,
                 e.coverage * 100.0,
                 e.kind.to_string(),
                 e.est_speedup,
+                verdict,
             ));
         }
         if self.entries.is_empty() {
@@ -124,6 +145,7 @@ mod tests {
             coverage: 0.5,
             est_speedup: speedup,
             kind: PlanKind::Doall,
+            verdict: None,
         }
     }
 

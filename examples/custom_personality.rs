@@ -46,6 +46,7 @@ impl Personality for GpuOffload {
                 coverage: s.coverage,
                 est_speedup: 1.0 / (1.0 - s.coverage * (1.0 - 1.0 / s.self_p)).max(1e-9),
                 kind: PlanKind::Doall,
+                verdict: None,
             })
             .collect();
         entries.sort_by(|a, b| b.est_speedup.total_cmp(&a.est_speedup));
