@@ -463,6 +463,9 @@ fn analyze_function(
                     PairDep::Independent => {}
                     PairDep::Proven(d) => {
                         definite.push(d);
+                        // Verdicts report the absolute distance; keep the
+                        // evidence consistent with them.
+                        let d = d.map(i64::abs);
                         push_evidence(
                             &mut evidence,
                             DepEvidence {
@@ -667,6 +670,7 @@ fn collect_refs(
     may: &mut bool,
 ) -> Option<Vec<MemRef>> {
     let mut refs = Vec::new();
+    let mut unknown_read = false;
     let mut memo: HashMap<ValueId, Option<AffineExpr>> = HashMap::new();
     let mut blocks: Vec<BlockId> = ctx.blocks.iter().copied().collect();
     blocks.sort();
@@ -698,9 +702,10 @@ fn collect_refs(
                     if s.opaque {
                         return None;
                     }
-                    if s.unknown_writes || (s.unknown_reads && !s.writes.is_empty()) {
+                    if s.unknown_writes {
                         *may = true;
                     }
+                    unknown_read |= s.unknown_reads;
                     for (set, is_store) in [(&s.reads, false), (&s.writes, true)] {
                         for &o in set.iter() {
                             // Map callee-namespace objects into this frame.
@@ -736,6 +741,12 @@ fn collect_refs(
                 _ => {}
             }
         }
+    }
+    // A callee's untraceable read may target any object this loop stores
+    // to (directly or through another callee), forming a carried flow
+    // dependence the per-object pair tests would never see.
+    if unknown_read && refs.iter().any(|r| r.is_store) {
+        *may = true;
     }
     Some(refs)
 }
@@ -882,20 +893,27 @@ fn test_dim(e1: &AffineExpr, e2: &AffineExpr, ctx: &LoopCtx) -> DimDep {
                     return DimDep::Independent;
                 }
                 let d = dc / a;
-                if let Some(trip) = min_trip(e1, ctx) {
-                    if d.abs() >= trip {
-                        return DimDep::Independent; // beyond the iteration space
-                    }
+                if d == 0 {
+                    return DimDep::Exact(0);
                 }
-                DimDep::Exact(d)
+                // A non-zero distance is *definite* only when both
+                // endpoint iterations exist, i.e. the trip count provably
+                // exceeds |d|. Past the trip count the pair never
+                // collides; with no proven trip count the collision is
+                // merely possible.
+                match min_trip(e1, ctx) {
+                    Some(trip) if d.abs() >= trip => DimDep::Independent,
+                    Some(_) => DimDep::Exact(d),
+                    None => DimDep::May,
+                }
             }
             None => {
-                // Unknown stride: only the zero-distance case is decidable.
-                if dc == 0 {
-                    DimDep::Exact(0)
-                } else {
-                    DimDep::May
-                }
+                // Unknown stride: the advance could be zero at runtime
+                // (e.g. `j = j + n` with n == 0), in which case the
+                // subscript repeats and even identical expressions
+                // (dc == 0) collide across iterations. Without a proven
+                // non-zero stride nothing is decidable.
+                DimDep::May
             }
         };
     }
@@ -923,7 +941,19 @@ fn test_dim(e1: &AffineExpr, e2: &AffineExpr, ctx: &LoopCtx) -> DimDep {
             if c % a1 != 0 {
                 return DimDep::Independent;
             }
-            return DimDep::Exact(c / a1);
+            let d = c / a1;
+            if d == 0 {
+                return DimDep::Exact(0);
+            }
+            // Same trip-count guard as strong SIV: the iteration-space
+            // distance d only materializes if the loop provably runs more
+            // than |d| iterations (e.g. `a[i] = a[j]` with j starting at
+            // 64 never collides when the loop runs 8 times).
+            return match loop_trip(e1, e2, ctx) {
+                Some(trip) if d.abs() >= trip => DimDep::Independent,
+                Some(_) => DimDep::Exact(d),
+                None => DimDep::May,
+            };
         }
         let g = gcd(a1.unsigned_abs(), a2.unsigned_abs());
         if g != 0 && c.unsigned_abs() % g != 0 {
@@ -968,6 +998,16 @@ fn value_range(e: &AffineExpr, ctx: &LoopCtx) -> Option<(i64, i64)> {
 /// Smallest known trip count among the induction phis used by `e`.
 fn min_trip(e: &AffineExpr, ctx: &LoopCtx) -> Option<i64> {
     e.terms.iter().filter_map(|(phi, _)| ctx.inductions.get(phi).and_then(|i| i.trip)).min()
+}
+
+/// Trip count of the analyzed loop, taken from whichever of the two
+/// subscripts' induction phis has a derivable bound (all phis belong to
+/// the same loop, so any derived trip describes it).
+fn loop_trip(e1: &AffineExpr, e2: &AffineExpr, ctx: &LoopCtx) -> Option<i64> {
+    match (min_trip(e1, ctx), min_trip(e2, ctx)) {
+        (Some(a), Some(b)) => Some(a.min(b)),
+        (t, None) | (None, t) => t,
+    }
 }
 
 fn gcd(mut a: u64, mut b: u64) -> u64 {
@@ -1140,6 +1180,62 @@ mod tests {
              int main() { int s = 0; for (int i = 0; i < 6; i++) { s += f(4); } return s; }",
         );
         assert_eq!(*verdict_of(&vs, "main#L0"), LoopVerdict::Unknown);
+    }
+
+    #[test]
+    fn unknown_stride_induction_is_not_proven_independent() {
+        // `j += n` advances by an unknown amount; with n == 0 the
+        // subscript repeats every iteration, so `a[j] = a[j] + 1` may
+        // carry a dependence — it must not be proven DOALL.
+        let vs = verdicts(
+            "int a[64];\n\
+             void f(int n) { int j = 0; for (int i = 0; i < 8; i++) { a[j] = a[j] + 1; j = j + n; } }\n\
+             int main() { f(0); return 0; }",
+        );
+        assert_eq!(*verdict_of(&vs, "f#L0"), LoopVerdict::Unknown);
+    }
+
+    #[test]
+    fn kspace_distance_needs_proven_trip_count() {
+        // The collision at iteration distance 64 only materializes if the
+        // loop runs more than 64 times; with a symbolic bound that is
+        // unprovable, so the verdict must not be a definite Carried.
+        let vs = verdicts(
+            "int a[128];\n\
+             void g(int m) { int j = 64; for (int i = 0; i < m; i++) { a[i] = a[j]; j = j + 1; } }\n\
+             int main() { g(8); return 0; }",
+        );
+        assert_eq!(*verdict_of(&vs, "g#L0"), LoopVerdict::Unknown);
+    }
+
+    #[test]
+    fn siv_distance_needs_proven_trip_count() {
+        // Same guard on the strong-SIV path: x[i] = x[i-1] only carries
+        // if the loop provably runs at least 2 iterations.
+        let vs = verdicts(
+            "int x[512];\n\
+             void h(int m) { for (int i = 1; i < m; i++) { x[i] = x[i - 1]; } }\n\
+             int main() { h(4); return 0; }",
+        );
+        assert_eq!(*verdict_of(&vs, "h#L0"), LoopVerdict::Unknown);
+    }
+
+    #[test]
+    fn kspace_distance_within_proven_trip_is_carried() {
+        // With a constant bound exceeding the distance, the k-space test
+        // still pins a definite carried dependence, and the evidence
+        // reports the same absolute distance as the verdict.
+        let unit = crate::compile(
+            "int a[300];\n\
+             int main() { int j = 64; for (int i = 0; i < 128; i++) { a[i] = a[j]; j = j + 1; } return 0; }",
+            "t.kc",
+        )
+        .expect("test source compiles");
+        let l = &unit.depend.loops[0];
+        assert_eq!(l.verdict, LoopVerdict::Carried { distance: Some(64) });
+        let e = l.evidence.iter().find(|e| e.definite).expect("definite evidence recorded");
+        assert_eq!(e.distance, Some(64));
+        assert!(e.detail.contains("distance 64"), "{}", e.detail);
     }
 
     #[test]
