@@ -15,7 +15,12 @@
 //! * the record-once/replay-many configuration: one `record` pass that
 //!   captures the event trace, then per-shard `profile_trace` replays of
 //!   that shared trace — interpretation happens once, so each replay
-//!   shard is cheaper than an execute-per-shard pass.
+//!   shard is cheaper than an execute-per-shard pass;
+//! * the decode-once configuration: one `DecodedTrace::decode` pass
+//!   materializes the varint stream into a shared arena (and yields a
+//!   per-depth cost histogram for free), then per-shard
+//!   `profile_decoded` replays at `plan_shards_weighted`'s cost-balanced
+//!   boundaries — zero varint work per shard, flatter shard walls.
 //!
 //! **Sharded wall-clock methodology**: each shard is an independent
 //! interpreter+profiler pass; on a machine with ≥ `jobs` cores they run
@@ -47,9 +52,11 @@
 
 use kremlin_bench::timer::bench;
 use kremlin_hcpa::{
-    parallel::plan_shards, profile_trace, profile_unit, profile_unit_seed,
-    profile_unit_with_machine, HcpaConfig, ParallelismProfile,
+    parallel::{plan_shards, plan_shards_weighted, shard_plan_cost},
+    profile_decoded, profile_trace, profile_unit, profile_unit_seed, profile_unit_with_machine,
+    HcpaConfig, ParallelismProfile,
 };
+use kremlin_interp::trace::DecodedTrace;
 use kremlin_interp::{record, MachineConfig};
 use kremlin_planner::{OpenMpPlanner, Personality};
 use std::collections::HashSet;
@@ -104,12 +111,19 @@ struct Row {
     stitch_ms: f64,
     record_ms: f64,
     replay_shard_ms: Vec<f64>,
+    decode_ms: f64,
+    decoded_shard_ms: Vec<f64>,
+    decoded_stitch_ms: f64,
+    decoded_arena_bytes: u64,
+    per_depth_cost: Vec<u64>,
     trace_events: u64,
     trace_bytes: u64,
     max_depth: usize,
     instr_events: u64,
     seed_shadow_bytes: u64,
-    packed_shadow_bytes: u64,
+    /// Sum of the per-shard shadow footprints under the weighted plan:
+    /// what §4.2 sharding actually allocates across workers.
+    sharded_shadow_bytes: u64,
     /// `kremlin-metrics-v1` snapshot of one obs-enabled (non-timed) pass.
     metrics_json: String,
 }
@@ -148,18 +162,51 @@ impl Row {
     fn replay_sharded_speedup(&self) -> f64 {
         self.serial_seed_ms / self.replay_critical_path_ms()
     }
+
+    /// Steady-state decoded-replay wall clock: the arena already exists
+    /// (decoded once per trace, amortized across replays exactly like
+    /// `record_ms`), cost-balanced shard workers replay the shared
+    /// buffers concurrently, and the elapsed time is the slowest shard
+    /// plus the stitch.
+    fn decoded_critical_path_ms(&self) -> f64 {
+        self.decoded_shard_ms.iter().copied().fold(0.0, f64::max) + self.decoded_stitch_ms
+    }
+
+    /// Cold-start decoded wall clock for callers holding only a trace
+    /// file: one decode pass plus the decoded-replay critical path.
+    fn decode_plus_replay_ms(&self) -> f64 {
+        self.decode_ms + self.decoded_critical_path_ms()
+    }
+
+    fn decoded_sharded_speedup(&self) -> f64 {
+        self.serial_seed_ms / self.decoded_critical_path_ms()
+    }
+
+    /// Max/mean of the decoded shard walls: 1.0 is a perfectly flat
+    /// plan, and anything near `jobs` means one shard carries the run.
+    fn decoded_imbalance(&self) -> f64 {
+        let max = self.decoded_shard_ms.iter().copied().fold(0.0, f64::max);
+        let mean = self.decoded_shard_ms.iter().sum::<f64>() / self.decoded_shard_ms.len() as f64;
+        max / mean
+    }
 }
 
 fn json_f(x: f64) -> String {
     format!("{x:.3}")
 }
 
-/// One obs-enabled pipeline pass (profile + plan), returning the metrics
-/// snapshot as JSON. Runs outside any timed region.
+/// One obs-enabled pipeline pass returning the metrics snapshot as
+/// JSON. Runs the full record → decode → decoded-replay → plan
+/// pipeline (not a live `profile_unit`) so the `trace.record.*`,
+/// `trace.decode.*`, and `trace.replay.*` counters in the embedded
+/// snapshot reflect real work instead of sitting at zero. Runs outside
+/// any timed region.
 fn collect_metrics(unit: &kremlin_ir::CompiledUnit, config: HcpaConfig) -> String {
     kremlin_obs::reset();
     kremlin_obs::set_metrics(true);
-    let outcome = profile_unit(unit, config).expect("metrics pass profiles");
+    let trace = record(&unit.module, MachineConfig::default()).expect("metrics pass records");
+    let decoded = DecodedTrace::decode(&trace, &unit.module).expect("metrics pass decodes");
+    let outcome = profile_decoded(unit, &decoded, config).expect("metrics pass profiles");
     let _plan = OpenMpPlanner::default().plan(&outcome.profile, &HashSet::new());
     kremlin_obs::set_metrics(false);
     let json = kremlin_obs::snapshot().to_json();
@@ -210,6 +257,30 @@ fn measure(name: &str, warmup: usize, iters: usize) -> Row {
         "{name}: replay-sharded stitched profile differs from serial"
     );
 
+    // Correctness gate for the decode-once path: shard profiles replayed
+    // from the shared decoded arena at the cost-balanced boundaries must
+    // stitch to the same bit-identical profile.
+    let decoded = DecodedTrace::decode(&trace, &unit.module).expect("decode");
+    let per_depth_cost = shard_plan_cost(&decoded);
+    let wshards = plan_shards_weighted(&per_depth_cost, config.window, JOBS);
+    assert_eq!(wshards.len(), JOBS, "{name}: expected a full {JOBS}-way weighted split");
+    let decoded_outcomes: Vec<_> = wshards
+        .iter()
+        .map(|s| {
+            let cfg = HcpaConfig { window: s.window, min_depth: s.min_depth, ..config };
+            profile_decoded(&unit, &decoded, cfg).expect("decoded shard profile")
+        })
+        .collect();
+    let sharded_shadow_bytes = decoded_outcomes.iter().map(|o| o.stats.shadow_bytes).sum();
+    let decoded_slices: Vec<ParallelismProfile> =
+        decoded_outcomes.into_iter().map(|o| o.profile).collect();
+    let wstarts: Vec<usize> = wshards.iter().map(|s| s.min_depth).collect();
+    let decoded_stitched = ParallelismProfile::stitch_at(&decoded_slices, &wstarts);
+    assert!(
+        decoded_stitched.identical_stats(&serial.profile),
+        "{name}: decoded-replay stitched profile differs from serial"
+    );
+
     let seed_outcome = profile_unit_seed(&unit, config, machine).expect("seed profile");
     assert!(
         seed_outcome.profile.identical_stats(&serial.profile),
@@ -248,6 +319,22 @@ fn measure(name: &str, warmup: usize, iters: usize) -> Row {
             .median_ms()
         })
         .collect();
+    let decode_pass = bench("decode", warmup, iters, || {
+        DecodedTrace::decode(&trace, &unit.module).expect("decode")
+    });
+    let decoded_shard_ms: Vec<f64> = wshards
+        .iter()
+        .map(|s| {
+            let cfg = HcpaConfig { window: s.window, min_depth: s.min_depth, ..config };
+            bench("decoded-shard", warmup, iters, || {
+                profile_decoded(&unit, &decoded, cfg).expect("decoded shard profile")
+            })
+            .median_ms()
+        })
+        .collect();
+    let decoded_stitch = bench("decoded-stitch", warmup, iters, || {
+        ParallelismProfile::stitch_at(&decoded_slices, &wstarts)
+    });
 
     Row {
         name: name.to_owned(),
@@ -258,12 +345,17 @@ fn measure(name: &str, warmup: usize, iters: usize) -> Row {
         stitch_ms: stitch.median_ms(),
         record_ms: record_pass.median_ms(),
         replay_shard_ms,
+        decode_ms: decode_pass.median_ms(),
+        decoded_shard_ms,
+        decoded_stitch_ms: decoded_stitch.median_ms(),
+        decoded_arena_bytes: decoded.arena_bytes() as u64,
+        per_depth_cost,
         trace_events: trace.events(),
         trace_bytes: trace.encoded_len() as u64,
         max_depth: serial.stats.max_depth,
         instr_events: serial.stats.instr_events,
         seed_shadow_bytes: seed_outcome.stats.shadow_bytes,
-        packed_shadow_bytes: serial.stats.shadow_bytes,
+        sharded_shadow_bytes,
         metrics_json,
     }
 }
@@ -281,7 +373,7 @@ fn main() {
         args.workloads.iter().map(|n| measure(n, args.warmup, args.iters)).collect();
 
     println!(
-        "{:<4} {:>10} {:>9} {:>9} {:>14} {:>9} {:>9} {:>10} {:>10}",
+        "{:<4} {:>10} {:>9} {:>9} {:>14} {:>9} {:>9} {:>10} {:>10} {:>8} {:>8}",
         "",
         "seed(ms)",
         "opt(ms)",
@@ -290,11 +382,13 @@ fn main() {
         "opt-spd",
         "shard-spd",
         "replay(ms)",
-        "replay-spd"
+        "replay-spd",
+        "dec(ms)",
+        "dec-spd"
     );
     for r in &rows {
         println!(
-            "{:<4} {:>10.1} {:>9.1} {:>9.1} {:>14} {:>8.2}x {:>8.2}x {:>10.1} {:>9.2}x",
+            "{:<4} {:>10.1} {:>9.1} {:>9.1} {:>14} {:>8.2}x {:>8.2}x {:>10.1} {:>9.2}x {:>8.1} {:>7.2}x",
             r.name,
             r.serial_seed_ms,
             r.serial_optimized_ms,
@@ -304,6 +398,8 @@ fn main() {
             r.sharded_speedup(),
             r.replay_critical_path_ms(),
             r.replay_sharded_speedup(),
+            r.decoded_critical_path_ms(),
+            r.decoded_sharded_speedup(),
         );
     }
 
@@ -314,6 +410,10 @@ fn main() {
     let geomean_replay = (rows.iter().map(|r| r.replay_sharded_speedup().ln()).sum::<f64>()
         / rows.len() as f64)
         .exp();
+    let min_decoded = rows.iter().map(Row::decoded_sharded_speedup).fold(f64::INFINITY, f64::min);
+    let geomean_decoded = (rows.iter().map(|r| r.decoded_sharded_speedup().ln()).sum::<f64>()
+        / rows.len() as f64)
+        .exp();
     println!(
         "\nsharded speedup vs pre-optimization serial: min {min_sharded:.2}x, \
          geomean {geomean_sharded:.2}x (critical path; host has {host_cores} core(s))"
@@ -321,6 +421,14 @@ fn main() {
     println!(
         "record-once/replay-many: min {min_replay:.2}x, geomean {geomean_replay:.2}x \
          (steady-state replay critical path; record pass amortized across replays)"
+    );
+    println!(
+        "decode-once arena + weighted shards: min {min_decoded:.2}x, geomean {geomean_decoded:.2}x \
+         (decode pass amortized like record); shard imbalance max/mean: {}",
+        rows.iter()
+            .map(|r| format!("{} {:.2}x", r.name, r.decoded_imbalance()))
+            .collect::<Vec<_>>()
+            .join(", ")
     );
 
     let mut out = String::from("{\n");
@@ -341,11 +449,22 @@ fn main() {
          max(replay_shard_pass_ms) + stitch_ms is the steady-state wall clock once a trace \
          exists (symmetric with the execute-per-shard critical path, whose depth-discovery \
          pre-pass is likewise off the steady state), and record_plus_replay_ms adds the \
-         one-time recording cost. Both the execute-per-shard and replay-per-shard stitched \
-         profiles are asserted bit-identical to the serial profile before timing. Medians over the \
-         timed iterations. Timing passes run with kremlin_obs disabled; each workload's \
-         'metrics' object is a kremlin-metrics-v1 snapshot from a separate non-timed \
-         pass.\",\n",
+         one-time recording cost. The decode-once configuration decodes the varint stream \
+         into a shared arena once (decode_ms, amortized across replays exactly like \
+         record_ms) whose per-depth histogram (per_depth_cost) drives an exact DP \
+         cost-balanced shard plan; decoded_replay_sharded_critical_path_ms = \
+         max(decoded_replay_shard_pass_ms) + decoded_stitch_ms is its steady-state wall \
+         clock, decode_plus_replay_ms adds the one-time decode, and decoded_shard_imbalance \
+         is max/mean of the decoded shard walls (1.0 = perfectly flat plan). All three \
+         stitched profiles (execute-per-shard, replay-per-shard, decoded-replay-per-shard) \
+         are asserted bit-identical to the serial profile before timing. \
+         shadow_bytes_sharded_total sums the per-shard shadow footprints under the weighted \
+         plan; the former shadow_bytes_packed field was dropped because slot packing changes \
+         locality, not size, so it was byte-identical to shadow_bytes_baseline on every \
+         workload. Medians over the timed iterations. Timing passes run with kremlin_obs \
+         disabled; each workload's 'metrics' object is a kremlin-metrics-v1 snapshot from a \
+         separate non-timed record/decode/decoded-replay/plan pipeline pass (so the \
+         trace.record.*, trace.decode.*, and trace.replay.* counters are live).\",\n",
     );
     out.push_str("  \"workloads\": [\n");
     for (i, r) in rows.iter().enumerate() {
@@ -381,6 +500,27 @@ fn main() {
             json_f(r.record_plus_replay_ms())
         ));
         out.push_str(&format!(
+            "     \"decode_ms\": {}, \"decoded_replay_shard_pass_ms\": [{}], \
+             \"decoded_stitch_ms\": {},\n",
+            json_f(r.decode_ms),
+            r.decoded_shard_ms.iter().map(|x| json_f(*x)).collect::<Vec<_>>().join(", "),
+            json_f(r.decoded_stitch_ms)
+        ));
+        out.push_str(&format!(
+            "     \"decoded_replay_sharded_critical_path_ms\": {}, \"decode_plus_replay_ms\": {},\n",
+            json_f(r.decoded_critical_path_ms()),
+            json_f(r.decode_plus_replay_ms())
+        ));
+        out.push_str(&format!(
+            "     \"decoded_shard_imbalance\": {}, \"decoded_arena_bytes\": {},\n",
+            json_f(r.decoded_imbalance()),
+            r.decoded_arena_bytes
+        ));
+        out.push_str(&format!(
+            "     \"per_depth_cost\": [{}],\n",
+            r.per_depth_cost.iter().map(u64::to_string).collect::<Vec<_>>().join(", ")
+        ));
+        out.push_str(&format!(
             "     \"trace_events\": {}, \"trace_bytes\": {},\n",
             r.trace_events, r.trace_bytes
         ));
@@ -390,13 +530,15 @@ fn main() {
             json_f(r.sharded_speedup())
         ));
         out.push_str(&format!(
-            "     \"speedup_replay_sharded_critical_path\": {},\n",
-            json_f(r.replay_sharded_speedup())
+            "     \"speedup_replay_sharded_critical_path\": {}, \
+             \"speedup_decoded_replay_sharded_critical_path\": {},\n",
+            json_f(r.replay_sharded_speedup()),
+            json_f(r.decoded_sharded_speedup())
         ));
         out.push_str(&format!(
-            "     \"shadow_bytes_baseline\": {}, \"shadow_bytes_packed\": {}, \
+            "     \"shadow_bytes_baseline\": {}, \"shadow_bytes_sharded_total\": {}, \
              \"stitched_identical\": true,\n",
-            r.seed_shadow_bytes, r.packed_shadow_bytes,
+            r.seed_shadow_bytes, r.sharded_shadow_bytes,
         ));
         out.push_str(&format!(
             "     \"metrics\": {}}}{}\n",
@@ -407,11 +549,15 @@ fn main() {
     out.push_str("  ],\n");
     out.push_str(&format!(
         "  \"summary\": {{\"min_sharded_speedup\": {}, \"geomean_sharded_speedup\": {}, \
-         \"min_replay_sharded_speedup\": {}, \"geomean_replay_sharded_speedup\": {}}}\n",
+         \"min_replay_sharded_speedup\": {}, \"geomean_replay_sharded_speedup\": {}, \
+         \"min_decoded_replay_sharded_speedup\": {}, \
+         \"geomean_decoded_replay_sharded_speedup\": {}}}\n",
         json_f(min_sharded),
         json_f(geomean_sharded),
         json_f(min_replay),
-        json_f(geomean_replay)
+        json_f(geomean_replay),
+        json_f(min_decoded),
+        json_f(geomean_decoded)
     ));
     out.push_str("}\n");
 

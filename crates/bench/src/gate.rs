@@ -8,15 +8,22 @@
 //!
 //! * **speedups** (`speedup_serial_optimized`,
 //!   `speedup_sharded_critical_path`,
-//!   `speedup_replay_sharded_critical_path`) are dimensionless ratios of
-//!   two passes on the *same* host — a fresh value may not drop more than
-//!   `Tolerance::speedup_drop` below the baseline (critical-path-speedup
-//!   regression);
+//!   `speedup_replay_sharded_critical_path`,
+//!   `speedup_decoded_replay_sharded_critical_path`) are dimensionless
+//!   ratios of two passes on the *same* host — a fresh value may not drop
+//!   more than `Tolerance::speedup_drop` below the baseline
+//!   (critical-path-speedup regression);
 //! * **`instr_events`** is deterministic per workload and must match
 //!   exactly (a mismatch means the pipeline changed semantics, not speed);
-//! * **`shadow_bytes_packed`** is deterministic too, but a small growth
+//! * **`shadow_bytes_baseline`** is deterministic too, but a small growth
 //!   band (`Tolerance::shadow_growth`) is allowed for intentional layout
-//!   tweaks — beyond it is a shadow-footprint blowup;
+//!   tweaks — beyond it is a shadow-footprint blowup. (Old baselines
+//!   carried the same number under `shadow_bytes_packed` — the packed
+//!   backend changed locality, not size, so the field was redundant and
+//!   dropped; the gate falls back to it for pre-rename baselines.)
+//!   `shadow_bytes_sharded_total` is informational only: the weighted
+//!   shard plan moves with the cost histogram, so per-shard footprint
+//!   sums can shift legitimately;
 //! * embedded **metrics** (when both sides carry them) must stay nonzero
 //!   wherever the baseline is nonzero: a pipeline-phase counter falling to
 //!   zero means instrumentation was silently lost.
@@ -108,9 +115,13 @@ pub fn check(baseline: &str, fresh: &str, tol: Tolerance) -> Result<GateReport, 
             }
         }
 
-        // Shadow-footprint blowup.
-        if let (Some(b), Some(n)) = (num(bw, "shadow_bytes_packed"), num(nw, "shadow_bytes_packed"))
-        {
+        // Shadow-footprint blowup. `shadow_bytes_baseline` is the
+        // serial footprint; baselines from before the shadow_bytes_packed
+        // field was dropped (it was byte-identical to baseline — packing
+        // changed locality, not size) still gate via the old key.
+        let shadow =
+            |w: &Value| num(w, "shadow_bytes_baseline").or_else(|| num(w, "shadow_bytes_packed"));
+        if let (Some(b), Some(n)) = (shadow(bw), shadow(nw)) {
             if b > 0.0 && n > b * (1.0 + tol.shadow_growth) {
                 violation(format!(
                     "shadow footprint blowup: {b:.0} -> {n:.0} bytes (allowed +{:.0}%)",
@@ -119,11 +130,17 @@ pub fn check(baseline: &str, fresh: &str, tol: Tolerance) -> Result<GateReport, 
             }
         }
 
-        // Critical-path-speedup regressions.
+        // Critical-path-speedup regressions. The decoded-replay key
+        // shares the band: it is the same kind of same-host ratio with
+        // the same observed jitter, and the failure mode it guards —
+        // the decode-once arena or the weighted planner silently
+        // degrading toward the streaming path's cost — shows up as an
+        // absolute drop well past 0.35.
         for key in [
             "speedup_serial_optimized",
             "speedup_sharded_critical_path",
             "speedup_replay_sharded_critical_path",
+            "speedup_decoded_replay_sharded_critical_path",
         ] {
             if let (Some(b), Some(n)) = (num(bw, key), num(nw, key)) {
                 if n < b - tol.speedup_drop {
@@ -171,7 +188,7 @@ mod tests {
     fn doc(name: &str, instr: u64, shadow: u64, spd: f64, counters: &str) -> String {
         format!(
             r#"{{"bench":"profiler","workloads":[{{"name":"{name}","instr_events":{instr},
-               "shadow_bytes_packed":{shadow},"speedup_serial_optimized":{spd},
+               "shadow_bytes_baseline":{shadow},"speedup_serial_optimized":{spd},
                "speedup_sharded_critical_path":{spd},
                "metrics":{{"schema":"kremlin-metrics-v1","counters":{{{counters}}}}}}}]}}"#
         )
@@ -208,6 +225,37 @@ mod tests {
         assert!(check(&base, &mk(1.8), Tolerance::default()).unwrap().passed());
         let r = check(&base, &mk(1.5), Tolerance::default()).unwrap();
         assert!(r.violations.iter().any(|v| v.contains("replay_sharded")), "{:?}", r.violations);
+    }
+
+    #[test]
+    fn decoded_replay_sharded_speedup_is_gated_too() {
+        let mk = |spd: f64| {
+            format!(
+                r#"{{"workloads":[{{"name":"bt","instr_events":5,
+                   "speedup_decoded_replay_sharded_critical_path":{spd}}}]}}"#
+            )
+        };
+        let base = mk(3.0);
+        assert!(check(&base, &mk(2.7), Tolerance::default()).unwrap().passed());
+        let r = check(&base, &mk(2.5), Tolerance::default()).unwrap();
+        assert!(
+            r.violations.iter().any(|v| v.contains("decoded_replay_sharded")),
+            "{:?}",
+            r.violations
+        );
+    }
+
+    #[test]
+    fn legacy_shadow_bytes_packed_baselines_still_gate() {
+        // Baselines written before the field rename carry the identical
+        // number under shadow_bytes_packed; fresh reports only have
+        // shadow_bytes_baseline.
+        let base = r#"{"workloads":[{"name":"cg","instr_events":5,"shadow_bytes_packed":4096}]}"#;
+        let ok = r#"{"workloads":[{"name":"cg","instr_events":5,"shadow_bytes_baseline":4200}]}"#;
+        assert!(check(base, ok, Tolerance::default()).unwrap().passed());
+        let bad = r#"{"workloads":[{"name":"cg","instr_events":5,"shadow_bytes_baseline":8192}]}"#;
+        let r = check(base, bad, Tolerance::default()).unwrap();
+        assert!(r.violations.iter().any(|v| v.contains("blowup")), "{:?}", r.violations);
     }
 
     #[test]

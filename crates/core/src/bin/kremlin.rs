@@ -16,6 +16,9 @@
 //!   --window=<n>                  HCPA depth window (§4.2's flag)
 //!   --jobs=<n>                    depth-sharded parallel collection with
 //!                                 n worker threads (§4.2; alias --depth-shards)
+//!   --streaming                   sharded replay decodes the varint stream in
+//!                                 every worker instead of using the shared
+//!                                 decode-once arena (for oversized traces)
 //!   --no-break-deps               disable induction/reduction breaking
 //!   --save-profile=<path>         write the parallelism profile
 //!   --load-profile=<path>         plan from a saved profile (skips execution)
@@ -86,6 +89,7 @@ struct Options {
     verify_ir: bool,
     metrics: MetricsMode,
     trace: Option<String>,
+    streaming: bool,
 }
 
 fn usage() -> &'static str {
@@ -97,8 +101,8 @@ fn usage() -> &'static str {
      \x20              [--metrics[=json|pretty]] [--trace FILE]\n\
      \x20      kremlin analyze <program.kc> [--json] [--verify-ir]\n\
      \x20      kremlin record <program.kc> [-o FILE] [--metrics[=json|pretty]]\n\
-     \x20      kremlin replay <trace-file> [--jobs=N] [--personality=...] [--evaluate]\n\
-     \x20              [--metrics[=json|pretty]]\n\
+     \x20      kremlin replay <trace-file> [--jobs=N] [--streaming] [--personality=...]\n\
+     \x20              [--evaluate] [--metrics[=json|pretty]]\n\
      \x20      kremlin --metrics-diff A.json B.json"
 }
 
@@ -123,6 +127,7 @@ fn parse_args(args: &[String]) -> Result<Options, CliError> {
         verify_ir: false,
         metrics: MetricsMode::Off,
         trace: None,
+        streaming: false,
     };
     let bad = |msg: String| CliError::Usage(format!("{msg}\n{}", usage()));
     let mut i = 0;
@@ -151,6 +156,8 @@ fn parse_args(args: &[String]) -> Result<Options, CliError> {
             if o.jobs == 0 {
                 return Err(bad("--jobs must be at least 1".into()));
             }
+        } else if a == "--streaming" {
+            o.streaming = true;
         } else if a == "--no-break-deps" {
             o.break_deps = false;
         } else if let Some(v) = a.strip_prefix("--save-profile=") {
@@ -266,6 +273,8 @@ fn parse_sub_args(
             o.personality = v.to_owned();
         } else if a == "--evaluate" {
             o.evaluate = true;
+        } else if a == "--streaming" {
+            o.streaming = true;
         } else if allow_out && a == "-o" {
             let Some(v) = args.get(i) else {
                 return Err(bad("-o requires a file argument".into()));
@@ -388,7 +397,11 @@ fn cmd_replay(args: &[String]) -> Result<(), CliError> {
     if trace.source.is_empty() {
         return Err(fail(format!("{path}: trace has no embedded source to recompile")));
     }
-    let analysis = Kremlin::new().analyze_trace(&trace, o.jobs).map_err(fail)?;
+    let mut tool = Kremlin::new();
+    if o.streaming {
+        tool.replay_strategy = kremlin::hcpa::ReplayStrategy::Streaming;
+    }
+    let analysis = tool.analyze_trace(&trace, o.jobs).map_err(fail)?;
     eprintln!(
         "[kremlin] replayed {} events: exit={} instrs={} dynamic-regions={} max-depth={}",
         trace.events(),
@@ -492,6 +505,9 @@ fn run() -> Result<(), CliError> {
         tool.hcpa.window = w;
     }
     tool.hcpa.break_carried_deps = o.break_deps;
+    if o.streaming {
+        tool.replay_strategy = kremlin::hcpa::ReplayStrategy::Streaming;
+    }
     let _ = HcpaConfig::default();
 
     if o.jobs > 1 && o.runs > 1 {

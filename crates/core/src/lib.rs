@@ -128,6 +128,10 @@ pub struct Kremlin {
     pub hcpa: HcpaConfig,
     /// Interpreter limits (fuel, stack, call depth).
     pub machine: MachineConfig,
+    /// How sharded trace replay consumes the trace: the decode-once
+    /// arena by default, or streaming varint decode per worker
+    /// (`kremlin replay --streaming`) for traces too big to materialize.
+    pub replay_strategy: kremlin_hcpa::ReplayStrategy,
 }
 
 impl Kremlin {
@@ -175,6 +179,7 @@ impl Kremlin {
             kremlin_hcpa::ParallelConfig {
                 jobs,
                 depth_hint: None,
+                strategy: self.replay_strategy,
                 hcpa: self.hcpa,
                 machine: self.machine,
             },
@@ -208,6 +213,7 @@ impl Kremlin {
                 kremlin_hcpa::ParallelConfig {
                     jobs,
                     depth_hint: None,
+                    strategy: self.replay_strategy,
                     hcpa: self.hcpa,
                     machine: self.machine,
                 },
@@ -242,6 +248,7 @@ impl Kremlin {
                 kremlin_hcpa::ParallelConfig {
                     jobs,
                     depth_hint: None,
+                    strategy: self.replay_strategy,
                     hcpa: self.hcpa,
                     machine: self.machine,
                 },

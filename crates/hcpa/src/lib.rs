@@ -48,12 +48,15 @@ pub mod seed;
 pub mod shadow;
 
 pub use cost::CostModel;
-pub use parallel::{profile_trace_parallel, profile_unit_parallel, ParallelConfig, ShardSpec};
+pub use parallel::{
+    plan_shards, plan_shards_weighted, profile_decoded_parallel, profile_trace_parallel,
+    profile_unit_parallel, shard_plan_cost, ParallelConfig, ReplayStrategy, ShardSpec,
+};
 pub use profile::{ParallelismProfile, RegionStats};
 pub use profiler::{BaselineProfiler, HcpaConfig, Profiler, ProfilerCore, ProfilerStats};
 pub use seed::{profile_unit_seed, SeedProfiler};
 
-use kremlin_interp::trace::{Trace, TraceError};
+use kremlin_interp::trace::{DecodedTrace, Trace, TraceError};
 use kremlin_interp::{InterpError, MachineConfig, RunResult};
 use kremlin_ir::CompiledUnit;
 
@@ -122,6 +125,35 @@ pub fn profile_trace(
     let _span = kremlin_obs::span("shadow");
     let mut profiler = Profiler::new(&unit.module, config);
     let run = kremlin_interp::trace::replay(trace, &unit.module, &mut profiler)?;
+    let (dict, stats) = profiler.finish();
+    let _build = kremlin_obs::span("profile.build");
+    let mut profile =
+        ParallelismProfile::build(&unit.module.regions, dict, &unit.reduction_loops());
+    profile.set_source_name(&unit.module.source_name);
+    Ok(ProfileOutcome { profile, stats, run })
+}
+
+/// [`profile_trace`] over an already-decoded trace: replays the
+/// [`DecodedTrace`] arena into the HCPA profiler with zero varint work
+/// per event. The fired event sequence is bit-identical to the
+/// streaming path, so the outcome is
+/// [`identical_stats`](ParallelismProfile::identical_stats) to both
+/// [`profile_trace`] and [`profile_unit`] with the same `config` — this
+/// is what decode-once sharded collection
+/// ([`profile_decoded_parallel`]) runs per worker.
+///
+/// # Errors
+///
+/// [`TraceError::ModuleMismatch`] when the trace was not decoded from
+/// `unit`'s module.
+pub fn profile_decoded(
+    unit: &CompiledUnit,
+    decoded: &DecodedTrace,
+    config: HcpaConfig,
+) -> Result<ProfileOutcome, TraceError> {
+    let _span = kremlin_obs::span("shadow");
+    let mut profiler = Profiler::new(&unit.module, config);
+    let run = kremlin_interp::trace::replay_decoded(decoded, &unit.module, &mut profiler)?;
     let (dict, stats) = profiler.finish();
     let _build = kremlin_obs::span("profile.build");
     let mut profile =

@@ -7,17 +7,23 @@
 //! a first-class API — and, unlike instrumented native re-execution,
 //! pays for the program's execution **once**: [`profile_unit_parallel`]
 //! records the event stream with [`kremlin_interp::trace::record`], then
-//! [`profile_trace_parallel`] replays the shared immutable trace into K
-//! depth-shard profilers, one per `std::thread` worker, and stitches the
-//! slices with [`ParallelismProfile::stitch`]. Replay also makes the
+//! [`profile_trace_parallel`] decodes the shared trace **once** into a
+//! [`DecodedTrace`] arena, replays the decoded buffers into K
+//! depth-shard profilers (one per `std::thread` worker, zero varint
+//! work each), and stitches the slices with
+//! [`ParallelismProfile::stitch_at`]. Replay also makes the
 //! depth-discovery pre-pass free: the recorder tracks the maximum
-//! nesting depth as it goes.
+//! nesting depth as it goes, and the decode pass accumulates the
+//! per-depth cost histogram that [`plan_shards_weighted`] balances
+//! shard boundaries with — uniform strides leave the shallowest shard
+//! well above the mean on skewed workloads, and the max shard wall *is*
+//! the critical path. [`ReplayStrategy::Streaming`] keeps the
+//! decode-per-worker path for traces too large to materialize.
 //!
-//! Shard ranges overlap by exactly one depth
-//! (`min_depth = k * stride`, `window = stride + 1`): a region's
-//! self-parallelism needs the availability times of both the region's
-//! depth *and its children's*, so the shard that owns depth `d` also
-//! tracks `d + 1`. With ranges planned this way the stitched profile is
+//! Shard ranges overlap by exactly one depth (each shard's window is
+//! one more than the depth span it owns): a region's self-parallelism
+//! needs the availability times of both the region's depth *and its
+//! children's*, so the shard that owns depth `d` also tracks `d + 1`. With ranges planned this way the stitched profile is
 //! **bit-identical** to a single full-window pass
 //! ([`ParallelismProfile::identical_stats`]) whenever the depth estimate
 //! covers the real nesting depth — which the recorded trace's own
@@ -26,8 +32,8 @@
 
 use crate::profile::ParallelismProfile;
 use crate::profiler::HcpaConfig;
-use crate::{profile_trace, ProfileOutcome};
-use kremlin_interp::trace::{Trace, TraceError};
+use crate::{profile_decoded, profile_trace, ProfileOutcome};
+use kremlin_interp::trace::{DecodedTrace, Trace, TraceError};
 use kremlin_interp::{ExecHook, InterpError, MachineConfig, RetCtx};
 use kremlin_ir::{CompiledUnit, FuncId, RegionId};
 use std::time::Instant;
@@ -43,6 +49,23 @@ pub struct ShardSpec {
     pub window: usize,
 }
 
+/// How shard workers consume the shared trace.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum ReplayStrategy {
+    /// Decode the varint stream **once** into a shared
+    /// [`DecodedTrace`] arena; every worker replays the decoded buffers
+    /// with zero varint work, and shard boundaries are cost-balanced
+    /// from the per-depth histogram the decode pass produces for free.
+    #[default]
+    Decoded,
+    /// Every worker runs the streaming varint decoder over the raw
+    /// trace bytes (the pre-arena behavior): K× redundant decode work,
+    /// but no materialized arena — the right trade for traces too large
+    /// to hold decoded in memory. Shards use the uniform planner (the
+    /// histogram only exists after a decode pass).
+    Streaming,
+}
+
 /// Configuration for depth-sharded collection.
 #[derive(Debug, Clone, Copy)]
 pub struct ParallelConfig {
@@ -56,6 +79,9 @@ pub struct ParallelConfig {
     /// bit-identity guarantee for speed (depths beyond the estimate fall
     /// into the last shard's range untracked).
     pub depth_hint: Option<usize>,
+    /// How workers consume the shared trace (decode-once arena by
+    /// default; streaming for traces too big to materialize).
+    pub strategy: ReplayStrategy,
     /// The profiling configuration of the equivalent serial pass. Its
     /// `window` is the total tracked-depth budget; `min_depth` must be 0
     /// (sharding owns the depth ranges).
@@ -69,6 +95,7 @@ impl Default for ParallelConfig {
         ParallelConfig {
             jobs: 3,
             depth_hint: None,
+            strategy: ReplayStrategy::default(),
             hcpa: HcpaConfig::default(),
             machine: MachineConfig::default(),
         }
@@ -94,6 +121,112 @@ pub fn plan_shards(depth: usize, window: usize, jobs: usize) -> Vec<ShardSpec> {
             break;
         }
         shards.push(ShardSpec { min_depth, window: (stride + 1).min(window - min_depth) });
+    }
+    shards
+}
+
+/// How many per-level instruction updates one region instance costs in
+/// the shard planning model. An instance at a tracked stack position
+/// pays enter/exit bookkeeping there — tag allocation, dictionary node
+/// open/close, instance-stat merge — which is far heavier than one
+/// instruction's per-level availability update. Calibrated on the NPB
+/// workloads: measured decoded shard walls fit
+/// `wall ≈ fixed + s · (level_updates + W · instances)` for `W` in the
+/// 40–75 range, and the profiler's per-instance work (~hundreds of ns)
+/// over its per-level update (~6 ns) agrees. Only shifts planned
+/// boundaries; never affects correctness (stitching is bit-identical
+/// at any boundaries).
+pub const REGION_INSTANCE_WEIGHT: u64 = 64;
+
+/// Per-depth planning cost for weighted sharding: the decode-time
+/// instruction histogram ([`DecodedTrace::per_depth_cost`] — how many
+/// per-level availability updates tracking each depth costs) plus
+/// [`REGION_INSTANCE_WEIGHT`] times the region instances created at
+/// that stack position ([`DecodedTrace::region_enter_hist`] — the
+/// instance-churn term that dominates innermost loop depths).
+#[must_use]
+pub fn shard_plan_cost(decoded: &DecodedTrace) -> Vec<u64> {
+    let instr = decoded.per_depth_cost();
+    let enters = decoded.region_enter_hist();
+    let len = instr.len().max(enters.len());
+    let mut cost = vec![0u64; len];
+    for (d, c) in cost.iter_mut().enumerate() {
+        *c = instr.get(d).copied().unwrap_or(0)
+            + REGION_INSTANCE_WEIGHT * enters.get(d).copied().unwrap_or(0);
+    }
+    cost
+}
+
+/// Plans cost-balanced shard depth ranges from a per-depth cost
+/// histogram (what [`shard_plan_cost`] models from the decode pass's
+/// histograms): an exact dynamic-programming linear partition of the
+/// contiguous depth range into at most `jobs` chunks minimizing the
+/// **maximum** shard cost — the replay critical path — instead of
+/// [`plan_shards`]'s uniform strides.
+///
+/// A shard owning depths `[a, b)` also tracks the overlap depth `b`
+/// (the one-depth-overlap invariant that makes stitching bit-identical),
+/// so its cost in the optimization is `cost[a..=b]`, not `cost[a..b]`:
+/// the planner charges each shard for the overlap work it really does.
+///
+/// Falls back to the uniform [`plan_shards`] when no histogram is
+/// available (empty or all-zero `per_depth_cost`); like the uniform
+/// planner, returns fewer than `jobs` shards when there aren't enough
+/// depths, and at least one shard always.
+#[must_use]
+pub fn plan_shards_weighted(per_depth_cost: &[u64], window: usize, jobs: usize) -> Vec<ShardSpec> {
+    let eff = per_depth_cost.len().min(window.max(1));
+    let cost = &per_depth_cost[..eff];
+    if eff == 0 || cost.iter().all(|&c| c == 0) {
+        return plan_shards(per_depth_cost.len(), window, jobs);
+    }
+    let chunks = jobs.max(1).min(eff);
+
+    let mut prefix = vec![0u64; eff + 1];
+    for (d, &c) in cost.iter().enumerate() {
+        prefix[d + 1] = prefix[d] + c;
+    }
+    // True cost of a shard owning [a, b): the owned span plus the
+    // one-depth overlap at b (tracked but owned by the next shard).
+    let chunk_cost =
+        |a: usize, b: usize| -> u64 { prefix[b] - prefix[a] + if b < eff { cost[b] } else { 0 } };
+
+    // dp[k][i]: minimal achievable max shard cost partitioning depths
+    // [i, eff) into exactly k+1 chunks; cut[k][i] records the first
+    // boundary of an optimal split. O(jobs · eff²) with eff ≤ window.
+    let mut dp = vec![vec![u64::MAX; eff + 1]; chunks];
+    let mut cut = vec![vec![0usize; eff + 1]; chunks];
+    for (i, slot) in dp[0].iter_mut().enumerate().take(eff) {
+        *slot = chunk_cost(i, eff);
+    }
+    for k in 1..chunks {
+        // k more cuts need at least k depths after the first chunk.
+        for i in 0..eff - k {
+            for b in i + 1..=eff - k {
+                let worst = chunk_cost(i, b).max(dp[k - 1][b]);
+                if worst < dp[k][i] {
+                    dp[k][i] = worst;
+                    cut[k][i] = b;
+                }
+            }
+        }
+    }
+
+    let mut starts = Vec::with_capacity(chunks);
+    let mut at = 0usize;
+    for k in (0..chunks).rev() {
+        starts.push(at);
+        if k > 0 {
+            at = cut[k][at];
+        }
+    }
+
+    let mut shards = Vec::with_capacity(starts.len());
+    for (k, &min_depth) in starts.iter().enumerate() {
+        let end = starts.get(k + 1).copied().unwrap_or(eff);
+        // One more than the owned span: the overlap depth, clipped by the
+        // serial clamp exactly like the uniform planner's last shard.
+        shards.push(ShardSpec { min_depth, window: (end - min_depth + 1).min(window - min_depth) });
     }
     shards
 }
@@ -179,6 +312,14 @@ pub fn profile_unit_parallel(
 /// shared immutable `trace` into K depth-shard profilers without any
 /// execution at all. This is what `kremlin replay FILE --jobs N` runs.
 ///
+/// With the default [`ReplayStrategy::Decoded`], the varint stream is
+/// decoded **once** into a shared [`DecodedTrace`] arena; workers replay
+/// the decoded buffers with zero varint work, and shard boundaries come
+/// from [`plan_shards_weighted`] over the per-depth cost histogram the
+/// decode pass produced for free. [`ReplayStrategy::Streaming`] keeps
+/// the pre-arena behavior (every worker streams the raw bytes, uniform
+/// [`plan_shards`] boundaries) for traces too large to materialize.
+///
 /// When metrics are enabled, each worker additionally publishes its own
 /// counter set under a `shard.N.` prefix: `events` (events replayed),
 /// `instr_events` and `shadow_live_pages` (shadow slots touched), and a
@@ -202,33 +343,123 @@ pub fn profile_trace_parallel(
     if !trace.matches(&unit.module) {
         return Err(TraceError::ModuleMismatch);
     }
+    match config.strategy {
+        ReplayStrategy::Decoded if config.jobs > 1 => {
+            let decoded = DecodedTrace::decode(trace, &unit.module)?;
+            profile_decoded_parallel(unit, &decoded, config)
+        }
+        _ => profile_trace_parallel_streaming(unit, trace, config),
+    }
+}
+
+/// The [`ReplayStrategy::Streaming`] body of [`profile_trace_parallel`]:
+/// uniform shard planning, every worker runs the varint decoder itself.
+fn profile_trace_parallel_streaming(
+    unit: &CompiledUnit,
+    trace: &Trace,
+    config: ParallelConfig,
+) -> Result<ProfileOutcome, TraceError> {
     let depth = config.depth_hint.unwrap_or_else(|| trace.max_depth());
     let shards = plan_shards(depth, config.hcpa.window, config.jobs);
     if shards.len() <= 1 {
         return profile_trace(unit, trace, config.hcpa);
     }
-    let stride = shards[0].window - 1;
+    run_shards(&shards, trace.events(), config, |shard_cfg| profile_trace(unit, trace, shard_cfg))
+}
 
+/// [`profile_trace_parallel`] over an already-decoded trace: plans
+/// cost-balanced shard boundaries from the arena's per-depth histogram
+/// and replays the shared decoded buffers into K depth-shard profilers.
+/// Use this directly to amortize one decode across many profiling
+/// configurations; [`profile_trace_parallel`] calls it after decoding.
+///
+/// # Errors
+///
+/// [`TraceError::ModuleMismatch`] when the trace was not recorded from
+/// `unit`'s module.
+///
+/// # Panics
+///
+/// Panics if `config.hcpa.min_depth != 0` or `config.hcpa.window < 2`.
+pub fn profile_decoded_parallel(
+    unit: &CompiledUnit,
+    decoded: &DecodedTrace,
+    config: ParallelConfig,
+) -> Result<ProfileOutcome, TraceError> {
+    assert_eq!(config.hcpa.min_depth, 0, "sharding owns the depth ranges");
+    assert!(config.hcpa.window >= 2, "window must cover a region and its children");
+    if !decoded.matches(&unit.module) {
+        return Err(TraceError::ModuleMismatch);
+    }
+    let cost = shard_plan_cost(decoded);
+    // A depth hint keeps its documented meaning: it truncates the
+    // planning domain (an underestimate trades bit-identity for speed).
+    let dom = config.depth_hint.unwrap_or(cost.len()).min(cost.len());
+    let shards = plan_shards_weighted(&cost[..dom], config.hcpa.window, config.jobs);
+    if shards.len() <= 1 || config.jobs <= 1 {
+        return profile_decoded(unit, decoded, config.hcpa);
+    }
+    run_shards(&shards, decoded.events(), config, |shard_cfg| {
+        profile_decoded(unit, decoded, shard_cfg)
+    })
+}
+
+/// Per-worker metric handles, resolved **once** before the worker
+/// spawns: `counter_named` allocates and takes a registry lock, which is
+/// fine per shard but not inside hot reporting paths.
+struct ShardMetrics {
+    events: &'static kremlin_obs::Counter,
+    instr_events: &'static kremlin_obs::Counter,
+    shadow_live_pages: &'static kremlin_obs::Counter,
+    wall_us: &'static kremlin_obs::Gauge,
+}
+
+impl ShardMetrics {
+    fn resolve(k: usize) -> ShardMetrics {
+        ShardMetrics {
+            events: kremlin_obs::counter_named(&format!("shard.{k}.events")),
+            instr_events: kremlin_obs::counter_named(&format!("shard.{k}.instr_events")),
+            shadow_live_pages: kremlin_obs::counter_named(&format!("shard.{k}.shadow_live_pages")),
+            wall_us: kremlin_obs::gauge_named(&format!("shard.{k}.wall_us")),
+        }
+    }
+
+    fn publish(&self, events: u64, outcome: &ProfileOutcome, started: Instant) {
+        self.events.add(events);
+        self.instr_events.add(outcome.stats.instr_events);
+        self.shadow_live_pages.add(outcome.stats.shadow_live_pages);
+        self.wall_us.set_max(started.elapsed().as_micros() as u64);
+    }
+}
+
+/// Spawns one worker per shard, collects the slices, aggregates shadow
+/// stats, and stitches at the planned boundaries. `profile_shard` runs
+/// on the worker thread with that shard's depth range installed;
+/// `trace_events` is the shared trace's total event count (every shard
+/// replays the whole stream).
+fn run_shards<F>(
+    shards: &[ShardSpec],
+    trace_events: u64,
+    config: ParallelConfig,
+    profile_shard: F,
+) -> Result<ProfileOutcome, TraceError>
+where
+    F: Fn(HcpaConfig) -> Result<ProfileOutcome, TraceError> + Sync,
+{
     let mut outcomes: Vec<Option<Result<ProfileOutcome, TraceError>>> = Vec::new();
     outcomes.resize_with(shards.len(), || None);
+    let metrics_on = kremlin_obs::metrics_enabled();
     std::thread::scope(|scope| {
         for (k, (shard, slot)) in shards.iter().zip(outcomes.iter_mut()).enumerate() {
             let hcpa =
                 HcpaConfig { window: shard.window, min_depth: shard.min_depth, ..config.hcpa };
+            let metrics = metrics_on.then(|| ShardMetrics::resolve(k));
+            let profile_shard = &profile_shard;
             scope.spawn(move || {
                 let started = Instant::now();
-                let res = profile_trace(unit, trace, hcpa);
-                if kremlin_obs::metrics_enabled() {
-                    if let Ok(o) = &res {
-                        kremlin_obs::counter_named(&format!("shard.{k}.events"))
-                            .add(trace.events());
-                        kremlin_obs::counter_named(&format!("shard.{k}.instr_events"))
-                            .add(o.stats.instr_events);
-                        kremlin_obs::counter_named(&format!("shard.{k}.shadow_live_pages"))
-                            .add(o.stats.shadow_live_pages);
-                        kremlin_obs::gauge_named(&format!("shard.{k}.wall_us"))
-                            .set_max(started.elapsed().as_micros() as u64);
-                    }
+                let res = profile_shard(hcpa);
+                if let (Some(m), Ok(o)) = (&metrics, &res) {
+                    m.publish(trace_events, o, started);
                 }
                 *slot = Some(res);
             });
@@ -255,8 +486,9 @@ pub fn profile_trace_parallel(
         slices.push(o.profile);
     }
     let stats = stats.expect("at least one shard");
+    let starts: Vec<usize> = shards.iter().map(|s| s.min_depth).collect();
     let stitch_span = kremlin_obs::span("stitch");
-    let profile = ParallelismProfile::stitch(&slices, stride + 1);
+    let profile = ParallelismProfile::stitch_at(&slices, &starts);
     drop(stitch_span);
     kremlin_obs::counter!("hcpa.stitch.slices").add(slices.len() as u64);
     Ok(ProfileOutcome { profile, stats, run: run.expect("at least one shard") })
@@ -308,6 +540,170 @@ mod tests {
                 assert_eq!(w[0].min_depth + w[0].window, w[1].min_depth + 1, "{shards:?}");
             }
         }
+    }
+
+    /// Cost a shard really pays: the histogram over its full tracked
+    /// range (owned span plus the overlap depth).
+    fn shard_cost(cost: &[u64], s: &ShardSpec) -> u64 {
+        let hi = (s.min_depth + s.window).min(cost.len());
+        cost[s.min_depth.min(hi)..hi].iter().sum()
+    }
+
+    /// Exhaustive minimum over every contiguous partition of the
+    /// effective depth range into at most `jobs` chunks.
+    fn brute_force_best(cost: &[u64], window: usize, jobs: usize) -> u64 {
+        let eff = cost.len().min(window);
+        fn go(cost: &[u64], eff: usize, at: usize, left: usize) -> u64 {
+            if left == 1 || at + 1 >= eff {
+                return cost[at..eff].iter().sum();
+            }
+            let mut best = u64::MAX;
+            for b in at + 1..eff {
+                let head: u64 = cost[at..b].iter().sum::<u64>() + cost[b];
+                best = best.min(head.max(go(cost, eff, b, left - 1)));
+            }
+            // Also allow using fewer chunks than permitted.
+            best.min(cost[at..eff].iter().sum())
+        }
+        go(cost, eff, 0, jobs)
+    }
+
+    #[test]
+    fn weighted_plans_preserve_the_overlap_invariant() {
+        let hists: [&[u64]; 6] = [
+            &[100, 90, 80, 40, 10, 2, 1, 1],      // typical suffix-sum skew
+            &[7, 7, 7, 7, 7, 7, 7, 7],            // uniform
+            &[1000, 1, 1, 1, 1, 1, 1, 1],         // extreme head spike
+            &[5, 0, 0, 5, 0, 0, 5, 0],            // zero plateaus
+            &[3],                                 // single depth
+            &[50, 40, 30, 20, 10, 9, 8, 7, 6, 5], // deeper than some windows
+        ];
+        for cost in hists {
+            for (window, jobs) in [(24, 3), (24, 1), (8, 2), (4, 4), (24, 16)] {
+                let shards = plan_shards_weighted(cost, window, jobs);
+                assert!(!shards.is_empty());
+                assert!(shards.len() <= jobs.max(1), "{shards:?}");
+                assert_eq!(shards[0].min_depth, 0, "{shards:?}");
+                for w in shards.windows(2) {
+                    assert_eq!(
+                        w[0].min_depth + w[0].window,
+                        w[1].min_depth + 1,
+                        "one-depth overlap broken: {shards:?}"
+                    );
+                }
+                let last = shards.last().unwrap();
+                let eff = cost.len().min(window);
+                assert!(
+                    last.min_depth + last.window >= eff.min(window),
+                    "plan does not cover the range: {shards:?}"
+                );
+                for s in &shards {
+                    assert!(s.min_depth + s.window <= window, "serial clamp broken: {shards:?}");
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn weighted_plans_are_optimal_against_brute_force() {
+        let hists: [&[u64]; 5] = [
+            &[100, 90, 80, 40, 10, 2, 1, 1],
+            &[7, 7, 7, 7, 7, 7],
+            &[1000, 1, 1, 1, 1, 1],
+            &[5, 0, 0, 5, 0, 0, 5],
+            &[1, 2, 3, 4, 5, 6, 7, 8],
+        ];
+        for cost in hists {
+            for (window, jobs) in [(24, 2), (24, 3), (24, 4), (5, 3)] {
+                let shards = plan_shards_weighted(cost, window, jobs);
+                let planned_max = shards.iter().map(|s| shard_cost(cost, s)).max().unwrap();
+                let best = brute_force_best(cost, window, jobs);
+                assert_eq!(
+                    planned_max, best,
+                    "suboptimal split for cost={cost:?} window={window} jobs={jobs}: {shards:?}"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn weighted_plan_flattens_a_skewed_histogram() {
+        // Suffix-sum-shaped skew: uniform strides overload shard 0.
+        let cost: &[u64] = &[90, 60, 40, 12, 8, 4, 2, 1, 1];
+        let uniform = plan_shards(cost.len(), 24, 3);
+        let weighted = plan_shards_weighted(cost, 24, 3);
+        let max = |plan: &[ShardSpec]| plan.iter().map(|s| shard_cost(cost, s)).max().unwrap();
+        assert!(
+            max(&weighted) < max(&uniform),
+            "weighted {weighted:?} ({}) not flatter than uniform {uniform:?} ({})",
+            max(&weighted),
+            max(&uniform)
+        );
+    }
+
+    #[test]
+    fn shard_plan_cost_combines_level_updates_and_instance_churn() {
+        let unit = kremlin_ir::compile(DEEP_SRC, "deep.kc").unwrap();
+        let trace = kremlin_interp::trace::record(&unit.module, MachineConfig::default()).unwrap();
+        let decoded = kremlin_interp::trace::DecodedTrace::decode(&trace, &unit.module).unwrap();
+        let cost = shard_plan_cost(&decoded);
+        let instr = decoded.per_depth_cost();
+        let enters = decoded.region_enter_hist();
+        assert_eq!(cost.len(), instr.len().max(enters.len()));
+        for (d, &c) in cost.iter().enumerate() {
+            assert_eq!(
+                c,
+                instr.get(d).copied().unwrap_or(0)
+                    + REGION_INSTANCE_WEIGHT * enters.get(d).copied().unwrap_or(0),
+                "depth {d}"
+            );
+        }
+        // Every region instance lands somewhere: the churn term's total
+        // is the weight times the number of enter events.
+        let enters_total: u64 = enters.iter().sum();
+        let instr_total: u64 = instr.iter().sum();
+        let cost_total: u64 = cost.iter().sum();
+        assert_eq!(cost_total, instr_total + REGION_INSTANCE_WEIGHT * enters_total);
+        assert!(enters_total > 0, "deep program must create region instances");
+    }
+
+    #[test]
+    fn weighted_plan_falls_back_to_uniform_without_a_histogram() {
+        assert_eq!(plan_shards_weighted(&[], 24, 3), plan_shards(0, 24, 3));
+        assert_eq!(plan_shards_weighted(&[0, 0, 0, 0, 0, 0, 0, 0], 24, 3), plan_shards(8, 24, 3));
+        assert_eq!(plan_shards_weighted(&[0; 30], 8, 2), plan_shards(30, 8, 2));
+    }
+
+    #[test]
+    fn decoded_and_streaming_strategies_are_bit_identical() {
+        let unit = kremlin_ir::compile(DEEP_SRC, "deep.kc").unwrap();
+        let serial = profile_unit(&unit, HcpaConfig::default()).unwrap();
+        let trace = kremlin_interp::trace::record(&unit.module, MachineConfig::default()).unwrap();
+        for jobs in [2, 3] {
+            let decoded = profile_trace_parallel(
+                &unit,
+                &trace,
+                ParallelConfig { jobs, ..ParallelConfig::default() },
+            )
+            .unwrap();
+            let streaming = profile_trace_parallel(
+                &unit,
+                &trace,
+                ParallelConfig {
+                    jobs,
+                    strategy: ReplayStrategy::Streaming,
+                    ..ParallelConfig::default()
+                },
+            )
+            .unwrap();
+            assert!(decoded.profile.identical_stats(&serial.profile), "decoded {jobs}-way");
+            assert!(streaming.profile.identical_stats(&serial.profile), "streaming {jobs}-way");
+            assert_eq!(decoded.run, serial.run);
+        }
+        // The pre-decoded entry point matches too, amortizing one decode.
+        let arena = kremlin_interp::trace::DecodedTrace::decode(&trace, &unit.module).unwrap();
+        let out = profile_decoded_parallel(&unit, &arena, ParallelConfig::default()).unwrap();
+        assert!(out.profile.identical_stats(&serial.profile));
     }
 
     #[test]

@@ -334,12 +334,36 @@ impl ParallelismProfile {
     /// region count.
     #[must_use]
     pub fn stitch(slices: &[ParallelismProfile], window: usize) -> ParallelismProfile {
-        assert!(!slices.is_empty(), "stitch of zero slices");
         assert!(window >= 2, "window must cover a region and its children");
+        let stride = window - 1;
+        let starts: Vec<usize> = (0..slices.len()).map(|k| k * stride).collect();
+        ParallelismProfile::stitch_at(slices, &starts)
+    }
+
+    /// [`stitch`](ParallelismProfile::stitch) with explicit, possibly
+    /// non-uniform slice boundaries: `starts[k]` is the first depth
+    /// *owned* by slice `k` (`starts[0]` must be 0, strictly
+    /// increasing), and depth `d` is taken from the last slice whose
+    /// start is `<= d`. This is what cost-balanced shard plans
+    /// ([`crate::parallel::plan_shards_weighted`]) stitch with, where
+    /// every shard owns a different number of depths; the uniform-stride
+    /// [`stitch`](ParallelismProfile::stitch) is the special case
+    /// `starts[k] = k * (window - 1)`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `slices` is empty, `starts` has a different length,
+    /// `starts[0] != 0`, starts are not strictly increasing, or the
+    /// profiles disagree on region count.
+    #[must_use]
+    pub fn stitch_at(slices: &[ParallelismProfile], starts: &[usize]) -> ParallelismProfile {
+        assert!(!slices.is_empty(), "stitch of zero slices");
+        assert_eq!(slices.len(), starts.len(), "one start depth per slice");
+        assert_eq!(starts[0], 0, "slice 0 must own depth 0");
+        assert!(starts.windows(2).all(|w| w[0] < w[1]), "starts must strictly increase");
         let n = slices[0].stats.len();
         assert!(slices.iter().all(|p| p.stats.len() == n), "mismatched modules");
-        let stride = window - 1;
-        let owner = |d: usize| (d / stride).min(slices.len() - 1);
+        let owner = |d: usize| starts.partition_point(|&s| s <= d) - 1;
         let mut merged = slices[0].clone();
         let root_work = merged.root_work;
         for r in 0..n {

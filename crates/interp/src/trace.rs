@@ -47,7 +47,7 @@
 use crate::error::InterpError;
 use crate::hooks::{CallCtx, ExecHook, InstrCtx, RetCtx};
 use crate::machine::{run_with_hook, MachineConfig, RunResult};
-use kremlin_ir::{FuncId, InstrKind, Module, RegionId, ValueId};
+use kremlin_ir::{FuncId, Function, InstrKind, Module, RegionId, ValueId};
 use std::fmt;
 
 /// Magic line opening every trace file; the trailing digit is the format
@@ -451,6 +451,21 @@ pub fn replay<H: ExecHook>(
     hook: &mut H,
 ) -> Result<RunResult, TraceError> {
     let _span = kremlin_obs::span("replay");
+    let run = replay_into(trace, module, hook)?;
+    kremlin_obs::counter!("trace.replay.runs").incr();
+    kremlin_obs::counter!("trace.replay.events").add(trace.events);
+    Ok(run)
+}
+
+/// The shared decode-validate-dispatch loop behind [`replay`] and
+/// [`DecodedTrace::decode`]: everything except the span and the
+/// `trace.replay.*` counters, so decoding a trace is not misreported as
+/// replaying it.
+fn replay_into<H: ExecHook>(
+    trace: &Trace,
+    module: &Module,
+    hook: &mut H,
+) -> Result<RunResult, TraceError> {
     if !trace.matches(module) {
         return Err(TraceError::ModuleMismatch);
     }
@@ -650,9 +665,368 @@ pub fn replay<H: ExecHook>(
             format!("event count mismatch: header says {}, decoded {decoded}", trace.events),
         ));
     }
-    kremlin_obs::counter!("trace.replay.runs").incr();
-    kremlin_obs::counter!("trace.replay.events").add(decoded);
     Ok(trace.run_result())
+}
+
+/// A fully decoded, validated, in-memory form of a [`Trace`]: the varint
+/// stream expanded once into structure-of-arrays event buffers so that
+/// [`replay_decoded`] can re-fire the event sequence with zero decode
+/// work per pass.
+///
+/// This is an in-memory *representation*, not a format: the on-disk
+/// trace stays `kremlin-trace v1`, and [`DecodedTrace::decode`] accepts
+/// exactly the traces [`replay`] accepts (it runs the same validating
+/// decode loop). K depth-shard workers replaying a shared
+/// `&DecodedTrace` pay the LEB128/zigzag decode once instead of K times;
+/// for traces too large to materialize, the streaming [`replay`] path
+/// remains the fallback (see [`arena_bytes`](DecodedTrace::arena_bytes)).
+///
+/// Layout: one tag byte and one `u32` payload per event (parallel
+/// arrays), plus side arrays consumed in order by cursors during
+/// replay — resolved *absolute* memory addresses (one per mem event, the
+/// zigzag delta chain already applied) and phi sources (one per phi
+/// event). Each event is annotated with its region/function nesting
+/// depth, and the decode pass accumulates a per-depth histogram of
+/// instruction events as a free by-product — the cost model
+/// [`per_depth_cost`](DecodedTrace::per_depth_cost) that weighted shard
+/// planning runs on.
+#[derive(Debug, Clone)]
+pub struct DecodedTrace {
+    fingerprint: u64,
+    exit: i64,
+    instrs_executed: u64,
+    max_depth: usize,
+    tags: Vec<u8>,
+    payloads: Vec<u32>,
+    depths: Vec<u16>,
+    mem_addrs: Vec<u64>,
+    phi_sources: Vec<u32>,
+    instr_depth_hist: Vec<u64>,
+    region_enter_hist: Vec<u64>,
+}
+
+/// The [`ExecHook`] that builds a [`DecodedTrace`] while the validating
+/// replay loop drives it: the inverse of [`Recorder`], but into SoA
+/// buffers instead of varints.
+#[derive(Debug, Default)]
+struct ArenaBuilder {
+    tags: Vec<u8>,
+    payloads: Vec<u32>,
+    depths: Vec<u16>,
+    mem_addrs: Vec<u64>,
+    phi_sources: Vec<u32>,
+    instr_depth_hist: Vec<u64>,
+    region_enter_hist: Vec<u64>,
+    depth: usize,
+    too_deep: bool,
+}
+
+impl ArenaBuilder {
+    #[inline]
+    fn event(&mut self, tag: u8, payload: u64) {
+        self.tags.push(tag);
+        // Every valid payload was range-checked against a module entity
+        // count by the replay loop, so the cast cannot truncate (cd-pop
+        // payloads are 0 by construction and never read back).
+        self.payloads.push(payload as u32);
+        self.depths.push(self.depth as u16);
+        self.too_deep |= self.depth > usize::from(u16::MAX);
+    }
+
+    #[inline]
+    fn bump(hist: &mut Vec<u64>, depth: usize) {
+        if depth >= hist.len() {
+            hist.resize(depth + 1, 0);
+        }
+        hist[depth] += 1;
+    }
+
+    #[inline]
+    fn instr_at_depth(&mut self) {
+        Self::bump(&mut self.instr_depth_hist, self.depth);
+    }
+
+    /// Called for function and region enters alike: the new region
+    /// instance lands at stack position `self.depth` (the pre-push
+    /// nesting depth), which is the tracked-depth index its
+    /// instance-churn cost accrues to.
+    #[inline]
+    fn enter_at_depth(&mut self) {
+        Self::bump(&mut self.region_enter_hist, self.depth);
+    }
+}
+
+impl ExecHook for ArenaBuilder {
+    fn on_instr(&mut self, ctx: &InstrCtx<'_>) {
+        let idx = ctx.value.index() as u64;
+        match (ctx.mem_addr, ctx.phi_source) {
+            (Some(addr), _) => {
+                self.event(TAG_INSTR_MEM, idx);
+                self.mem_addrs.push(addr);
+            }
+            (None, Some(src)) => {
+                self.event(TAG_INSTR_PHI, idx);
+                self.phi_sources.push(src.index() as u32);
+            }
+            (None, None) => self.event(TAG_INSTR, idx),
+        }
+        self.instr_at_depth();
+    }
+
+    fn on_call(&mut self, ctx: &CallCtx<'_>) {
+        self.event(TAG_CALL, ctx.call_value.index() as u64);
+    }
+
+    fn on_function_enter(&mut self, func: FuncId, _region: RegionId) {
+        self.event(TAG_FUNC_ENTER, u64::from(func.0));
+        self.enter_at_depth();
+        self.depth += 1;
+    }
+
+    fn on_return(&mut self, ctx: &RetCtx) {
+        self.event(TAG_RETURN, ctx.returned.map_or(0, |v| v.index() as u64 + 1));
+        self.depth -= 1;
+    }
+
+    fn on_region_enter(&mut self, region: RegionId) {
+        self.event(TAG_REGION_ENTER, u64::from(region.0));
+        self.enter_at_depth();
+        self.depth += 1;
+    }
+
+    fn on_region_exit(&mut self, region: RegionId) {
+        self.event(TAG_REGION_EXIT, u64::from(region.0));
+        self.depth -= 1;
+    }
+
+    fn on_cd_push(&mut self, cond: ValueId) {
+        self.event(TAG_CD_PUSH, cond.index() as u64);
+    }
+
+    fn on_cd_pop(&mut self) {
+        self.event(TAG_CD_POP, 0);
+    }
+}
+
+impl DecodedTrace {
+    /// Decodes and validates `trace` in one pass.
+    ///
+    /// Runs the exact [`replay`] decode loop (every id bounds-checked,
+    /// every bracket balanced), so this accepts precisely the traces the
+    /// streaming path accepts — and a decoded trace never needs
+    /// re-validating.
+    ///
+    /// # Errors
+    ///
+    /// [`TraceError::ModuleMismatch`] when the trace was recorded from a
+    /// different program; [`TraceError::Corrupt`] for structural damage
+    /// or nesting too deep to annotate (more than `u16::MAX` levels).
+    pub fn decode(trace: &Trace, module: &Module) -> Result<DecodedTrace, TraceError> {
+        let _span = kremlin_obs::span("decode");
+        let mut builder = ArenaBuilder::default();
+        builder.tags.reserve(trace.events as usize);
+        builder.payloads.reserve(trace.events as usize);
+        builder.depths.reserve(trace.events as usize);
+        let run = replay_into(trace, module, &mut builder)?;
+        if builder.too_deep {
+            return Err(TraceError::Corrupt {
+                offset: 0,
+                message: "nesting exceeds u16::MAX, too deep to annotate".into(),
+            });
+        }
+        let decoded = DecodedTrace {
+            fingerprint: trace.fingerprint,
+            exit: run.exit,
+            instrs_executed: run.instrs_executed,
+            max_depth: trace.max_depth,
+            tags: builder.tags,
+            payloads: builder.payloads,
+            depths: builder.depths,
+            mem_addrs: builder.mem_addrs,
+            phi_sources: builder.phi_sources,
+            instr_depth_hist: builder.instr_depth_hist,
+            region_enter_hist: builder.region_enter_hist,
+        };
+        kremlin_obs::counter!("trace.decode.runs").incr();
+        kremlin_obs::counter!("trace.decode.events").add(decoded.events());
+        kremlin_obs::counter!("trace.decode.bytes").add(decoded.arena_bytes() as u64);
+        Ok(decoded)
+    }
+
+    /// The recorded program's own result, without re-executing.
+    pub fn run_result(&self) -> RunResult {
+        RunResult { exit: self.exit, instrs_executed: self.instrs_executed }
+    }
+
+    /// Number of decoded events.
+    pub fn events(&self) -> u64 {
+        self.tags.len() as u64
+    }
+
+    /// Maximum region/function nesting depth of the recorded execution.
+    pub fn max_depth(&self) -> usize {
+        self.max_depth
+    }
+
+    /// Structural fingerprint of the module this trace was recorded from.
+    pub fn fingerprint(&self) -> u64 {
+        self.fingerprint
+    }
+
+    /// True when this trace was recorded from (a module structurally
+    /// identical to) `module`.
+    pub fn matches(&self, module: &Module) -> bool {
+        self.fingerprint == module_fingerprint(module)
+    }
+
+    /// Per-event nesting depth annotations (parallel to the event order).
+    pub fn depths(&self) -> &[u16] {
+        &self.depths
+    }
+
+    /// Instruction events observed per nesting depth — the raw histogram
+    /// accumulated for free during [`decode`](DecodedTrace::decode).
+    pub fn instr_depth_hist(&self) -> &[u64] {
+        &self.instr_depth_hist
+    }
+
+    /// Region/function enter events per stack position: entry `p`
+    /// counts the region instances created at nesting depth `p` (the
+    /// pre-push depth — where the new instance lands on the region
+    /// stack). Accumulated for free during
+    /// [`decode`](DecodedTrace::decode); the instance-churn term of
+    /// weighted shard cost models.
+    pub fn region_enter_hist(&self) -> &[u64] {
+        &self.region_enter_hist
+    }
+
+    /// Estimated profiler cost of tracking each depth, for weighted
+    /// shard planning.
+    ///
+    /// The HCPA profiler does per-depth work for an instruction at
+    /// nesting depth `D` at every tracked depth `d < D` (time
+    /// propagation touches all enclosing levels), so the cost of owning
+    /// depth `d` is the number of instruction events strictly deeper
+    /// than it: the suffix sums of
+    /// [`instr_depth_hist`](DecodedTrace::instr_depth_hist). The result
+    /// is nonincreasing in `d` and has one entry per depth that does any
+    /// work.
+    #[must_use]
+    pub fn per_depth_cost(&self) -> Vec<u64> {
+        let hist = &self.instr_depth_hist;
+        if hist.is_empty() {
+            return Vec::new();
+        }
+        let mut cost = vec![0u64; hist.len() - 1];
+        let mut deeper = 0u64;
+        for d in (0..cost.len()).rev() {
+            deeper += hist[d + 1];
+            cost[d] = deeper;
+        }
+        cost
+    }
+
+    /// Resident size of the decoded arena in bytes — what deciding
+    /// between this path and streaming [`replay`] should weigh for very
+    /// large traces.
+    pub fn arena_bytes(&self) -> usize {
+        self.tags.len()
+            + self.payloads.len() * 4
+            + self.depths.len() * 2
+            + self.mem_addrs.len() * 8
+            + self.phi_sources.len() * 4
+            + self.instr_depth_hist.len() * 8
+            + self.region_enter_hist.len() * 8
+    }
+}
+
+/// Replays a decoded trace into `hook`, firing the exact event sequence
+/// of the streaming [`replay`] — bit-identical hook inputs — with zero
+/// varint work: one tag-dispatch per event over cache-friendly
+/// sequential buffers.
+///
+/// Validation already happened in [`DecodedTrace::decode`]; only the
+/// module fingerprint is re-checked, so a decoded arena can be replayed
+/// many times (and from many threads, `&DecodedTrace` is `Sync`) at the
+/// cost of a dispatch loop.
+///
+/// # Errors
+///
+/// [`TraceError::ModuleMismatch`] when `module` is not (structurally
+/// identical to) the module the trace was decoded against.
+pub fn replay_decoded<H: ExecHook>(
+    decoded: &DecodedTrace,
+    module: &Module,
+    hook: &mut H,
+) -> Result<RunResult, TraceError> {
+    // Shares the streaming path's phase name so "replay" spans stay
+    // comparable across strategies; decode time shows up under "decode".
+    let _span = kremlin_obs::span("replay");
+    if !decoded.matches(module) {
+        return Err(TraceError::ModuleMismatch);
+    }
+    let mut funcs: Vec<(FuncId, &Function)> = Vec::new();
+    let mut mem = 0usize;
+    let mut phi = 0usize;
+    for (&tag, &payload) in decoded.tags.iter().zip(&decoded.payloads) {
+        let idx = payload as usize;
+        match tag {
+            TAG_INSTR | TAG_INSTR_MEM | TAG_INSTR_PHI => {
+                let (_, func) = funcs.last().expect("decode validated function nesting");
+                let value = ValueId::from_index(idx);
+                let kind = &func.value(value).kind;
+                let (mem_addr, phi_source) = match tag {
+                    TAG_INSTR_MEM => {
+                        mem += 1;
+                        (Some(decoded.mem_addrs[mem - 1]), None)
+                    }
+                    TAG_INSTR_PHI => {
+                        phi += 1;
+                        (None, Some(ValueId::from_index(decoded.phi_sources[phi - 1] as usize)))
+                    }
+                    _ => (None, None),
+                };
+                hook.on_instr(&InstrCtx { func, value, kind, mem_addr, phi_source });
+            }
+            TAG_CALL => {
+                let (_, func) = funcs.last().expect("decode validated function nesting");
+                let value = ValueId::from_index(idx);
+                let InstrKind::Call { func: callee, args } = &func.value(value).kind else {
+                    unreachable!("decode validated call events");
+                };
+                hook.on_call(&CallCtx {
+                    caller: func,
+                    callee: *callee,
+                    callee_region: module.func(*callee).region,
+                    args,
+                    call_value: value,
+                });
+            }
+            TAG_FUNC_ENTER => {
+                let fid = FuncId::from_index(idx);
+                let func = module.func(fid);
+                funcs.push((fid, func));
+                hook.on_function_enter(fid, func.region);
+            }
+            TAG_RETURN => {
+                let (fid, func) = *funcs.last().expect("decode validated function nesting");
+                let returned = match idx {
+                    0 => None,
+                    v => Some(ValueId::from_index(v - 1)),
+                };
+                hook.on_return(&RetCtx { func: fid, region: func.region, returned });
+                funcs.pop();
+            }
+            TAG_REGION_ENTER => hook.on_region_enter(RegionId(payload)),
+            TAG_REGION_EXIT => hook.on_region_exit(RegionId(payload)),
+            TAG_CD_PUSH => hook.on_cd_push(ValueId::from_index(idx)),
+            TAG_CD_POP => hook.on_cd_pop(),
+            _ => unreachable!("decode validated event tags"),
+        }
+    }
+    kremlin_obs::counter!("trace.replay.runs").incr();
+    kremlin_obs::counter!("trace.replay.events").add(decoded.events());
+    Ok(decoded.run_result())
 }
 
 #[cfg(test)]
@@ -783,6 +1157,80 @@ mod tests {
         let mut replayed = TraceHook::default();
         replay(&trace, &unit.module, &mut replayed).unwrap();
         assert_eq!(obs.events, replayed.events);
+    }
+
+    #[test]
+    fn decoded_replay_fires_the_identical_event_stream() {
+        let (unit, trace) = recorded();
+        let mut streamed = TraceHook::default();
+        let run = replay(&trace, &unit.module, &mut streamed).unwrap();
+        let decoded = DecodedTrace::decode(&trace, &unit.module).unwrap();
+        let mut arena = TraceHook::default();
+        let drun = replay_decoded(&decoded, &unit.module, &mut arena).unwrap();
+        assert_eq!(run, drun);
+        assert_eq!(streamed.events, arena.events, "decoded replay must be bit-identical");
+        assert_eq!(decoded.events(), trace.events());
+        assert_eq!(decoded.max_depth(), trace.max_depth());
+        assert_eq!(decoded.run_result(), trace.run_result());
+    }
+
+    #[test]
+    fn decode_histogram_is_consistent() {
+        let (unit, trace) = recorded();
+        let decoded = DecodedTrace::decode(&trace, &unit.module).unwrap();
+        let hist = decoded.instr_depth_hist();
+        assert_eq!(hist.first(), Some(&0), "no instruction fires outside main");
+        assert!(hist.len() <= decoded.max_depth() + 1);
+        // Depth annotations and the histogram are two views of one count.
+        let mut by_depth = vec![0u64; hist.len()];
+        for (i, &d) in decoded.depths().iter().enumerate() {
+            // Private-field access: tags is in-module here.
+            if decoded.tags[i] <= TAG_INSTR_PHI {
+                by_depth[usize::from(d)] += 1;
+            }
+        }
+        assert_eq!(by_depth, hist);
+        // The cost model is the suffix sums: nonincreasing, starting at
+        // the total instruction event count.
+        let cost = decoded.per_depth_cost();
+        assert_eq!(cost.len(), hist.len() - 1);
+        assert_eq!(cost[0], hist.iter().sum::<u64>());
+        assert!(cost.windows(2).all(|w| w[0] >= w[1]), "{cost:?}");
+        assert!(decoded.arena_bytes() > 0);
+    }
+
+    #[test]
+    fn decoded_replay_against_the_wrong_module_fails() {
+        let (unit, trace) = recorded();
+        let decoded = DecodedTrace::decode(&trace, &unit.module).unwrap();
+        let other = compile("int main() { return 3; }", "other.kc").unwrap();
+        let e = replay_decoded(&decoded, &other.module, &mut crate::NullHook).unwrap_err();
+        assert_eq!(e, TraceError::ModuleMismatch);
+        let e = DecodedTrace::decode(&trace, &other.module).unwrap_err();
+        assert_eq!(e, TraceError::ModuleMismatch);
+    }
+
+    #[test]
+    fn decode_rejects_what_streaming_replay_rejects() {
+        let (unit, trace) = recorded();
+        let mut empty = trace.clone();
+        empty.bytes.clear();
+        assert!(matches!(
+            DecodedTrace::decode(&empty, &unit.module),
+            Err(TraceError::Corrupt { .. })
+        ));
+        // Same damaged payloads as the streaming-side corruption test:
+        // both decoders must agree event-stream damage is an error, never
+        // a panic.
+        for (i, flip) in [(0usize, 0xffu8), (3, 0x3f), (10, 0x70)] {
+            let mut dam = trace.clone();
+            if i < dam.bytes.len() {
+                dam.bytes[i] ^= flip;
+                let streamed = replay(&dam, &unit.module, &mut crate::NullHook).is_err();
+                let decoded = DecodedTrace::decode(&dam, &unit.module).is_err();
+                assert_eq!(streamed, decoded, "paths disagree on damage at byte {i}");
+            }
+        }
     }
 
     #[test]

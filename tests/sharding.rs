@@ -12,9 +12,10 @@
 //! across shard workers — matches live execution exactly.
 
 use kremlin_repro::hcpa::{
-    profile_trace, profile_trace_parallel, profile_unit, HcpaConfig, ParallelConfig,
-    ParallelismProfile, ProfileOutcome,
+    profile_decoded_parallel, profile_trace, profile_trace_parallel, profile_unit, HcpaConfig,
+    ParallelConfig, ParallelismProfile, ProfileOutcome, ReplayStrategy,
 };
+use kremlin_repro::interp::trace::DecodedTrace;
 use kremlin_repro::interp::{record, MachineConfig};
 use kremlin_repro::ir::compile;
 
@@ -118,23 +119,62 @@ fn sharded_replay_of_one_trace_is_bit_identical_on_every_workload() {
     }
 }
 
-/// Replay survives the disk round trip: encode, decode, then shard — the
-/// stitched result must still be bit-identical to live serial profiling.
+/// Every workload: the decode-once arena strategy and the streaming
+/// strategy over the same trace are both bit-identical to serial — the
+/// two replay paths are interchangeable, shard plan differences
+/// (cost-balanced vs uniform) and all.
 #[test]
-fn sharded_replay_survives_the_byte_round_trip() {
-    for name in ["bt", "lu", "cg"] {
-        let w = kremlin_repro::workloads::by_name(name).expect("workload");
+fn decoded_and_streaming_sharded_replay_agree_on_every_workload() {
+    for w in kremlin_repro::workloads::all() {
         let (unit, serial) = serial_and_compiled(&w);
         let trace = record(&unit.module, MachineConfig::default()).expect("record");
-        let decoded = kremlin_repro::interp::Trace::from_bytes(&trace.to_bytes())
+        for (strategy, label) in
+            [(ReplayStrategy::Decoded, "decoded"), (ReplayStrategy::Streaming, "streaming")]
+        {
+            let sharded = profile_trace_parallel(
+                &unit,
+                &trace,
+                ParallelConfig { jobs: 3, strategy, ..ParallelConfig::default() },
+            )
+            .unwrap_or_else(|e| panic!("{}: {label} replay fails: {e:?}", w.name));
+            assert_stitched_identical(w.name, 3, &serial, &sharded);
+        }
+        // The pre-decoded entry point (one arena, many profiling runs)
+        // matches too.
+        let arena = DecodedTrace::decode(&trace, &unit.module).expect("decode");
+        let sharded = profile_decoded_parallel(&unit, &arena, ParallelConfig::default())
+            .expect("decoded arena replays sharded");
+        assert_stitched_identical(w.name, 3, &serial, &sharded);
+    }
+}
+
+/// Replay survives the disk round trip on **every** workload: encode,
+/// re-parse from bytes, decode into the arena, then shard — the stitched
+/// result must still be bit-identical to live serial profiling.
+#[test]
+fn sharded_replay_survives_the_byte_round_trip() {
+    for w in kremlin_repro::workloads::all() {
+        let (unit, serial) = serial_and_compiled(&w);
+        let trace = record(&unit.module, MachineConfig::default()).expect("record");
+        let reparsed = kremlin_repro::interp::Trace::from_bytes(&trace.to_bytes())
             .expect("encoded trace decodes");
         let sharded = profile_trace_parallel(
             &unit,
-            &decoded,
+            &reparsed,
             ParallelConfig { jobs: 2, ..ParallelConfig::default() },
         )
-        .expect("decoded trace replays sharded");
-        assert_stitched_identical(name, 2, &serial, &sharded);
+        .expect("round-tripped trace replays sharded");
+        assert_stitched_identical(w.name, 2, &serial, &sharded);
+        // And explicitly through the arena, so the decode-once path is
+        // proven against disk bytes, not just in-memory traces.
+        let arena = DecodedTrace::decode(&reparsed, &unit.module).expect("decode");
+        let sharded = profile_decoded_parallel(
+            &unit,
+            &arena,
+            ParallelConfig { jobs: 3, ..ParallelConfig::default() },
+        )
+        .expect("round-tripped arena replays sharded");
+        assert_stitched_identical(w.name, 3, &serial, &sharded);
     }
 }
 

@@ -15,7 +15,8 @@
 
 use kremlin_bench::progen;
 use kremlin_bench::XorShift;
-use kremlin_repro::hcpa::{profile_trace, profile_unit, HcpaConfig};
+use kremlin_repro::hcpa::{profile_decoded, profile_trace, profile_unit, HcpaConfig};
+use kremlin_repro::interp::trace::DecodedTrace;
 use kremlin_repro::interp::{record, MachineConfig, Trace, TraceError};
 use kremlin_repro::ir::compile;
 
@@ -51,6 +52,48 @@ fn randomized_programs_round_trip_through_trace_bytes() {
             "seed {seed}: replayed profile differs from live"
         );
         assert_eq!(replayed.run, live.run, "seed {seed}: replayed run differs");
+    }
+}
+
+/// Property over randomized programs: replaying the decode-once arena
+/// fires the same event stream as the streaming varint path — same
+/// profile bit-for-bit, same run result — and the decode pass's free
+/// histograms are consistent with the recorded execution.
+#[test]
+fn randomized_programs_replay_identically_from_the_decoded_arena() {
+    for seed in SEEDS {
+        let mut rng = XorShift::new(seed);
+        let src = progen::program(&mut rng, seed % 2 == 0);
+        let name = format!("progen_arena_{seed}.kc");
+        let unit = compile(&src, &name).unwrap_or_else(|e| {
+            panic!("seed {seed}: generated program fails to compile: {e}\n{src}")
+        });
+
+        let trace = record(&unit.module, MachineConfig::default()).expect("record");
+        let streamed = profile_trace(&unit, &trace, HcpaConfig::default())
+            .unwrap_or_else(|e| panic!("seed {seed}: streaming replay fails: {e}"));
+
+        let arena = DecodedTrace::decode(&trace, &unit.module)
+            .unwrap_or_else(|e| panic!("seed {seed}: decode fails: {e}"));
+        assert_eq!(arena.events(), trace.events(), "seed {seed}: decode changed event count");
+        assert_eq!(arena.run_result(), trace.run_result(), "seed {seed}: run result differs");
+        let instr_total: u64 = arena.instr_depth_hist().iter().sum();
+        assert_eq!(
+            instr_total, streamed.stats.instr_events,
+            "seed {seed}: decode histogram misses instruction events"
+        );
+
+        let decoded = profile_decoded(&unit, &arena, HcpaConfig::default())
+            .unwrap_or_else(|e| panic!("seed {seed}: decoded replay fails: {e}"));
+        assert!(
+            decoded.profile.identical_stats(&streamed.profile),
+            "seed {seed}: decoded-replay profile differs from streaming replay"
+        );
+        assert_eq!(decoded.run, streamed.run, "seed {seed}: decoded run differs");
+        assert_eq!(
+            decoded.stats.instr_events, streamed.stats.instr_events,
+            "seed {seed}: decoded instruction-event count differs"
+        );
     }
 }
 
