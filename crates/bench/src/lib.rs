@@ -24,8 +24,11 @@
 
 pub mod gate;
 pub mod progen;
-pub mod rng;
 pub mod timer;
+
+/// Re-exported from `kremlin-workloads`, where the corpus sampler lives;
+/// existing `kremlin_bench::rng::XorShift` users are unaffected.
+pub use kremlin_workloads::rng;
 
 pub use rng::XorShift;
 

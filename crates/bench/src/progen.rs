@@ -8,6 +8,7 @@
 //! external crates and every failure is reproducible from its seed.
 
 use crate::rng::XorShift;
+use kremlin_workloads::scenario::ScenarioSpec;
 
 /// One statement template inside a generated loop body.
 #[derive(Debug, Clone, Copy)]
@@ -76,9 +77,32 @@ pub fn program(rng: &mut XorShift, deep: bool) -> String {
     )
 }
 
+/// Structure-aware generation: samples a declarative
+/// [`ScenarioSpec`] (DOALL nest, wavefront, pipeline, task DAG,
+/// reduction, serialized chain, ...) and lowers it to mini-C. Unlike
+/// [`program`], the returned spec states what the static and dynamic
+/// oracles should observe — `kremlin::corpus` cross-checks them.
+pub fn structured(rng: &mut XorShift) -> (ScenarioSpec, String) {
+    let spec = ScenarioSpec::sample(rng);
+    let src = spec.lower();
+    (spec, src)
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
+
+    #[test]
+    fn structured_programs_compile_and_verify() {
+        let mut rng = XorShift::new(2027);
+        for _ in 0..24 {
+            let (spec, src) = structured(&mut rng);
+            let unit = kremlin_ir::compile(&src, &spec.file_name()).unwrap_or_else(|e| {
+                panic!("{spec}: generated program failed to compile: {e}\n{src}")
+            });
+            kremlin_ir::verify::verify_module(&unit.module).expect("verifies");
+        }
+    }
 
     #[test]
     fn generated_programs_compile() {

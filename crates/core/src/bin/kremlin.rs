@@ -5,6 +5,10 @@
 //! kremlin analyze <program.kc> [--json]      static dependence lint, no run
 //! kremlin record <program.kc> [-o FILE]      record an execution trace
 //! kremlin replay <trace> [--jobs=N] [...]    profile a recorded trace
+//! kremlin corpus [--list|--emit-golden|--emit DIR|--golden FILE]
+//!                                            three-oracle scenario corpus
+//! kremlin fuzz --seeds N [--seed S] [--dump DIR]
+//!                                            parallelism-structure fuzzer
 //! kremlin --metrics-diff A.json B.json       compare two metrics snapshots
 //!
 //! options:
@@ -103,6 +107,9 @@ fn usage() -> &'static str {
      \x20      kremlin record <program.kc> [-o FILE] [--metrics[=json|pretty]]\n\
      \x20      kremlin replay <trace-file> [--jobs=N] [--streaming] [--personality=...]\n\
      \x20              [--evaluate] [--metrics[=json|pretty]]\n\
+     \x20      kremlin corpus [--list] [--emit-golden] [--emit DIR] [--golden FILE]\n\
+     \x20              [--filter CLASS]\n\
+     \x20      kremlin fuzz --seeds N [--seed S] [--dump DIR]\n\
      \x20      kremlin --metrics-diff A.json B.json"
 }
 
@@ -422,6 +429,221 @@ fn cmd_replay(args: &[String]) -> Result<(), CliError> {
     emit_observability(&o)
 }
 
+/// `kremlin corpus`: run the three-oracle cross-check over the fixed
+/// scenario grid; `--list` only enumerates, `--emit DIR` dumps the
+/// generated sources, `--emit-golden` prints the golden table, and
+/// `--golden FILE` additionally gates observations against the
+/// checked-in `CORPUS_verdicts.json`. Any oracle disagreement exits 1.
+fn cmd_corpus(args: &[String]) -> Result<(), CliError> {
+    let bad = |msg: String| CliError::Usage(format!("{msg}\n{}", usage()));
+    let (mut list, mut emit_golden) = (false, false);
+    let (mut emit_dir, mut golden, mut filter) = (None, None, None);
+    let mut i = 0;
+    while i < args.len() {
+        let a = &args[i];
+        i += 1;
+        let mut take = |what: &str| -> Result<String, CliError> {
+            let v = args.get(i).cloned().ok_or_else(|| bad(format!("{what} requires a value")))?;
+            i += 1;
+            Ok(v)
+        };
+        match a.as_str() {
+            "--list" => list = true,
+            "--emit-golden" => emit_golden = true,
+            "--emit" => emit_dir = Some(take("--emit")?),
+            "--golden" => golden = Some(take("--golden")?),
+            "--filter" => filter = Some(take("--filter")?),
+            "--help" | "-h" => return Err(CliError::Help),
+            other => return Err(bad(format!("unknown corpus argument `{other}`"))),
+        }
+    }
+    let filter = filter
+        .map(|f| {
+            kremlin::corpus::class_from_name(&f)
+                .ok_or_else(|| bad(format!("unknown scenario class `{f}`")))
+        })
+        .transpose()?;
+    let specs: Vec<_> = kremlin_workloads::scenario::corpus()
+        .into_iter()
+        .filter(|s| filter.is_none_or(|c| s.class == c))
+        .collect();
+    if emit_golden {
+        print!("{}", kremlin::corpus::golden_json());
+        return Ok(());
+    }
+    if let Some(dir) = &emit_dir {
+        std::fs::create_dir_all(dir).map_err(|e| fail(format!("{dir}: {e}")))?;
+        for spec in &specs {
+            let path = format!("{dir}/{}", spec.file_name());
+            std::fs::write(&path, spec.lower()).map_err(|e| fail(format!("{path}: {e}")))?;
+        }
+        eprintln!("[kremlin] {} scenario sources written to {dir}", specs.len());
+    }
+    if list {
+        println!(
+            "{:<28} {:<20} {:<9} {:<21} {:>14}",
+            "scenario", "class", "hot", "verdict", "self-p band"
+        );
+        for spec in &specs {
+            let e = spec.expectation();
+            println!(
+                "{:<28} {:<20} {:<9} {:<21} [{:>4.1}, {:>4.1}]",
+                spec.name(),
+                spec.class.name(),
+                e.hot,
+                e.verdict,
+                e.self_p.0,
+                e.self_p.1
+            );
+        }
+        return Ok(());
+    }
+    let mut reports = Vec::with_capacity(specs.len());
+    for spec in &specs {
+        reports.push(kremlin::corpus::run_oracles(spec).map_err(fail)?);
+    }
+    let mut disagreements = 0usize;
+    println!(
+        "{:<28} {:<21} {:>7} {:>14} {:>7} {:>6}",
+        "scenario", "static verdict", "self-p", "band", "replay", "oracle"
+    );
+    for r in &reports {
+        disagreements += r.disagreements.len();
+        println!(
+            "{:<28} {:<21} {:>7.2} [{:>4.1}, {:>4.1}] {:>7} {:>6}",
+            r.spec.name(),
+            r.static_verdict,
+            r.self_p,
+            r.band.0,
+            r.band.1,
+            if r.replay_identical { "ok" } else { "DIFF" },
+            if r.clean() { "agree" } else { "FAIL" }
+        );
+        for d in &r.disagreements {
+            println!("    {} {}", d.code, d.detail);
+        }
+    }
+    let mut failures: Vec<String> = Vec::new();
+    if let Some(path) = &golden {
+        if filter.is_some() {
+            return Err(bad("--golden gates the full grid; drop --filter".into()));
+        }
+        let text = std::fs::read_to_string(path).map_err(|e| fail(format!("{path}: {e}")))?;
+        failures = kremlin::corpus::gate_against_golden(&text, &reports);
+        for f in &failures {
+            eprintln!("[corpus-gate] {f}");
+        }
+    }
+    if disagreements > 0 || !failures.is_empty() {
+        return Err(fail(format!(
+            "corpus check failed: {disagreements} oracle disagreement(s), {} golden-gate \
+             failure(s)",
+            failures.len()
+        )));
+    }
+    println!(
+        "\ncorpus check: {} scenarios, three oracles agree on all{}",
+        reports.len(),
+        if golden.is_some() { ", golden gate clean" } else { "" }
+    );
+    Ok(())
+}
+
+/// `kremlin fuzz --seeds N [--seed S] [--dump DIR]`: sample N random
+/// scenario specs, cross-check the three oracles on each, shrink any
+/// disagreement to a minimal repro, and (with `--dump`) write the repro
+/// source + oracle report per finding. Findings exit 1.
+fn cmd_fuzz(args: &[String]) -> Result<(), CliError> {
+    let bad = |msg: String| CliError::Usage(format!("{msg}\n{}", usage()));
+    let (mut seeds, mut base_seed, mut dump) = (None, 2026u64, None);
+    let mut i = 0;
+    while i < args.len() {
+        let a = &args[i];
+        i += 1;
+        let mut take = |what: &str| -> Result<String, CliError> {
+            let v = args.get(i).cloned().ok_or_else(|| bad(format!("{what} requires a value")))?;
+            i += 1;
+            Ok(v)
+        };
+        if let Some(v) = a.strip_prefix("--seeds=") {
+            seeds = Some(v.parse().map_err(|_| bad(format!("bad --seeds value `{v}`")))?);
+        } else if a == "--seeds" {
+            let v = take("--seeds")?;
+            seeds = Some(v.parse().map_err(|_| bad(format!("bad --seeds value `{v}`")))?);
+        } else if let Some(v) = a.strip_prefix("--seed=") {
+            base_seed = v.parse().map_err(|_| bad(format!("bad --seed value `{v}`")))?;
+        } else if a == "--seed" {
+            let v = take("--seed")?;
+            base_seed = v.parse().map_err(|_| bad(format!("bad --seed value `{v}`")))?;
+        } else if let Some(v) = a.strip_prefix("--dump=") {
+            dump = Some(v.to_owned());
+        } else if a == "--dump" {
+            dump = Some(take("--dump")?);
+        } else if a == "--help" || a == "-h" {
+            return Err(CliError::Help);
+        } else {
+            return Err(bad(format!("unknown fuzz argument `{a}`")));
+        }
+    }
+    let Some(seeds) = seeds else {
+        return Err(bad("fuzz requires --seeds N".into()));
+    };
+    if seeds == 0 {
+        return Err(bad("--seeds must be at least 1".into()));
+    }
+    let outcome = kremlin::corpus::fuzz(base_seed, seeds);
+    let classes: Vec<String> = outcome.by_class.iter().map(|(c, n)| format!("{c}:{n}")).collect();
+    eprintln!(
+        "[kremlin] fuzzed {} structure specs (base seed {base_seed}) — {}",
+        outcome.checked,
+        classes.join(" ")
+    );
+    if let Some(dir) = &dump {
+        std::fs::create_dir_all(dir).map_err(|e| fail(format!("{dir}: {e}")))?;
+        for f in &outcome.findings {
+            let stem = format!("{dir}/finding-{:016x}", f.seed);
+            std::fs::write(format!("{stem}.kc"), &f.report.source)
+                .map_err(|e| fail(format!("{stem}.kc: {e}")))?;
+            let mut report = format!(
+                "seed: {:#018x}\noriginal: {}\nshrunk: {}\nstatic verdict: {}\nself-parallelism: \
+                 {:.3}\nexpected: {} in [{:.1}, {:.1}]\nreplay identical: {}\n",
+                f.seed,
+                f.original,
+                f.report.spec,
+                f.report.static_verdict,
+                f.report.self_p,
+                f.report.expected_verdict,
+                f.report.band.0,
+                f.report.band.1,
+                f.report.replay_identical
+            );
+            for d in &f.report.disagreements {
+                report.push_str(&format!("{} {}\n", d.code, d.detail));
+            }
+            std::fs::write(format!("{stem}.report.txt"), report)
+                .map_err(|e| fail(format!("{stem}.report.txt: {e}")))?;
+        }
+        if !outcome.findings.is_empty() {
+            eprintln!("[kremlin] {} repro(s) written to {dir}", outcome.findings.len());
+        }
+    }
+    for f in &outcome.findings {
+        println!("finding (seed {:#018x}): {} shrunk to {}", f.seed, f.original, f.report.spec);
+        for d in &f.report.disagreements {
+            println!("    {} {}", d.code, d.detail);
+        }
+    }
+    if !outcome.findings.is_empty() {
+        return Err(fail(format!(
+            "structure fuzzing found {} oracle disagreement(s) in {} specs",
+            outcome.findings.len(),
+            outcome.checked
+        )));
+    }
+    println!("fuzz: {} specs, three oracles agree on all", outcome.checked);
+    Ok(())
+}
+
 /// `kremlin --metrics-diff A.json B.json`: per-counter deltas between two
 /// saved `kremlin-metrics-v1` snapshots.
 fn cmd_metrics_diff(a: &str, b: &str) -> Result<(), CliError> {
@@ -454,6 +676,8 @@ fn run() -> Result<(), CliError> {
         "analyze" => return cmd_analyze(&args[1..]),
         "record" => return cmd_record(&args[1..]),
         "replay" => return cmd_replay(&args[1..]),
+        "corpus" => return cmd_corpus(&args[1..]),
+        "fuzz" => return cmd_fuzz(&args[1..]),
         _ => {}
     }
     let o = parse_args(&args)?;

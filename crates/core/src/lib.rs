@@ -43,6 +43,7 @@
 //! # Ok::<(), kremlin::KremlinError>(())
 //! ```
 
+pub mod corpus;
 pub mod diag;
 pub mod persist;
 pub mod report;

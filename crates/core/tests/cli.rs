@@ -417,6 +417,97 @@ fn analyze_subcommand_lints_without_running() {
 }
 
 #[test]
+fn corpus_list_prints_the_grid_without_running() {
+    let out = kremlin().arg("corpus").arg("--list").output().expect("runs");
+    assert!(out.status.success(), "stderr: {}", String::from_utf8_lossy(&out.stderr));
+    let stdout = String::from_utf8_lossy(&out.stdout);
+    for class in ["doall-nest", "serial-chain", "carried-dist", "wavefront", "pipeline"] {
+        assert!(stdout.contains(class), "class {class} missing from listing: {stdout}");
+    }
+    assert!(stdout.contains("provably-doall"), "{stdout}");
+    assert!(stdout.contains("main#L"), "{stdout}");
+}
+
+#[test]
+fn corpus_filter_runs_one_class_through_the_oracles() {
+    let out = kremlin().arg("corpus").arg("--filter").arg("serial-chain").output().expect("runs");
+    assert!(out.status.success(), "stderr: {}", String::from_utf8_lossy(&out.stderr));
+    let stdout = String::from_utf8_lossy(&out.stdout);
+    assert!(stdout.contains("serial_chain_t16"), "{stdout}");
+    assert!(!stdout.contains("doall_nest"), "filter must exclude other classes: {stdout}");
+    assert!(stdout.contains("three oracles agree"), "{stdout}");
+}
+
+#[test]
+fn corpus_emits_scenario_sources_and_gates_the_golden() {
+    let dir = std::env::temp_dir().join("kremlin-cli-tests").join("corpus-emit");
+    let out = kremlin()
+        .arg("corpus")
+        .arg("--filter")
+        .arg("reduction")
+        .arg("--emit")
+        .arg(&dir)
+        .output()
+        .expect("runs");
+    assert!(out.status.success(), "stderr: {}", String::from_utf8_lossy(&out.stderr));
+    assert!(dir.join("reduction_t16.kc").exists());
+    // Emitted sources are valid kremlin inputs end to end.
+    let out = kremlin().arg(dir.join("reduction_t16.kc")).output().expect("runs");
+    assert!(out.status.success(), "stderr: {}", String::from_utf8_lossy(&out.stderr));
+
+    // The checked-in golden gates clean; a wrong golden fails with exit 1.
+    let golden = concat!(env!("CARGO_MANIFEST_DIR"), "/../../CORPUS_verdicts.json");
+    let out = kremlin().arg("corpus").arg("--golden").arg(golden).output().expect("runs");
+    assert!(out.status.success(), "stderr: {}", String::from_utf8_lossy(&out.stderr));
+    assert!(String::from_utf8_lossy(&out.stdout).contains("golden gate clean"));
+
+    let bogus = write_temp("bogus-corpus.json", "{\"schema\": \"not-the-corpus\"}");
+    let out = kremlin().arg("corpus").arg("--golden").arg(&bogus).output().expect("runs");
+    assert_eq!(out.status.code(), Some(1));
+}
+
+#[test]
+fn corpus_usage_errors_exit_2() {
+    let out = kremlin().arg("corpus").arg("--filter").arg("nonsense").output().expect("runs");
+    assert_eq!(out.status.code(), Some(2));
+    assert!(String::from_utf8_lossy(&out.stderr).contains("unknown scenario class"));
+
+    let out = kremlin().arg("corpus").arg("--bogus").output().expect("runs");
+    assert_eq!(out.status.code(), Some(2));
+}
+
+#[test]
+fn fuzz_smoke_is_clean_and_reports_coverage() {
+    let out = kremlin()
+        .arg("fuzz")
+        .arg("--seeds")
+        .arg("6")
+        .arg("--seed")
+        .arg("7")
+        .output()
+        .expect("runs");
+    assert!(out.status.success(), "stderr: {}", String::from_utf8_lossy(&out.stderr));
+    let stderr = String::from_utf8_lossy(&out.stderr);
+    assert!(stderr.contains("fuzzed 6 structure specs"), "{stderr}");
+    assert!(stderr.contains("base seed 7"), "{stderr}");
+    assert!(String::from_utf8_lossy(&out.stdout).contains("three oracles agree"));
+}
+
+#[test]
+fn fuzz_usage_errors_exit_2() {
+    // --seeds is mandatory.
+    let out = kremlin().arg("fuzz").output().expect("runs");
+    assert_eq!(out.status.code(), Some(2));
+    assert!(String::from_utf8_lossy(&out.stderr).contains("--seeds"));
+
+    let out = kremlin().arg("fuzz").arg("--seeds").arg("0").output().expect("runs");
+    assert_eq!(out.status.code(), Some(2));
+
+    let out = kremlin().arg("fuzz").arg("--seeds").arg("many").output().expect("runs");
+    assert_eq!(out.status.code(), Some(2));
+}
+
+#[test]
 fn audit_plan_flag_reports_consistency() {
     let src = write_temp("audit.kc", DEMO);
     let out = kremlin().arg(&src).arg("--audit-plan").output().expect("runs");

@@ -15,6 +15,18 @@
 //!
 //! Region labels follow the `kremlin-ir` lowering convention:
 //! `{function}#L{n}` for the `n`-th loop (lexical order) of `function`.
+//!
+//! Besides the hand-written analogues, [`scenario`] holds the
+//! **kremlin-corpus** layer: declarative [`scenario::ScenarioSpec`]s that
+//! lower parallelism-structure classes (DOALL nests, wavefronts,
+//! pipelines, task DAGs, reductions, serialized chains) to generated
+//! mini-C, with per-spec oracle expectations gated by
+//! `CORPUS_verdicts.json` the same way `ANALYZE_verdicts.json` gates the
+//! workloads below. [`rng`] is the workspace's zero-dependency seeded
+//! generator shared by the corpus sampler and the bench property suites.
+
+pub mod rng;
+pub mod scenario;
 
 /// Which suite a workload models.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -607,6 +619,37 @@ mod tests {
         }
         let lines = file.lines().filter(|l| l.contains("#L")).count();
         assert_eq!(lines, total, "ANALYZE_verdicts.json has extra or missing verdict lines");
+    }
+
+    #[test]
+    fn corpus_expectations_file_matches_scenario_grid() {
+        // `CORPUS_verdicts.json` is the CI corpus-fuzz gate's source of
+        // expectations; keep it in lockstep with `scenario::corpus()`,
+        // mirroring the `ANALYZE_verdicts.json` pattern above.
+        let file = include_str!("../../../CORPUS_verdicts.json");
+        assert!(file.contains("\"schema\": \"kremlin-corpus-expected-v1\""));
+        let specs = scenario::corpus();
+        for spec in &specs {
+            let e = spec.expectation();
+            let start = file
+                .find(&format!("\"{}\": {{", spec.name()))
+                .unwrap_or_else(|| panic!("{spec} missing from CORPUS_verdicts.json"));
+            let section = &file[start..];
+            let section = &section[..section.find('}').expect("section is closed")];
+            for needle in [
+                format!("\"class\": \"{}\"", spec.class.name()),
+                format!("\"hot\": \"{}\"", e.hot),
+                format!("\"verdict\": \"{}\"", e.verdict),
+                format!("\"self_p\": [{:.1}, {:.1}]", e.self_p.0, e.self_p.1),
+            ] {
+                assert!(
+                    section.contains(&needle),
+                    "{spec}: `{needle}` missing from its CORPUS_verdicts.json row"
+                );
+            }
+        }
+        let rows = file.lines().filter(|l| l.contains("\"hot\":")).count();
+        assert_eq!(rows, specs.len(), "CORPUS_verdicts.json has extra or missing scenario rows");
     }
 
     #[test]

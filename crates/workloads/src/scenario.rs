@@ -1,0 +1,663 @@
+//! # Declarative parallelism-structure scenarios (`kremlin-corpus`)
+//!
+//! The twelve hand-written workload analogues cover the paper's benchmark
+//! classes; this module scales the corpus the other way: parallelism
+//! *structures* are described as data ([`ScenarioSpec`]: loop shape,
+//! subscript pattern, dependence distance, trip counts, nesting) and a
+//! small generator library lowers each spec to mini-C source. "N
+//! hand-written `.kc` files" becomes "N structure classes × parameter
+//! grids", and because the spec knows its own structure it can also state
+//! what every oracle *should* see:
+//!
+//! * the static dependence verdict (`kremlin_ir::depend`) for the spec's
+//!   designated **hot loop**, plus auxiliary `(label, verdict)` pins;
+//! * a **self-parallelism band** `[lo, hi]` the HCPA profile must land in
+//!   for that loop (bands are class-derived: a DOACROSS wavefront is
+//!   *expected* to overlap rows, so `carried(1)` with SP ≫ 1 is correct
+//!   there and a bug elsewhere);
+//! * whether the class rules out cross-iteration overlap entirely
+//!   ([`ScenarioSpec::serial_by_construction`]), which arms the strict
+//!   pairwise static↔dynamic cross-checks in `kremlin::corpus`.
+//!
+//! [`corpus`] enumerates the fixed parameter grid gated by
+//! `CORPUS_verdicts.json` in CI; [`ScenarioSpec::sample`] draws arbitrary
+//! specs for the structure fuzzer; [`ScenarioSpec::shrink_candidates`]
+//! proposes strictly smaller specs for minimizing a failing case.
+
+use crate::rng::XorShift;
+use std::fmt;
+
+/// The parallelism-structure classes the generator knows how to lower.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum ScenarioClass {
+    /// Perfect DOALL nest with linearized subscripts: every level of the
+    /// nest is independent (`a[i*M + j] = f(i, j)`).
+    DoallNest,
+    /// Distance-1 recurrence (`a[i] = a[i-1] * c + 1`): the serialized
+    /// hot loop.
+    SerialChain,
+    /// Constant-distance carried dependence (`a[i] = a[i-d] + 1`): `d`
+    /// independent chains.
+    CarriedDist,
+    /// Associative reduction (`s += a[i] * c`): DOALL after breaking the
+    /// accumulator.
+    Reduction,
+    /// 2-D wavefront (`w[i][j] = w[i-1][j] + w[i][j-1]`): both loops
+    /// carried(1), but rows overlap (DOACROSS), so SP exceeds the
+    /// carried distance by design.
+    Wavefront,
+    /// Elementwise stage pipeline: stage `s` reads stage `s-1`'s array;
+    /// each stage loop is itself DOALL.
+    Pipeline,
+    /// Task DAG: a driver loop invoking task functions that write
+    /// disjoint arrays. Calls widen to whole-object references, so the
+    /// driver is statically `unknown` while each task's loop is DOALL.
+    TaskDag,
+    /// Irregular (data-dependent subscript) reduction into a small
+    /// histogram: statically `unknown`, dynamically near-serial because
+    /// same-bucket updates chain.
+    IrregularReduction,
+}
+
+/// All classes, in stable order (grid and docs order).
+pub const CLASSES: [ScenarioClass; 8] = [
+    ScenarioClass::DoallNest,
+    ScenarioClass::SerialChain,
+    ScenarioClass::CarriedDist,
+    ScenarioClass::Reduction,
+    ScenarioClass::Wavefront,
+    ScenarioClass::Pipeline,
+    ScenarioClass::TaskDag,
+    ScenarioClass::IrregularReduction,
+];
+
+impl ScenarioClass {
+    /// Stable machine-readable name (goldens, JSON, CLI filters).
+    pub fn name(self) -> &'static str {
+        match self {
+            ScenarioClass::DoallNest => "doall-nest",
+            ScenarioClass::SerialChain => "serial-chain",
+            ScenarioClass::CarriedDist => "carried-dist",
+            ScenarioClass::Reduction => "reduction",
+            ScenarioClass::Wavefront => "wavefront",
+            ScenarioClass::Pipeline => "pipeline",
+            ScenarioClass::TaskDag => "task-dag",
+            ScenarioClass::IrregularReduction => "irregular-reduction",
+        }
+    }
+
+    /// Parses a [`ScenarioClass::name`] back (CLI `--filter`).
+    pub fn from_name(name: &str) -> Option<ScenarioClass> {
+        CLASSES.into_iter().find(|c| c.name() == name)
+    }
+}
+
+impl fmt::Display for ScenarioClass {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(self.name())
+    }
+}
+
+/// A declarative description of one generated program. Lowering is a
+/// pure function of the spec ([`ScenarioSpec::lower`]), so a spec *is* a
+/// reproducible test case: the fuzzer reports findings as specs and
+/// shrinks them structurally.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct ScenarioSpec {
+    /// The structure class.
+    pub class: ScenarioClass,
+    /// Hot-loop trip count (outer trip for nests/wavefronts).
+    pub trip: u32,
+    /// Nesting depth (DOALL nests only; 1–3).
+    pub depth: u32,
+    /// Carried dependence distance (CarriedDist only; ≥ 2).
+    pub distance: u32,
+    /// Pipeline stages / DAG tasks / histogram buckets (class-dependent).
+    pub stages: u32,
+    /// Inner trip count for 2-D shapes (nests, wavefronts) and the
+    /// per-element work multiplier elsewhere.
+    pub inner: u32,
+}
+
+/// What the oracles should observe for a spec.
+#[derive(Debug, Clone)]
+pub struct Expectation {
+    /// Region label of the designated hot loop (e.g. `main#L1`).
+    pub hot: String,
+    /// Expected static verdict name for the hot loop
+    /// (`kremlin_ir::LoopVerdict::name()` vocabulary).
+    pub verdict: &'static str,
+    /// The hot loop's trip count (arms the trip-gated pairwise checks).
+    pub hot_trip: u32,
+    /// Inclusive self-parallelism band `[lo, hi]` for the hot loop.
+    pub self_p: (f64, f64),
+    /// Additional `(label, verdict)` static pins (e.g. a task function's
+    /// inner DOALL next to an `unknown` driver).
+    pub also: Vec<(String, &'static str)>,
+}
+
+impl ScenarioSpec {
+    /// Canonical corpus/repro name, filesystem- and JSON-key-safe.
+    pub fn name(&self) -> String {
+        let base = self.class.name().replace('-', "_");
+        match self.class {
+            ScenarioClass::DoallNest => {
+                format!("{base}_d{}_t{}x{}", self.depth, self.trip, self.inner)
+            }
+            ScenarioClass::SerialChain => format!("{base}_t{}", self.trip),
+            ScenarioClass::CarriedDist => format!("{base}_d{}_t{}", self.distance, self.trip),
+            ScenarioClass::Reduction => format!("{base}_t{}", self.trip),
+            ScenarioClass::Wavefront => format!("{base}_t{}x{}", self.trip, self.inner),
+            ScenarioClass::Pipeline => format!("{base}_s{}_t{}", self.stages, self.trip),
+            ScenarioClass::TaskDag => format!("{base}_k{}_t{}", self.stages, self.trip),
+            ScenarioClass::IrregularReduction => format!("{base}_b{}_t{}", self.stages, self.trip),
+        }
+    }
+
+    /// Source file name for diagnostics and repro dumps.
+    pub fn file_name(&self) -> String {
+        format!("{}.kc", self.name())
+    }
+
+    /// True when the class forbids cross-iteration overlap in the hot
+    /// loop: measured SP materially above the carried distance is then a
+    /// reportable static↔dynamic disagreement, not DOACROSS slack.
+    pub fn serial_by_construction(&self) -> bool {
+        matches!(self.class, ScenarioClass::SerialChain | ScenarioClass::CarriedDist)
+    }
+
+    /// Clamps every parameter into its class's valid range. Sampling and
+    /// shrinking both funnel through this, so any `ScenarioSpec` built
+    /// from raw numbers lowers to a valid program.
+    pub fn normalized(mut self) -> ScenarioSpec {
+        self.trip = self.trip.clamp(4, 64);
+        self.depth =
+            if self.class == ScenarioClass::DoallNest { self.depth.clamp(1, 3) } else { 1 };
+        self.distance =
+            if self.class == ScenarioClass::CarriedDist { self.distance.clamp(2, 8) } else { 1 };
+        self.stages = match self.class {
+            ScenarioClass::Pipeline => self.stages.clamp(2, 6),
+            ScenarioClass::TaskDag => self.stages.clamp(2, 4),
+            ScenarioClass::IrregularReduction => self.stages.clamp(2, 8),
+            _ => 1,
+        };
+        self.inner = match self.class {
+            ScenarioClass::DoallNest | ScenarioClass::Wavefront => self.inner.clamp(4, 16),
+            _ => 1,
+        };
+        // Keep carried chains meaningful: at least two full chains.
+        if self.class == ScenarioClass::CarriedDist {
+            self.trip = self.trip.max(self.distance * 4);
+        }
+        self
+    }
+
+    /// Draws a random (normalized) spec — the structure fuzzer's input
+    /// distribution. Deterministic in the RNG state.
+    pub fn sample(rng: &mut XorShift) -> ScenarioSpec {
+        let class = CLASSES[rng.index(CLASSES.len())];
+        ScenarioSpec {
+            class,
+            trip: rng.range(4, 65) as u32,
+            depth: rng.range(1, 4) as u32,
+            distance: rng.range(2, 9) as u32,
+            stages: rng.range(2, 9) as u32,
+            inner: rng.range(4, 17) as u32,
+        }
+        .normalized()
+    }
+
+    /// Strictly smaller specs to try when minimizing a failing case:
+    /// halve or decrement each parameter toward its floor, one axis at a
+    /// time (greedy shrinking explores them in order).
+    pub fn shrink_candidates(&self) -> Vec<ScenarioSpec> {
+        let mut out = Vec::new();
+        let mut push = |cand: ScenarioSpec| {
+            let cand = cand.normalized();
+            if cand != *self && !out.contains(&cand) {
+                out.push(cand);
+            }
+        };
+        for trip in [self.trip / 2, self.trip - 1] {
+            push(ScenarioSpec { trip, ..*self });
+        }
+        if self.depth > 1 {
+            push(ScenarioSpec { depth: self.depth - 1, ..*self });
+        }
+        if self.distance > 2 {
+            push(ScenarioSpec { distance: self.distance / 2, ..*self });
+            push(ScenarioSpec { distance: self.distance - 1, ..*self });
+        }
+        if self.stages > 2 {
+            push(ScenarioSpec { stages: self.stages / 2, ..*self });
+            push(ScenarioSpec { stages: self.stages - 1, ..*self });
+        }
+        if self.inner > 4 {
+            push(ScenarioSpec { inner: self.inner / 2, ..*self });
+        }
+        out
+    }
+
+    /// A scalar "size" for asserting that shrinking makes progress.
+    pub fn weight(&self) -> u64 {
+        u64::from(self.trip)
+            + u64::from(self.depth)
+            + u64::from(self.distance)
+            + u64::from(self.stages)
+            + u64::from(self.inner)
+    }
+
+    /// Lowers the spec to mini-C source. Pure: same spec, same source.
+    pub fn lower(&self) -> String {
+        let s = self.normalized();
+        match s.class {
+            ScenarioClass::DoallNest => lower_doall_nest(&s),
+            ScenarioClass::SerialChain => lower_serial_chain(&s),
+            ScenarioClass::CarriedDist => lower_carried_dist(&s),
+            ScenarioClass::Reduction => lower_reduction(&s),
+            ScenarioClass::Wavefront => lower_wavefront(&s),
+            ScenarioClass::Pipeline => lower_pipeline(&s),
+            ScenarioClass::TaskDag => lower_task_dag(&s),
+            ScenarioClass::IrregularReduction => lower_irregular(&s),
+        }
+    }
+
+    /// What the three oracles should observe for this spec.
+    ///
+    /// Self-parallelism bands are deliberately generous (they must hold
+    /// across the whole parameter range, under work-weighted averaging
+    /// and fork-join edge effects) but still separate the regimes: a
+    /// DOALL band never admits SP ≈ 1 once `trip ≥ 8`, and a serialized
+    /// band never admits SP ≈ trip.
+    pub fn expectation(&self) -> Expectation {
+        let s = self.normalized();
+        let t = f64::from(s.trip);
+        match s.class {
+            ScenarioClass::DoallNest => {
+                // The innermost level has a single-variable affine
+                // subscript the analyzer proves independent; the outer
+                // levels of a multi-level linearized nest are MIV
+                // subscripts, which `ir::depend` does not yet support
+                // (ROADMAP: weak-SIV/MIV follow-up), so they are pinned
+                // `unknown` — the golden flips to `provably-doall` the
+                // day MIV lands.
+                let trips = [s.trip, s.inner, 4u32];
+                let hot_level = s.depth - 1;
+                let ht = trips[hot_level as usize];
+                Expectation {
+                    hot: format!("main#L{hot_level}"),
+                    verdict: "provably-doall",
+                    hot_trip: ht,
+                    self_p: (0.5 * f64::from(ht), f64::from(ht) + 1.0),
+                    also: (0..hot_level).map(|l| (format!("main#L{l}"), "unknown")).collect(),
+                }
+            }
+            ScenarioClass::SerialChain => Expectation {
+                hot: "main#L0".into(),
+                verdict: "carried",
+                hot_trip: s.trip,
+                self_p: (1.0, 2.5),
+                also: Vec::new(),
+            },
+            ScenarioClass::CarriedDist => {
+                let d = f64::from(s.distance);
+                Expectation {
+                    hot: "main#L0".into(),
+                    verdict: "carried",
+                    hot_trip: s.trip,
+                    // d independent chains; the per-iteration index
+                    // arithmetic around the chain is itself parallel,
+                    // so measured SP runs ~25% above d.
+                    self_p: (1.0, 1.5 * d + 1.5),
+                    also: Vec::new(),
+                }
+            }
+            ScenarioClass::Reduction => Expectation {
+                // L0 initializes the array; L1 is the reduction.
+                hot: "main#L1".into(),
+                verdict: "doall-after-breaking",
+                hot_trip: s.trip,
+                self_p: (0.5 * t, t + 1.0),
+                also: vec![("main#L0".into(), "provably-doall")],
+            },
+            ScenarioClass::Wavefront => Expectation {
+                // The outer loop's subscripts are MIV (`i*M + j`), so
+                // the analyzer reports `unknown`; the inner loop's
+                // `w[.. + j]` vs `w[.. + (j-1)]` pair is strong-SIV and
+                // proves carried(1). Rows overlap (DOACROSS), so SP
+                // sits strictly between serial and DOALL.
+                hot: "main#L1".into(),
+                verdict: "unknown",
+                hot_trip: s.trip,
+                self_p: (1.0, 0.9 * t.max(f64::from(s.inner))),
+                also: vec![("main#L2".into(), "carried")],
+            },
+            ScenarioClass::Pipeline => Expectation {
+                // L0 seeds stage 0; L1 is the first consuming stage.
+                hot: "main#L1".into(),
+                verdict: "provably-doall",
+                hot_trip: s.trip,
+                self_p: (0.5 * t, t + 1.0),
+                also: vec![("main#L0".into(), "provably-doall")],
+            },
+            ScenarioClass::TaskDag => Expectation {
+                // The driver's calls widen to whole-object refs; its
+                // trip count is the fixed 3 rounds of the lowering.
+                hot: "main#L0".into(),
+                verdict: "unknown",
+                hot_trip: 3,
+                self_p: (1.0, t + 1.0),
+                also: (0..s.stages).map(|k| (format!("task{k}#L0"), "provably-doall")).collect(),
+            },
+            ScenarioClass::IrregularReduction => {
+                let b = f64::from(s.stages);
+                Expectation {
+                    // L0 = serial key generation, L1 = bucket clear,
+                    // L2 = the data-dependent histogram loop.
+                    hot: "main#L2".into(),
+                    verdict: "unknown",
+                    hot_trip: s.trip,
+                    // Roughly `buckets` independent update chains.
+                    self_p: (1.0, 2.0 * b + 1.0),
+                    also: vec![("main#L0".into(), "carried"), ("main#L1".into(), "provably-doall")],
+                }
+            }
+        }
+    }
+}
+
+impl fmt::Display for ScenarioSpec {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(&self.name())
+    }
+}
+
+/// A spec with every parameter at its class floor (shrinking's fixpoint
+/// when the disagreement persists all the way down).
+pub fn minimal(class: ScenarioClass) -> ScenarioSpec {
+    ScenarioSpec { class, trip: 4, depth: 1, distance: 2, stages: 2, inner: 4 }.normalized()
+}
+
+// ---------------------------------------------------------------------------
+// Lowering: spec -> mini-C. All arrays are globals (mini-C has no array
+// parameters); subscripts are linearized so the static analyzer sees
+// affine accesses exactly where the class intends them.
+// ---------------------------------------------------------------------------
+
+fn lower_doall_nest(s: &ScenarioSpec) -> String {
+    let (t, m, depth) = (s.trip, s.inner, s.depth);
+    let vars = ["i", "j", "k"];
+    let trips = [t, m, 4u32];
+    let size: u32 = trips[..depth as usize].iter().product();
+    // Linearized flat index: i*inner*4 + j*4 + k (truncated to depth).
+    let mut index = String::new();
+    let mut stride: u32 = 1;
+    for lvl in (0..depth as usize).rev() {
+        let term =
+            if stride == 1 { vars[lvl].to_string() } else { format!("{} * {stride}", vars[lvl]) };
+        index = if index.is_empty() { term } else { format!("{term} + {index}") };
+        stride *= trips[lvl];
+    }
+    let body = format!("a[{index}] = (float) ({index}) * 1.5 + 0.5;");
+    let mut nest = body;
+    for lvl in (0..depth as usize).rev() {
+        let v = vars[lvl];
+        let bound = trips[lvl];
+        nest = format!("for (int {v} = 0; {v} < {bound}; {v}++) {{ {nest} }}");
+    }
+    format!(
+        "// scenario: doall-nest depth={depth} trips={t}x{m}\n\
+         float a[{size}];\n\
+         int main() {{\n    {nest}\n    return (int) a[{}];\n}}\n",
+        size - 1
+    )
+}
+
+fn lower_serial_chain(s: &ScenarioSpec) -> String {
+    let t = s.trip;
+    format!(
+        "// scenario: serial-chain trip={t}\n\
+         float a[{t}];\n\
+         int main() {{\n\
+         \x20   a[0] = 1.0;\n\
+         \x20   for (int i = 1; i < {t}; i++) {{ a[i] = a[i - 1] * 0.9 + 1.0; }}\n\
+         \x20   return (int) a[{}];\n}}\n",
+        t - 1
+    )
+}
+
+fn lower_carried_dist(s: &ScenarioSpec) -> String {
+    let (t, d) = (s.trip, s.distance);
+    let mut init = String::new();
+    for i in 0..d {
+        init.push_str(&format!("    a[{i}] = {}.0;\n", i + 1));
+    }
+    format!(
+        "// scenario: carried-dist distance={d} trip={t}\n\
+         float a[{t}];\n\
+         int main() {{\n{init}\
+         \x20   for (int i = {d}; i < {t}; i++) {{ a[i] = a[i - {d}] * 0.9 + 1.0; }}\n\
+         \x20   return (int) a[{}];\n}}\n",
+        t - 1
+    )
+}
+
+fn lower_reduction(s: &ScenarioSpec) -> String {
+    let t = s.trip;
+    format!(
+        "// scenario: reduction trip={t}\n\
+         float a[{t}];\n\
+         int main() {{\n\
+         \x20   for (int i = 0; i < {t}; i++) {{ a[i] = (float) i * 0.5 + 1.0; }}\n\
+         \x20   float s = 0.0;\n\
+         \x20   for (int i = 0; i < {t}; i++) {{ s += a[i] * 1.5; }}\n\
+         \x20   return (int) s;\n}}\n"
+    )
+}
+
+fn lower_wavefront(s: &ScenarioSpec) -> String {
+    let (n, m) = (s.trip, s.inner);
+    let size = n * m;
+    format!(
+        "// scenario: wavefront {n}x{m}\n\
+         float w[{size}];\n\
+         int main() {{\n\
+         \x20   for (int i = 0; i < {size}; i++) {{ w[i] = (float) (i % 7) * 0.25; }}\n\
+         \x20   for (int i = 1; i < {n}; i++) {{\n\
+         \x20       for (int j = 1; j < {m}; j++) {{\n\
+         \x20           w[i * {m} + j] = w[(i - 1) * {m} + j] * 0.5 + w[i * {m} + (j - 1)] * 0.5;\n\
+         \x20       }}\n\
+         \x20   }}\n\
+         \x20   return (int) w[{}];\n}}\n",
+        size - 1
+    )
+}
+
+fn lower_pipeline(s: &ScenarioSpec) -> String {
+    let (t, stages) = (s.trip, s.stages);
+    let mut decls = String::new();
+    for k in 0..stages {
+        decls.push_str(&format!("float b{k}[{t}];\n"));
+    }
+    let mut body =
+        format!("    for (int i = 0; i < {t}; i++) {{ b0[i] = (float) i * 0.5 + 1.0; }}\n");
+    for k in 1..stages {
+        let (dst, src) = (k, k - 1);
+        body.push_str(&format!(
+            "    for (int i = 0; i < {t}; i++) {{ b{dst}[i] = b{src}[i] * 0.9 + {k}.0; }}\n"
+        ));
+    }
+    format!(
+        "// scenario: pipeline stages={stages} trip={t}\n{decls}\
+         int main() {{\n{body}\
+         \x20   return (int) b{}[{}];\n}}\n",
+        stages - 1,
+        t - 1
+    )
+}
+
+fn lower_task_dag(s: &ScenarioSpec) -> String {
+    let (t, tasks) = (s.trip, s.stages);
+    let mut decls = String::new();
+    let mut funcs = String::new();
+    for k in 0..tasks {
+        decls.push_str(&format!("float out{k}[{t}];\n"));
+        funcs.push_str(&format!(
+            "void task{k}(int r) {{\n\
+             \x20   for (int i = 0; i < {t}; i++) {{ out{k}[i] = (float) (i + r) * 0.5 + {k}.0; }}\n\
+             }}\n"
+        ));
+    }
+    let calls: String = (0..tasks).map(|k| format!("        task{k}(r);\n")).collect();
+    let sum: String = (0..tasks).map(|k| format!("out{k}[0]")).collect::<Vec<_>>().join(" + ");
+    format!(
+        "// scenario: task-dag tasks={tasks} trip={t}\n{decls}{funcs}\
+         int main() {{\n\
+         \x20   for (int r = 0; r < 3; r++) {{\n{calls}\
+         \x20   }}\n\
+         \x20   return (int) ({sum});\n}}\n"
+    )
+}
+
+fn lower_irregular(s: &ScenarioSpec) -> String {
+    let (t, buckets) = (s.trip, s.stages);
+    format!(
+        "// scenario: irregular-reduction buckets={buckets} trip={t}\n\
+         int key[{t}];\nint hist[{buckets}];\n\
+         int main() {{\n\
+         \x20   int state = 12345;\n\
+         \x20   for (int i = 0; i < {t}; i++) {{\n\
+         \x20       state = (state * 1103 + 21401) % 65537;\n\
+         \x20       key[i] = state % {buckets};\n\
+         \x20   }}\n\
+         \x20   for (int i = 0; i < {buckets}; i++) {{ hist[i] = 0; }}\n\
+         \x20   for (int i = 0; i < {t}; i++) {{ hist[key[i]] += 1; }}\n\
+         \x20   return hist[0];\n}}\n"
+    )
+}
+
+/// The fixed parameter grid CI gates: every class at several parameter
+/// points, in stable order. `CORPUS_verdicts.json` pins one row per
+/// entry, exactly like `ANALYZE_verdicts.json` pins the hand-written
+/// workloads.
+pub fn corpus() -> Vec<ScenarioSpec> {
+    let mut specs = Vec::new();
+    let base = ScenarioSpec {
+        class: ScenarioClass::DoallNest,
+        trip: 16,
+        depth: 1,
+        distance: 2,
+        stages: 2,
+        inner: 8,
+    };
+    for (trip, depth, inner) in [(16, 1, 8), (8, 2, 8), (8, 3, 4), (48, 1, 8)] {
+        specs.push(ScenarioSpec { class: ScenarioClass::DoallNest, trip, depth, inner, ..base });
+    }
+    for trip in [16, 48] {
+        specs.push(ScenarioSpec { class: ScenarioClass::SerialChain, trip, ..base });
+    }
+    for (distance, trip) in [(2, 24), (4, 32), (8, 48)] {
+        specs.push(ScenarioSpec { class: ScenarioClass::CarriedDist, distance, trip, ..base });
+    }
+    for trip in [16, 48] {
+        specs.push(ScenarioSpec { class: ScenarioClass::Reduction, trip, ..base });
+    }
+    for (trip, inner) in [(8, 8), (16, 12)] {
+        specs.push(ScenarioSpec { class: ScenarioClass::Wavefront, trip, inner, ..base });
+    }
+    for (stages, trip) in [(2, 16), (4, 24)] {
+        specs.push(ScenarioSpec { class: ScenarioClass::Pipeline, stages, trip, ..base });
+    }
+    for (stages, trip) in [(2, 12), (4, 16)] {
+        specs.push(ScenarioSpec { class: ScenarioClass::TaskDag, stages, trip, ..base });
+    }
+    for (stages, trip) in [(2, 32), (4, 48)] {
+        specs.push(ScenarioSpec { class: ScenarioClass::IrregularReduction, stages, trip, ..base });
+    }
+    // The shared `base` carries fields (distance, stages) that most
+    // classes zero out; normalize so grid entries equal their canonical
+    // form and `name()` never reflects a dead parameter.
+    specs.into_iter().map(ScenarioSpec::normalized).collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn corpus_covers_every_class_with_unique_names() {
+        let specs = corpus();
+        assert!(specs.len() >= 12, "corpus too small: {}", specs.len());
+        for class in CLASSES {
+            assert!(specs.iter().any(|s| s.class == class), "class {class} missing from corpus");
+        }
+        let mut names: Vec<String> = specs.iter().map(|s| s.name()).collect();
+        names.sort();
+        let n = names.len();
+        names.dedup();
+        assert_eq!(names.len(), n, "duplicate corpus entry names");
+    }
+
+    #[test]
+    fn lowering_is_pure_and_deterministic() {
+        for spec in corpus() {
+            assert_eq!(spec.lower(), spec.lower(), "{spec}: lowering not deterministic");
+            assert_eq!(spec, spec.normalized(), "{spec}: corpus entry not normalized");
+        }
+    }
+
+    #[test]
+    fn sampling_is_deterministic_and_normalized() {
+        let mut a = XorShift::new(99);
+        let mut b = XorShift::new(99);
+        for _ in 0..64 {
+            let sa = ScenarioSpec::sample(&mut a);
+            let sb = ScenarioSpec::sample(&mut b);
+            assert_eq!(sa, sb);
+            assert_eq!(sa, sa.normalized());
+        }
+    }
+
+    #[test]
+    fn sampling_reaches_every_class() {
+        let mut rng = XorShift::new(7);
+        let mut seen = [false; CLASSES.len()];
+        for _ in 0..256 {
+            let s = ScenarioSpec::sample(&mut rng);
+            seen[CLASSES.iter().position(|c| *c == s.class).expect("known class")] = true;
+        }
+        assert!(seen.iter().all(|s| *s), "sampler misses classes: {seen:?}");
+    }
+
+    #[test]
+    fn shrink_candidates_are_strictly_smaller() {
+        let mut rng = XorShift::new(3);
+        for _ in 0..64 {
+            let s = ScenarioSpec::sample(&mut rng);
+            for cand in s.shrink_candidates() {
+                assert!(cand.weight() < s.weight(), "{s} -> {cand} did not shrink");
+                assert_eq!(cand, cand.normalized());
+            }
+        }
+        // Minimal specs cannot shrink further.
+        for class in CLASSES {
+            assert!(minimal(class).shrink_candidates().is_empty(), "{class} minimal shrinks");
+        }
+    }
+
+    #[test]
+    fn expectations_are_well_formed() {
+        let verdicts = ["provably-doall", "doall-after-breaking", "carried", "unknown"];
+        for spec in corpus() {
+            let e = spec.expectation();
+            assert!(e.hot.contains("#L"), "{spec}: hot label `{}`", e.hot);
+            assert!(verdicts.contains(&e.verdict), "{spec}: verdict `{}`", e.verdict);
+            assert!(e.self_p.0 >= 1.0 - 1e-9, "{spec}: band lo {}", e.self_p.0);
+            assert!(e.self_p.0 <= e.self_p.1, "{spec}: empty band");
+            for (label, v) in &e.also {
+                assert!(label.contains("#L"), "{spec}: also label `{label}`");
+                assert!(verdicts.contains(v), "{spec}: also verdict `{v}`");
+            }
+        }
+    }
+}

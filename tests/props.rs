@@ -90,6 +90,50 @@ fn openmp_plans_are_antichains_on_generated_programs() {
 }
 
 #[test]
+fn scenario_classes_compile_verify_and_replay_bit_identically() {
+    use kremlin_repro::hcpa::ReplayStrategy;
+    use kremlin_repro::kremlin::Kremlin;
+    use kremlin_workloads::scenario::{ScenarioSpec, CLASSES};
+
+    // A seeded sample per class on top of each class's canonical floor,
+    // so every lowering path is exercised at both extremes.
+    let mut rng = XorShift::new(0x5EED_C0DE);
+    let mut specs: Vec<ScenarioSpec> =
+        CLASSES.iter().map(|&c| kremlin_workloads::scenario::minimal(c)).collect();
+    for &class in &CLASSES {
+        let mut s = ScenarioSpec::sample(&mut rng);
+        s.class = class;
+        specs.push(s.normalized());
+    }
+
+    for spec in specs {
+        let src = spec.lower();
+        let name = spec.file_name();
+        let unit = kremlin_repro::ir::compile(&src, &name)
+            .unwrap_or_else(|e| panic!("{spec}: does not compile: {e}\n{src}"));
+        kremlin_repro::ir::verify::verify_module(&unit.module)
+            .unwrap_or_else(|e| panic!("{spec}: fails IR verification: {e}"));
+
+        // Record once, then both replay engines must reproduce the
+        // live profile bit-for-bit under sharding.
+        let (live, trace) = Kremlin::new()
+            .analyze_recorded(&src, &name, 1)
+            .unwrap_or_else(|e| panic!("{spec}: does not record: {e}"));
+        for strategy in [ReplayStrategy::Decoded, ReplayStrategy::Streaming] {
+            let mut tool = Kremlin::new();
+            tool.replay_strategy = strategy;
+            let replayed = tool
+                .analyze_trace(&trace, 3)
+                .unwrap_or_else(|e| panic!("{spec}: {strategy:?} replay fails: {e}"));
+            assert!(
+                replayed.profile().identical_stats(live.profile()),
+                "{spec}: {strategy:?} sharded replay diverges from the live profile"
+            );
+        }
+    }
+}
+
+#[test]
 fn parser_pretty_roundtrip() {
     for_each_program(0xD00D, true, |src| {
         let ast = kremlin_repro::minic::parser::parse(src).expect("parses");
