@@ -115,13 +115,20 @@ pub fn check(baseline: &str, fresh: &str, tol: Tolerance) -> Result<GateReport, 
             }
         }
 
-        // Shadow-footprint blowup. `shadow_bytes_baseline` is the
-        // serial footprint; baselines from before the shadow_bytes_packed
-        // field was dropped (it was byte-identical to baseline — packing
-        // changed locality, not size) still gate via the old key.
-        let shadow =
-            |w: &Value| num(w, "shadow_bytes_baseline").or_else(|| num(w, "shadow_bytes_packed"));
-        if let (Some(b), Some(n)) = (shadow(bw), shadow(nw)) {
+        // Shadow-footprint blowup. `shadow_bytes_baseline` is the serial
+        // footprint. The pre-PR-5 `shadow_bytes_packed` spelling is no
+        // longer accepted: `BENCH_profiler.json` has been regenerated
+        // twice since, so a baseline still using the old key is stale and
+        // must be refreshed, not silently grandfathered.
+        let shadow = |w: &Value| num(w, "shadow_bytes_baseline");
+        if num(bw, "shadow_bytes_packed").is_some() && shadow(bw).is_none() {
+            violation(
+                "stale baseline: `shadow_bytes_packed` is no longer accepted (renamed \
+                 `shadow_bytes_baseline` in PR 5, and BENCH_profiler.json has been regenerated \
+                 twice since) — re-run bench_profiler and check in a fresh baseline"
+                    .to_string(),
+            );
+        } else if let (Some(b), Some(n)) = (shadow(bw), shadow(nw)) {
             if b > 0.0 && n > b * (1.0 + tol.shadow_growth) {
                 violation(format!(
                     "shadow footprint blowup: {b:.0} -> {n:.0} bytes (allowed +{:.0}%)",
@@ -246,16 +253,22 @@ mod tests {
     }
 
     #[test]
-    fn legacy_shadow_bytes_packed_baselines_still_gate() {
-        // Baselines written before the field rename carry the identical
-        // number under shadow_bytes_packed; fresh reports only have
-        // shadow_bytes_baseline.
+    fn legacy_shadow_bytes_packed_baseline_fails_as_stale() {
+        // Pre-PR-5 baselines spell the footprint `shadow_bytes_packed`.
+        // That grace period is over: the gate names the stale key and the
+        // fix instead of silently accepting an old baseline.
         let base = r#"{"workloads":[{"name":"cg","instr_events":5,"shadow_bytes_packed":4096}]}"#;
-        let ok = r#"{"workloads":[{"name":"cg","instr_events":5,"shadow_bytes_baseline":4200}]}"#;
-        assert!(check(base, ok, Tolerance::default()).unwrap().passed());
-        let bad = r#"{"workloads":[{"name":"cg","instr_events":5,"shadow_bytes_baseline":8192}]}"#;
-        let r = check(base, bad, Tolerance::default()).unwrap();
-        assert!(r.violations.iter().any(|v| v.contains("blowup")), "{:?}", r.violations);
+        let fresh =
+            r#"{"workloads":[{"name":"cg","instr_events":5,"shadow_bytes_baseline":4200}]}"#;
+        let r = check(base, fresh, Tolerance::default()).unwrap();
+        assert!(!r.passed());
+        assert!(
+            r.violations
+                .iter()
+                .any(|v| v.contains("stale baseline") && v.contains("shadow_bytes_packed")),
+            "{:?}",
+            r.violations
+        );
     }
 
     #[test]

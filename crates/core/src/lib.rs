@@ -67,6 +67,7 @@ pub use kremlin_sim::{MachineModel, PlanEvaluation, Simulator};
 
 use std::collections::HashSet;
 use std::fmt;
+use std::sync::Arc;
 
 /// Errors from the end-to-end pipeline.
 #[derive(Debug)]
@@ -151,7 +152,7 @@ impl Kremlin {
     pub fn analyze(&self, src: &str, name: &str) -> Result<Analysis, KremlinError> {
         let unit = kremlin_ir::compile(src, name)?;
         let outcome = kremlin_hcpa::profile_unit_with_machine(&unit, self.hcpa, self.machine)?;
-        Ok(Analysis { unit, outcome })
+        Ok(Analysis::from_parts(Arc::new(unit), Arc::new(outcome)))
     }
 
     /// Like [`Kremlin::analyze`], but collects the profile with
@@ -185,7 +186,7 @@ impl Kremlin {
                 machine: self.machine,
             },
         )?;
-        Ok(Analysis { unit, outcome })
+        Ok(Analysis::from_parts(Arc::new(unit), Arc::new(outcome)))
     }
 
     /// Like [`Kremlin::analyze`] (or [`Kremlin::analyze_parallel`] when
@@ -223,7 +224,7 @@ impl Kremlin {
             kremlin_hcpa::profile_trace(&unit, &trace, self.hcpa)
         }
         .expect("a freshly recorded trace replays against its own module");
-        Ok((Analysis { unit, outcome }, trace))
+        Ok((Analysis::from_parts(Arc::new(unit), Arc::new(outcome)), trace))
     }
 
     /// Profiles a previously recorded trace without executing anything:
@@ -257,7 +258,7 @@ impl Kremlin {
         } else {
             kremlin_hcpa::profile_trace(&unit, trace, self.hcpa)?
         };
-        Ok(Analysis { unit, outcome })
+        Ok(Analysis::from_parts(Arc::new(unit), Arc::new(outcome)))
     }
 
     /// Analyzes the same program over several inputs (here: several runs)
@@ -283,20 +284,30 @@ impl Kremlin {
         }
         let mut outcome = last.expect("runs >= 1");
         outcome.profile = ParallelismProfile::merge(&profiles);
-        Ok(Analysis { unit, outcome })
+        Ok(Analysis::from_parts(Arc::new(unit), Arc::new(outcome)))
     }
 }
 
 /// A completed analysis: compiled program plus parallelism profile.
-#[derive(Debug)]
+///
+/// Both artifacts are reference-counted so a content-addressed cache
+/// (the `kremlin-engine` session layer) can hand the same compiled unit
+/// and profile to many concurrent sessions without copying them.
+#[derive(Debug, Clone)]
 pub struct Analysis {
     /// The compiled and analyzed program.
-    pub unit: CompiledUnit,
+    pub unit: Arc<CompiledUnit>,
     /// Profile, profiler stats, and the program's own run result.
-    pub outcome: ProfileOutcome,
+    pub outcome: Arc<ProfileOutcome>,
 }
 
 impl Analysis {
+    /// Assembles an analysis from already-shared pipeline artifacts —
+    /// the constructor the engine's cache-hit path uses.
+    pub fn from_parts(unit: Arc<CompiledUnit>, outcome: Arc<ProfileOutcome>) -> Self {
+        Analysis { unit, outcome }
+    }
+
     /// The parallelism profile.
     pub fn profile(&self) -> &ParallelismProfile {
         &self.outcome.profile

@@ -188,12 +188,25 @@ pub fn render(analysis: &Analysis, personality: &dyn Personality, opts: ReportOp
         let _ = writeln!(
             out,
             "Plain critical-path analysis would report these as parallel; their \
-             parallelism actually belongs to nested regions.\n"
+             parallelism actually belongs to nested regions. The static column \
+             is `ir::depend`'s verdict for the outer loop itself, so the \
+             dynamic and static views can be read side by side (a `carried` \
+             or `unknown` verdict corroborates the low self-P).\n"
         );
-        let _ = writeln!(out, "| outer loop | self-P | total-P |");
-        let _ = writeln!(out, "|------------|--------|---------|");
+        let _ = writeln!(out, "| outer loop | self-P | total-P | static |");
+        let _ = writeln!(out, "|------------|--------|---------|--------|");
         for s in rows {
-            let _ = writeln!(out, "| `{}` | {:.1} | {:.1} |", s.label, s.self_p, s.total_p);
+            let verdict = analysis
+                .unit
+                .depend
+                .verdict(s.region)
+                .map(|v| v.to_string())
+                .unwrap_or_else(|| "-".into());
+            let _ = writeln!(
+                out,
+                "| `{}` | {:.1} | {:.1} | {} |",
+                s.label, s.self_p, s.total_p, verdict
+            );
         }
         let _ = writeln!(out);
     }
@@ -217,10 +230,30 @@ mod tests {
             "## Estimated outcome",
             "## Region profile",
             "localized away",
+            "| outer loop | self-P | total-P | static |",
             "fill_features",
             "DOALL",
         ] {
             assert!(report.contains(needle), "missing `{needle}`");
+        }
+        // Every localization row carries a static verdict cell so the
+        // report and plan views agree on the `ir::depend` classification.
+        let localization = report.split("localized away from these outer loops").nth(1).unwrap();
+        let rows: Vec<&str> = localization
+            .lines()
+            .take_while(|l| !l.starts_with("## "))
+            .filter(|l| l.starts_with("| `"))
+            .collect();
+        assert!(!rows.is_empty());
+        for row in rows {
+            let cells: Vec<&str> = row.trim_matches('|').split('|').collect();
+            assert_eq!(cells.len(), 4, "row lacks the static column: {row}");
+            let verdict = cells[3].trim();
+            assert!(
+                ["provably-doall", "doall-after-breaking", "unknown", "-"].contains(&verdict)
+                    || verdict.starts_with("carried"),
+                "unexpected static verdict `{verdict}` in {row}"
+            );
         }
     }
 

@@ -9,6 +9,8 @@
 //!                                            three-oracle scenario corpus
 //! kremlin fuzz --seeds N [--seed S] [--dump DIR]
 //!                                            parallelism-structure fuzzer
+//! kremlin serve --port P --workers N         profiling service daemon
+//!                                            (kremlin-serve-v1 over HTTP)
 //! kremlin --metrics-diff A.json B.json       compare two metrics snapshots
 //!
 //! options:
@@ -41,15 +43,23 @@
 //!
 //! Exit codes: 0 success, 1 pipeline failure (I/O, compile, runtime,
 //! corrupt trace), 2 usage error.
+//!
+//! Every pipeline-running mode is a thin client of the
+//! [`kremlin_engine::Engine`] session layer; `kremlin serve` exposes the
+//! same engine — with its content-addressed artifact cache shared across
+//! requests — over HTTP.
 
 use kremlin::persist::{load_profile, load_trace, save_profile, save_trace};
 use kremlin::{
     CilkPlanner, HcpaConfig, Kremlin, OpenMpPlanner, Personality, SelfPFilterPlanner,
     WorkOnlyPlanner,
 };
+use kremlin_engine::serve::{ServeConfig, Server};
+use kremlin_engine::{Engine, EngineConfig};
 use std::collections::HashSet;
 use std::path::Path;
 use std::process::ExitCode;
+use std::sync::Arc;
 
 /// CLI outcomes that are not plain success, each with its exit code.
 enum CliError {
@@ -110,6 +120,8 @@ fn usage() -> &'static str {
      \x20      kremlin corpus [--list] [--emit-golden] [--emit DIR] [--golden FILE]\n\
      \x20              [--filter CLASS]\n\
      \x20      kremlin fuzz --seeds N [--seed S] [--dump DIR]\n\
+     \x20      kremlin serve [--port=N] [--workers=N] [--queue=N] [--cache-mb=N]\n\
+     \x20              [--jobs=N]\n\
      \x20      kremlin --metrics-diff A.json B.json"
 }
 
@@ -404,11 +416,17 @@ fn cmd_replay(args: &[String]) -> Result<(), CliError> {
     if trace.source.is_empty() {
         return Err(fail(format!("{path}: trace has no embedded source to recompile")));
     }
-    let mut tool = Kremlin::new();
-    if o.streaming {
+    // The decoded default goes through the engine (and its artifact
+    // cache); the streaming fallback replays varints per worker and has
+    // nothing cacheable, so it keeps the direct path.
+    let analysis = if o.streaming {
+        let mut tool = Kremlin::new();
         tool.replay_strategy = kremlin::hcpa::ReplayStrategy::Streaming;
-    }
-    let analysis = tool.analyze_trace(&trace, o.jobs).map_err(fail)?;
+        tool.analyze_trace(&trace, o.jobs).map_err(fail)?
+    } else {
+        let engine = Engine::with_tool(Kremlin::new());
+        engine.analyze_trace(&trace, o.jobs).map_err(fail)?.analysis
+    };
     eprintln!(
         "[kremlin] replayed {} events: exit={} instrs={} dynamic-regions={} max-depth={}",
         trace.events(),
@@ -644,6 +662,74 @@ fn cmd_fuzz(args: &[String]) -> Result<(), CliError> {
     Ok(())
 }
 
+/// `kremlin serve [--port=N] [--workers=N] [--queue=N] [--cache-mb=N]
+/// [--jobs=N]`: run the profiling pipeline as a long-lived HTTP service.
+/// One engine — and thus one content-addressed artifact cache — is
+/// shared by all requests, so the second submission of a hot module
+/// skips compile, record, and decode.
+fn cmd_serve(args: &[String]) -> Result<(), CliError> {
+    let bad = |msg: String| CliError::Usage(format!("{msg}\n{}", usage()));
+    let mut config = ServeConfig::default();
+    let mut cache_mb: usize = 256;
+    let mut i = 0;
+    while i < args.len() {
+        let a = &args[i];
+        i += 1;
+        let mut value = |flag: &str, inline: Option<&str>| -> Result<String, CliError> {
+            if let Some(v) = inline {
+                return Ok(v.to_owned());
+            }
+            let v = args.get(i).cloned().ok_or_else(|| bad(format!("{flag} requires a value")))?;
+            i += 1;
+            Ok(v)
+        };
+        let parse_num = |flag: &str, v: &str| -> Result<usize, CliError> {
+            v.parse().map_err(|_| bad(format!("bad {flag} value `{v}`")))
+        };
+        if a == "--help" || a == "-h" {
+            return Err(CliError::Help);
+        } else if a == "--port" || a.starts_with("--port=") {
+            let v = value("--port", a.strip_prefix("--port="))?;
+            config.port = v.parse().map_err(|_| bad(format!("bad --port value `{v}`")))?;
+        } else if a == "--workers" || a.starts_with("--workers=") {
+            let v = value("--workers", a.strip_prefix("--workers="))?;
+            config.workers = parse_num("--workers", &v)?;
+            if config.workers == 0 {
+                return Err(bad("--workers must be at least 1".into()));
+            }
+        } else if a == "--queue" || a.starts_with("--queue=") {
+            let v = value("--queue", a.strip_prefix("--queue="))?;
+            config.queue_depth = parse_num("--queue", &v)?;
+            if config.queue_depth == 0 {
+                return Err(bad("--queue must be at least 1".into()));
+            }
+        } else if a == "--cache-mb" || a.starts_with("--cache-mb=") {
+            let v = value("--cache-mb", a.strip_prefix("--cache-mb="))?;
+            cache_mb = parse_num("--cache-mb", &v)?;
+        } else if a == "--jobs" || a.starts_with("--jobs=") {
+            let v = value("--jobs", a.strip_prefix("--jobs="))?;
+            config.default_jobs = parse_num("--jobs", &v)?;
+            if config.default_jobs == 0 {
+                return Err(bad("--jobs must be at least 1".into()));
+            }
+        } else {
+            return Err(bad(format!("unknown serve argument `{a}`")));
+        }
+    }
+    let engine =
+        Arc::new(Engine::new(EngineConfig { tool: Kremlin::new(), cache_bytes: cache_mb << 20 }));
+    let server = Server::start(config, engine).map_err(fail)?;
+    eprintln!(
+        "[kremlin] serving kremlin-serve-v1 on http://{} ({} workers, queue {}, cache {} MiB)",
+        server.addr(),
+        config.workers,
+        config.queue_depth,
+        cache_mb
+    );
+    server.join();
+    Ok(())
+}
+
 /// `kremlin --metrics-diff A.json B.json`: per-counter deltas between two
 /// saved `kremlin-metrics-v1` snapshots.
 fn cmd_metrics_diff(a: &str, b: &str) -> Result<(), CliError> {
@@ -678,6 +764,7 @@ fn run() -> Result<(), CliError> {
         "replay" => return cmd_replay(&args[1..]),
         "corpus" => return cmd_corpus(&args[1..]),
         "fuzz" => return cmd_fuzz(&args[1..]),
+        "serve" => return cmd_serve(&args[1..]),
         _ => {}
     }
     let o = parse_args(&args)?;
@@ -757,10 +844,13 @@ fn run() -> Result<(), CliError> {
         Ok(analysis)
     } else if o.runs > 1 {
         tool.analyze_runs(&src, &name, o.runs)
-    } else if o.jobs > 1 {
+    } else if o.streaming {
         tool.analyze_parallel(&src, &name, o.jobs)
     } else {
-        tool.analyze(&src, &name)
+        // The common one-shot path is a thin client of the session
+        // engine: same staged pipeline (and cache keys) the `serve`
+        // daemon uses, bit-identical profile to the monolithic path.
+        Engine::with_tool(tool).analyze_source(&src, &name, o.jobs).map(|r| r.analysis)
     }
     .map_err(fail)?;
     maybe_verify(&analysis.unit.module, o.verify_ir)?;

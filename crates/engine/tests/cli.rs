@@ -525,3 +525,57 @@ fn verify_ir_flag_confirms_verification() {
     assert!(out.status.success(), "stderr: {stderr}");
     assert!(stderr.contains("IR verified"), "{stderr}");
 }
+
+#[test]
+fn metrics_diff_names_both_schema_versions_on_mismatch() {
+    let src = write_temp("demo_schema_diff.kc", DEMO);
+    let out = kremlin().arg(&src).arg("--metrics=json").output().expect("runs");
+    assert!(out.status.success());
+    let stdout = String::from_utf8_lossy(&out.stdout);
+    let good = write_temp("schema-good.json", stdout.lines().last().unwrap());
+
+    // A snapshot from a hypothetical future kremlin: the error must name
+    // the version found in the file AND the version this build speaks.
+    let stale = write_temp(
+        "schema-stale.json",
+        r#"{"schema":"kremlin-metrics-v9","counters":{},"gauges":{},"histograms":{},"phases":{}}"#,
+    );
+    let out = kremlin().arg("--metrics-diff").arg(&good).arg(&stale).output().expect("runs");
+    assert_eq!(out.status.code(), Some(1));
+    let stderr = String::from_utf8_lossy(&out.stderr);
+    assert!(stderr.contains("kremlin-metrics-v9"), "must name the mismatched version: {stderr}");
+    assert!(stderr.contains("kremlin-metrics-v1"), "must name the supported version: {stderr}");
+    assert!(stderr.contains("schema-stale.json"), "must name the offending file: {stderr}");
+
+    // A snapshot with no schema field at all reports `(missing)`.
+    let unversioned = write_temp("schema-missing.json", r#"{"counters":{}}"#);
+    let out = kremlin().arg("--metrics-diff").arg(&good).arg(&unversioned).output().expect("runs");
+    assert_eq!(out.status.code(), Some(1));
+    let stderr = String::from_utf8_lossy(&out.stderr);
+    assert!(stderr.contains("(missing)"), "{stderr}");
+    assert!(stderr.contains("kremlin-metrics-v1"), "{stderr}");
+}
+
+#[test]
+fn serve_usage_errors_exit_2() {
+    for bad_args in [
+        &["serve", "--workers=0"][..],
+        &["serve", "--queue=0"],
+        &["serve", "--jobs=0"],
+        &["serve", "--port"],
+        &["serve", "--cache-mb=lots"],
+        &["serve", "--daemonize"],
+    ] {
+        let out = kremlin().args(bad_args).output().expect("runs");
+        assert_eq!(out.status.code(), Some(2), "args: {bad_args:?}");
+        let stderr = String::from_utf8_lossy(&out.stderr);
+        assert!(stderr.contains("usage"), "args {bad_args:?}: {stderr}");
+    }
+}
+
+#[test]
+fn serve_help_mentions_the_daemon() {
+    let out = kremlin().args(["serve", "--help"]).output().expect("runs");
+    assert!(out.status.success());
+    assert!(String::from_utf8_lossy(&out.stdout).contains("serve"));
+}

@@ -579,9 +579,14 @@ impl Snapshot {
         let v = json::parse(text)?;
         let schema = v.get("schema").and_then(json::Value::as_str);
         if schema != Some(SCHEMA) {
+            // Name both sides: stale snapshots surface in `--metrics-diff`,
+            // and "which file speaks which schema" is the whole diagnosis.
+            let found = schema.unwrap_or("(missing)");
             return Err(json::JsonError {
                 at: 0,
-                message: format!("unsupported metrics schema {schema:?}"),
+                message: format!(
+                    "metrics schema mismatch: snapshot has {found:?}, expected {SCHEMA:?}"
+                ),
             });
         }
         let map_u64 = |key: &str| -> Vec<(String, u64)> {

@@ -84,8 +84,12 @@ fn hotspot_entries(
             verdict: None,
         })
         .collect();
-    entries
-        .sort_by(|a, b| b.coverage.partial_cmp(&a.coverage).unwrap_or(std::cmp::Ordering::Equal));
+    entries.sort_by(|a, b| {
+        b.coverage
+            .partial_cmp(&a.coverage)
+            .unwrap_or(std::cmp::Ordering::Equal)
+            .then(a.region.cmp(&b.region))
+    });
     kremlin_obs::counter!("planner.selected").add(entries.len() as u64);
     entries
 }

@@ -140,7 +140,11 @@ impl Personality for CilkPlanner {
             })
             .collect();
         entries.sort_by(|a, b| {
-            b.est_speedup.partial_cmp(&a.est_speedup).unwrap_or(std::cmp::Ordering::Equal)
+            b.est_speedup
+                .partial_cmp(&a.est_speedup)
+                .unwrap_or(std::cmp::Ordering::Equal)
+                .then(b.coverage.partial_cmp(&a.coverage).unwrap_or(std::cmp::Ordering::Equal))
+                .then(a.region.cmp(&b.region))
         });
         kremlin_obs::counter!("planner.candidates").add(profile.iter().count() as u64);
         kremlin_obs::counter!("planner.selected").add(entries.len() as u64);

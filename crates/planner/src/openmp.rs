@@ -194,7 +194,10 @@ impl Personality for OpenMpPlanner {
         selected.sort_by(|a, b| {
             let sa = own.get(a).map(|(_, s)| *s).unwrap_or(0.0);
             let sb = own.get(b).map(|(_, s)| *s).unwrap_or(0.0);
-            sb.partial_cmp(&sa).unwrap_or(std::cmp::Ordering::Equal)
+            // Tie-break on the static region id so the plan does not
+            // depend on profile traversal order (which legitimately
+            // differs between the streaming and decoded-replay paths).
+            sb.partial_cmp(&sa).unwrap_or(std::cmp::Ordering::Equal).then(a.cmp(b))
         });
         let mut kept: Vec<RegionId> = Vec::new();
         let mut blocked: HashSet<RegionId> = HashSet::new();
@@ -228,7 +231,11 @@ impl Personality for OpenMpPlanner {
             })
             .collect();
         entries.sort_by(|a, b| {
-            b.est_speedup.partial_cmp(&a.est_speedup).unwrap_or(std::cmp::Ordering::Equal)
+            b.est_speedup
+                .partial_cmp(&a.est_speedup)
+                .unwrap_or(std::cmp::Ordering::Equal)
+                .then(b.coverage.partial_cmp(&a.coverage).unwrap_or(std::cmp::Ordering::Equal))
+                .then(a.region.cmp(&b.region))
         });
         kremlin_obs::counter!("planner.selected").add(entries.len() as u64);
         Plan { personality: self.name().into(), entries }
