@@ -1,7 +1,7 @@
-//! # Three-oracle corpus harness and parallelism-structure fuzzer
+//! # Four-oracle corpus harness and parallelism-structure fuzzer
 //!
 //! The scenario layer (`kremlin_workloads::scenario`) lowers declarative
-//! parallelism structures to mini-C; this module cross-checks **three
+//! parallelism structures to mini-C; this module cross-checks **four
 //! independent oracles** on every generated program:
 //!
 //! 1. **Static** — the `ir::depend` verdict for the spec's hot loop (and
@@ -9,7 +9,10 @@
 //! 2. **Dynamic** — the hot loop's measured self-parallelism from the
 //!    HCPA profile, which must land in the spec's class-derived band;
 //! 3. **Replay** — decoded-arena and streaming replay shards of the
-//!    recorded trace must reproduce the live profile bit-identically.
+//!    recorded trace must reproduce the live profile bit-identically;
+//! 4. **Enumeration** — the exhaustive iteration-space oracle
+//!    (`crate::oracle`) re-runs the program concretely and refutes any
+//!    dependence verdict the observed address overlaps contradict.
 //!
 //! Any pairwise disagreement (a provably-DOALL loop that measures
 //! serial, a carried chain with no dynamic serialization, a replay shard
@@ -21,6 +24,7 @@
 
 use crate::{Kremlin, KremlinError};
 use kremlin_hcpa::ReplayStrategy;
+use kremlin_interp::MachineConfig;
 use kremlin_workloads::rng::XorShift;
 use kremlin_workloads::scenario::{corpus, ScenarioClass, ScenarioSpec};
 
@@ -40,7 +44,7 @@ const SERIAL_SP: f64 = 2.0;
 /// One oracle disagreement on one generated program.
 #[derive(Debug, Clone)]
 pub struct Disagreement {
-    /// Stable taxonomy code (`C001`–`C006`, see [`Disagreement::codes`]).
+    /// Stable taxonomy code (`C001`–`C007`, see [`Disagreement::codes`]).
     pub code: &'static str,
     /// Human-readable explanation with the observed values.
     pub detail: String,
@@ -56,11 +60,12 @@ impl Disagreement {
             ("C004", "statically carried chain but no dynamic serialization"),
             ("C005", "replay shard profile diverges from the live profile"),
             ("C006", "generated program failed to compile, verify, or run"),
+            ("C007", "static verdict contradicts the exhaustive iteration-space enumeration"),
         ]
     }
 }
 
-/// Everything the three oracles observed for one spec.
+/// Everything the four oracles observed for one spec.
 #[derive(Debug)]
 pub struct OracleReport {
     /// The spec under test.
@@ -88,7 +93,7 @@ impl OracleReport {
     }
 }
 
-/// Runs the three oracles on one spec.
+/// Runs the four oracles on one spec.
 ///
 /// Pipeline: lower → compile (+ IR verify) → record the execution once →
 /// profile by serial replay (the reference) → replay depth-sharded via
@@ -215,6 +220,15 @@ pub fn run_oracles(spec: &ScenarioSpec) -> Result<OracleReport, KremlinError> {
         }
     }
 
+    // Oracle 4: exhaustive iteration-space enumeration. Run the program
+    // concretely, record which addresses every iteration of every loop
+    // instance touches, and refute any static verdict the observed
+    // conflicts (or their absence) contradict.
+    let observations = crate::oracle::enumerate(&unit, MachineConfig::default())?;
+    for detail in crate::oracle::check(&unit, &observations) {
+        disagreements.push(Disagreement { code: "C007", detail });
+    }
+
     Ok(OracleReport {
         spec,
         source,
@@ -272,7 +286,7 @@ pub struct FuzzOutcome {
 }
 
 /// Samples `seeds` scenario specs from `base_seed` and cross-checks the
-/// three oracles on each, shrinking any disagreement to a minimal repro.
+/// four oracles on each, shrinking any disagreement to a minimal repro.
 /// Deterministic: same `base_seed` and `seeds`, same outcome.
 ///
 /// Specs whose oracle run fails outright (compile/runtime error on
@@ -323,7 +337,7 @@ pub fn fuzz(base_seed: u64, seeds: usize) -> FuzzOutcome {
     FuzzOutcome { checked, by_class, findings }
 }
 
-/// Runs the three oracles over the whole fixed corpus grid, in order.
+/// Runs the four oracles over the whole fixed corpus grid, in order.
 ///
 /// # Errors
 ///
@@ -429,11 +443,11 @@ mod tests {
     #[test]
     fn taxonomy_codes_are_stable_and_unique() {
         let codes = Disagreement::codes();
-        assert_eq!(codes.len(), 6);
+        assert_eq!(codes.len(), 7);
         let mut names: Vec<_> = codes.iter().map(|(c, _)| *c).collect();
         names.sort_unstable();
         names.dedup();
-        assert_eq!(names.len(), 6, "duplicate taxonomy codes");
+        assert_eq!(names.len(), 7, "duplicate taxonomy codes");
         assert_eq!(names[0], "C001");
     }
 
@@ -449,6 +463,7 @@ mod tests {
             distance: 2,
             stages: 2,
             inner: 16,
+            linearized: true,
         }
         .normalized();
         let bug = |s: &ScenarioSpec| s.trip >= 10 && s.depth >= 2;

@@ -109,8 +109,19 @@ pub fn static_diagnostics(unit: &CompiledUnit) -> Vec<Diagnostic> {
     let mut out = Vec::new();
     for l in &unit.depend.loops {
         let line = unit.module.regions.info(l.region).span.line_start;
-        let first_evidence =
-            l.evidence.first().map(|e| format!(": {}", e.detail)).unwrap_or_default();
+        // K003 quotes the evidence line that *proves* the dependence;
+        // K004 quotes the line the analyzer gave up on (e.g. "MIV bounds
+        // inconclusive at dim 1"), so the user sees which subscript
+        // dimension and which test to blame — not just whichever
+        // evidence line happens to sort first.
+        let evidence = |definite: bool| {
+            l.evidence
+                .iter()
+                .find(|e| e.definite == definite)
+                .or_else(|| l.evidence.first())
+                .map(|e| format!(": {}", e.detail))
+                .unwrap_or_default()
+        };
         let (code, severity, message) = match l.verdict {
             LoopVerdict::ProvablyDoall => (
                 "K001",
@@ -129,15 +140,15 @@ pub fn static_diagnostics(unit: &CompiledUnit) -> Vec<Diagnostic> {
             LoopVerdict::Carried { distance: Some(d) } => (
                 "K003",
                 Severity::Warning,
-                format!("definite loop-carried dependence at distance {d}{first_evidence}"),
+                format!("definite loop-carried dependence at distance {d}{}", evidence(true)),
             ),
             LoopVerdict::Carried { distance: None } => (
                 "K003",
                 Severity::Warning,
-                format!("definite loop-carried dependence{first_evidence}"),
+                format!("definite loop-carried dependence{}", evidence(true)),
             ),
             LoopVerdict::Unknown => {
-                ("K004", Severity::Note, format!("dependences unprovable{first_evidence}"))
+                ("K004", Severity::Note, format!("dependences unprovable{}", evidence(false)))
             }
         };
         out.push(Diagnostic { code, severity, label: l.label.clone(), line, message });
@@ -345,6 +356,48 @@ mod tests {
         assert!(rendered.contains("mixed.kc:3: info[K001]"), "{rendered}");
         assert!(rendered.contains("warning[K003]"), "{rendered}");
         assert!(rendered.contains("1 warning"), "{rendered}");
+    }
+
+    #[test]
+    fn k003_quotes_the_proving_evidence_not_the_first_line() {
+        // The may-dependence on `a` (non-affine subscript) is recorded
+        // before the definite recurrence on `b`; K003 must still quote
+        // the line that *proves* the carried dependence.
+        let src = "float a[64]; float b[64];\n\
+            int main() {\n\
+              for (int i = 1; i < 64; i++) {\n\
+                a[i] = a[i / 2] + 1.0;\n\
+                b[i] = b[i - 1] * 0.5;\n\
+              }\n\
+              return 0;\n\
+            }";
+        let unit = kremlin_ir::compile(src, "pick.kc").unwrap();
+        let l = &unit.depend.loops[0];
+        assert!(!l.evidence[0].definite, "setup: first evidence line should be the may-line");
+        let diags = static_diagnostics(&unit);
+        let k3 = diags.iter().find(|d| d.code == "K003").expect("carried loop diagnosed");
+        assert!(k3.message.contains("proven by"), "{}", k3.message);
+        assert!(k3.message.contains("`b`"), "{}", k3.message);
+    }
+
+    #[test]
+    fn k004_names_the_failing_dimension_and_test() {
+        // Rows of width 8 overlap under a stride-16 outer subscript space
+        // of extent 16: MIV bounds cannot separate them, and the K004
+        // note must say which test gave up and where.
+        let src = "float m[256];\n\
+            int main() {\n\
+              for (int i = 0; i < 16; i++) {\n\
+                for (int j = 0; j < 16; j++) {\n\
+                  m[i * 8 + j] = m[i * 8 + j] + 1.0;\n\
+                }\n\
+              }\n\
+              return 0;\n\
+            }";
+        let unit = kremlin_ir::compile(src, "rows.kc").unwrap();
+        let diags = static_diagnostics(&unit);
+        let k4 = diags.iter().find(|d| d.code == "K004").expect("unknown loop diagnosed");
+        assert!(k4.message.contains("MIV bounds inconclusive at dim 0"), "{}", k4.message);
     }
 
     #[test]

@@ -45,6 +45,7 @@
 
 pub mod corpus;
 pub mod diag;
+pub mod oracle;
 pub mod persist;
 pub mod report;
 

@@ -1,0 +1,316 @@
+//! Exhaustive iteration-space oracle for the static dependence analyzer.
+//!
+//! The dependence-test ladder in `kremlin_ir::depend` proves claims about
+//! *every* iteration pair of a loop. This module checks those claims the
+//! brute-force way: run the program concretely and, for every dynamic
+//! instance of every loop region, record which memory addresses each
+//! iteration reads and writes. At instance exit the per-address touch
+//! histories fold into the set of **observed conflict distances** — the
+//! `|Δiteration|` between two touches of the same address where at least
+//! one touch is a write. The static verdicts are then cross-checked
+//! against what actually happened:
+//!
+//! * `provably-doall` and `doall-after-breaking` loops must show **zero**
+//!   cross-iteration memory conflicts (reductions are register
+//!   recurrences, never memory traffic);
+//! * `carried(d)` verdicts backed by definite *memory* evidence must
+//!   observe a conflict at exactly distance `d` once an instance runs
+//!   enough iterations to contain such a pair;
+//! * distance-unproven `carried` verdicts backed by a definite
+//!   same-location proof must observe at least one conflict.
+//!
+//! `unknown` verdicts claim nothing and are never checked. Only globals
+//! and `main`'s own frame are tracked: callee frames are reused across
+//! iterations, so their slot addresses do not identify objects.
+//!
+//! The corpus harness runs this as its fourth oracle (`C007`
+//! disagreements) and `tests/props.rs` drives it over hundreds of
+//! fuzzer-generated specs, so an unsound upgrade to the ladder fails
+//! loudly instead of silently flipping goldens.
+
+use kremlin_interp::{run_with_hook, ExecHook, InstrCtx, InterpError, MachineConfig};
+use kremlin_ir::{CompiledUnit, InstrKind, LoopVerdict, Module, RegionId, RegionKind};
+use std::collections::{BTreeMap, BTreeSet, HashMap};
+
+const READ: u8 = 1;
+const WRITE: u8 = 2;
+
+/// What the oracle observed for one loop region, over all of its dynamic
+/// instances.
+#[derive(Debug, Clone, Default)]
+pub struct RegionObs {
+    /// Dynamic instances (entries of the loop region).
+    pub instances: u64,
+    /// Most body iterations started by any single instance.
+    pub max_iters: i64,
+    /// Conflict distances observed in any instance: `j - i > 0` such that
+    /// iterations `i` and `j` touched the same address, one writing.
+    pub distances: BTreeSet<i64>,
+}
+
+/// One live loop-region instance on the region stack.
+struct Instance {
+    region: RegionId,
+    /// Body iterations started so far, minus one (`-1` before the first).
+    iter: i64,
+    /// Address → iteration → read/write flags.
+    touched: HashMap<u64, BTreeMap<i64, u8>>,
+}
+
+/// The [`ExecHook`] that enumerates iteration spaces.
+pub struct IterationOracle {
+    /// Region kinds, indexed by `RegionId`.
+    kinds: Vec<RegionKind>,
+    /// Region parents, indexed by `RegionId`.
+    parents: Vec<Option<RegionId>>,
+    /// Addresses at or above this are reusable callee-frame slots.
+    limit: u64,
+    stack: Vec<Instance>,
+    obs: HashMap<RegionId, RegionObs>,
+}
+
+impl IterationOracle {
+    /// Prepares an oracle for one module.
+    pub fn new(m: &Module) -> IterationOracle {
+        let kinds = m.regions.iter().map(|r| r.kind).collect();
+        let parents = m.regions.iter().map(|r| r.parent).collect();
+        let main_frame = m.main.map(|f| u64::from(m.func(f).frame_slots)).unwrap_or(0);
+        IterationOracle {
+            kinds,
+            parents,
+            limit: m.global_slots() + main_frame,
+            stack: Vec::new(),
+            obs: HashMap::new(),
+        }
+    }
+
+    /// Consumes the oracle after a run, yielding per-region observations.
+    pub fn into_observations(self) -> HashMap<RegionId, RegionObs> {
+        self.obs
+    }
+
+    fn fold(&mut self, inst: Instance) {
+        let o = self.obs.entry(inst.region).or_default();
+        o.instances += 1;
+        o.max_iters = o.max_iters.max(inst.iter + 1);
+        for hist in inst.touched.values() {
+            let touches: Vec<(i64, u8)> = hist.iter().map(|(&i, &f)| (i, f)).collect();
+            for (a, &(i, fi)) in touches.iter().enumerate() {
+                for &(j, fj) in &touches[a + 1..] {
+                    if fi & WRITE != 0 || fj & WRITE != 0 {
+                        o.distances.insert(j - i);
+                    }
+                }
+            }
+        }
+    }
+}
+
+impl ExecHook for IterationOracle {
+    fn on_instr(&mut self, ctx: &InstrCtx<'_>) {
+        let Some(addr) = ctx.mem_addr else { return };
+        if addr >= self.limit {
+            return;
+        }
+        let flag = if matches!(ctx.kind, InstrKind::Store { .. }) { WRITE } else { READ };
+        for inst in &mut self.stack {
+            // Header-block accesses before the first body entry attribute
+            // to iteration 0; reads there cannot create conflicts alone.
+            let iter = inst.iter.max(0);
+            *inst.touched.entry(addr).or_default().entry(iter).or_insert(0) |= flag;
+        }
+    }
+
+    fn on_region_enter(&mut self, region: RegionId) {
+        match self.kinds[region.index()] {
+            RegionKind::Loop => {
+                self.stack.push(Instance { region, iter: -1, touched: HashMap::new() })
+            }
+            RegionKind::LoopBody => {
+                if let Some(top) = self.stack.last_mut() {
+                    if self.parents[region.index()] == Some(top.region) {
+                        top.iter += 1;
+                    }
+                }
+            }
+            RegionKind::Func => {}
+        }
+    }
+
+    fn on_region_exit(&mut self, region: RegionId) {
+        if self.kinds[region.index()] != RegionKind::Loop {
+            return;
+        }
+        if self.stack.last().is_some_and(|i| i.region == region) {
+            let inst = self.stack.pop().expect("just checked");
+            self.fold(inst);
+        }
+    }
+}
+
+/// Runs `unit`'s program under the oracle.
+///
+/// # Errors
+///
+/// Propagates any [`InterpError`] from the concrete run.
+pub fn enumerate(
+    unit: &CompiledUnit,
+    config: MachineConfig,
+) -> Result<HashMap<RegionId, RegionObs>, InterpError> {
+    let mut hook = IterationOracle::new(&unit.module);
+    run_with_hook(&unit.module, &mut hook, config)?;
+    Ok(hook.into_observations())
+}
+
+/// Cross-checks every static verdict against the observations; returns
+/// one violation line per contradiction (empty = oracle satisfied).
+/// Loops that never executed are vacuously consistent.
+pub fn check(unit: &CompiledUnit, obs: &HashMap<RegionId, RegionObs>) -> Vec<String> {
+    let mut out = Vec::new();
+    for l in &unit.depend.loops {
+        let Some(o) = obs.get(&l.region) else { continue };
+        match l.verdict {
+            LoopVerdict::ProvablyDoall | LoopVerdict::DoallAfterBreaking => {
+                if let Some(d) = o.distances.iter().next() {
+                    out.push(format!(
+                        "{}: verdict `{}` but enumeration observed a cross-iteration \
+                         conflict at distance {d}",
+                        l.label,
+                        l.verdict.name(),
+                    ));
+                }
+            }
+            LoopVerdict::Carried { distance: Some(d) } => {
+                let in_memory = l
+                    .evidence
+                    .iter()
+                    .any(|e| e.definite && e.object.is_some() && e.distance == Some(d));
+                if in_memory && o.max_iters >= d + 2 && !o.distances.contains(&d) {
+                    out.push(format!(
+                        "{}: carried(d={d}) proven on memory over {} iterations, but no \
+                         conflict at distance {d} was observed (saw {:?})",
+                        l.label, o.max_iters, o.distances,
+                    ));
+                }
+            }
+            LoopVerdict::Carried { distance: None } => {
+                let same_loc = l
+                    .evidence
+                    .iter()
+                    .any(|e| e.definite && e.object.is_some() && e.distance.is_none());
+                if same_loc && o.max_iters >= 3 && o.distances.is_empty() {
+                    out.push(format!(
+                        "{}: carried dependence proven on memory, yet {} iterations \
+                         enumerated no conflict at all",
+                        l.label, o.max_iters,
+                    ));
+                }
+            }
+            LoopVerdict::Unknown => {}
+        }
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn observe(src: &str) -> (CompiledUnit, HashMap<RegionId, RegionObs>) {
+        let unit = kremlin_ir::compile(src, "oracle.kc").expect("compiles");
+        let obs = enumerate(&unit, MachineConfig::default()).expect("runs");
+        (unit, obs)
+    }
+
+    #[test]
+    fn doall_loop_shows_no_conflicts() {
+        let (unit, obs) = observe(
+            "float a[32];\n\
+             int main() {\n\
+               for (int i = 0; i < 32; i++) { a[i] = (float) i; }\n\
+               return 0;\n\
+             }",
+        );
+        assert!(check(&unit, &obs).is_empty());
+        let l = &unit.depend.loops[0];
+        let o = &obs[&l.region];
+        assert_eq!(o.instances, 1);
+        assert_eq!(o.max_iters, 32);
+        assert!(o.distances.is_empty(), "{:?}", o.distances);
+    }
+
+    #[test]
+    fn carried_chain_shows_the_proven_distance() {
+        let (unit, obs) = observe(
+            "float a[40];\n\
+             int main() {\n\
+               for (int i = 3; i < 40; i++) { a[i] = a[i - 3] + 1.0; }\n\
+               return 0;\n\
+             }",
+        );
+        assert!(check(&unit, &obs).is_empty());
+        let l = &unit.depend.loops[0];
+        assert_eq!(l.verdict, LoopVerdict::Carried { distance: Some(3) });
+        assert!(obs[&l.region].distances.contains(&3));
+    }
+
+    #[test]
+    fn a_wrong_doall_verdict_would_be_caught() {
+        // Force the refutation path: take a real carried chain's
+        // observations and pretend the analyzer had called it DOALL.
+        let (mut unit, obs) = observe(
+            "float a[16];\n\
+             int main() {\n\
+               for (int i = 1; i < 16; i++) { a[i] = a[i - 1] * 0.5; }\n\
+               return 0;\n\
+             }",
+        );
+        unit.depend.loops[0].verdict = LoopVerdict::ProvablyDoall;
+        let violations = check(&unit, &obs);
+        assert_eq!(violations.len(), 1, "{violations:?}");
+        assert!(violations[0].contains("conflict at distance 1"), "{}", violations[0]);
+    }
+
+    #[test]
+    fn a_phantom_distance_claim_would_be_caught() {
+        // A DOALL body with a fabricated definite-memory carried verdict:
+        // the completeness direction of the oracle must fire.
+        let (mut unit, obs) = observe(
+            "float a[16];\n\
+             int main() {\n\
+               for (int i = 0; i < 16; i++) { a[i] = (float) i; }\n\
+               return 0;\n\
+             }",
+        );
+        let l = &mut unit.depend.loops[0];
+        l.verdict = LoopVerdict::Carried { distance: Some(2) };
+        l.evidence.push(kremlin_ir::DepEvidence {
+            detail: "fabricated".into(),
+            object: Some("a".into()),
+            distance: Some(2),
+            definite: true,
+            line: 3,
+        });
+        let violations = check(&unit, &obs);
+        assert_eq!(violations.len(), 1, "{violations:?}");
+        assert!(violations[0].contains("no conflict at distance 2"), "{}", violations[0]);
+    }
+
+    #[test]
+    fn callee_frame_reuse_is_not_a_conflict() {
+        // `tmp` lives in the callee frame and is rewritten at the same
+        // address every call; the oracle must not mistake that for a
+        // loop-carried dependence of the caller loop.
+        let (unit, obs) = observe(
+            "float a[16];\n\
+             float bump(float x) { float tmp[2]; tmp[0] = x; tmp[1] = tmp[0]; return tmp[1]; }\n\
+             int main() {\n\
+               for (int i = 0; i < 16; i++) { a[i] = bump((float) i); }\n\
+               return 0;\n\
+             }",
+        );
+        assert!(check(&unit, &obs).is_empty());
+        let main_loop = unit.depend.loops.iter().find(|l| l.label == "main#L0").unwrap();
+        assert!(obs[&main_loop.region].distances.is_empty());
+    }
+}

@@ -93,6 +93,34 @@ fn suite_exercises_all_four_verdicts() {
 }
 
 #[test]
+fn k012_count_stays_within_the_checked_in_budget() {
+    // The CI analyze-smoke job counts `[K012]` notes (planned DOALL,
+    // statically unverified) across the suite's plan audits and gates
+    // them against `k012_budget` in `ANALYZE_verdicts.json`. Keep that
+    // budget in lockstep here: it must be spendable (actual ≤ budget)
+    // and tight (actual == budget), so coverage regressions AND stale
+    // over-generous budgets both fail.
+    let file = include_str!("../../../ANALYZE_verdicts.json");
+    let budget: usize = file
+        .lines()
+        .find_map(|l| l.trim().strip_prefix("\"k012_budget\": "))
+        .and_then(|v| v.trim_end_matches(',').parse().ok())
+        .expect("ANALYZE_verdicts.json declares a k012_budget");
+
+    let mut actual = 0;
+    for w in kremlin_workloads::all() {
+        let analysis = Kremlin::new().analyze(w.source, &w.file_name()).expect("workload runs");
+        let plan = analysis.plan_with(&OpenMpPlanner::default(), &HashSet::new());
+        actual += audit_plan(&analysis, &plan).iter().filter(|d| d.code == "K012").count();
+    }
+    assert_eq!(
+        actual, budget,
+        "K012 notes across the suite drifted from the checked-in budget; \
+         update k012_budget in ANALYZE_verdicts.json"
+    );
+}
+
+#[test]
 fn json_output_is_schema_versioned_and_deterministic() {
     let w = kremlin_workloads::by_name("tracking").expect("workload exists");
     let render = || {

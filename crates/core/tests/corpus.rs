@@ -1,5 +1,5 @@
 //! Integration tests for the scripted scenario corpus and its
-//! three-oracle harness.
+//! four-oracle harness.
 //!
 //! Mirrors the `ANALYZE_verdicts.json` pattern: the checked-in
 //! `CORPUS_verdicts.json` golden pins the expected static verdict and
@@ -8,7 +8,7 @@
 //!
 //! * the golden on disk is byte-identical to what `--emit-golden`
 //!   produces (no hand-edits that the generator would silently revert);
-//! * every grid scenario passes the three-oracle cross-check;
+//! * every grid scenario passes the four-oracle cross-check;
 //! * the full golden gate is clean against freshly measured reports;
 //! * a fixed-seed fuzz smoke returns zero findings.
 

@@ -6,7 +6,7 @@
 //! kremlin record <program.kc> [-o FILE]      record an execution trace
 //! kremlin replay <trace> [--jobs=N] [...]    profile a recorded trace
 //! kremlin corpus [--list|--emit-golden|--emit DIR|--golden FILE]
-//!                                            three-oracle scenario corpus
+//!                                            four-oracle scenario corpus
 //! kremlin fuzz --seeds N [--seed S] [--dump DIR]
 //!                                            parallelism-structure fuzzer
 //! kremlin serve --port P --workers N         profiling service daemon
@@ -447,7 +447,7 @@ fn cmd_replay(args: &[String]) -> Result<(), CliError> {
     emit_observability(&o)
 }
 
-/// `kremlin corpus`: run the three-oracle cross-check over the fixed
+/// `kremlin corpus`: run the four-oracle cross-check over the fixed
 /// scenario grid; `--list` only enumerates, `--emit DIR` dumps the
 /// generated sources, `--emit-golden` prints the golden table, and
 /// `--golden FILE` additionally gates observations against the
@@ -560,7 +560,7 @@ fn cmd_corpus(args: &[String]) -> Result<(), CliError> {
         )));
     }
     println!(
-        "\ncorpus check: {} scenarios, three oracles agree on all{}",
+        "\ncorpus check: {} scenarios, four oracles agree on all{}",
         reports.len(),
         if golden.is_some() { ", golden gate clean" } else { "" }
     );
@@ -568,7 +568,7 @@ fn cmd_corpus(args: &[String]) -> Result<(), CliError> {
 }
 
 /// `kremlin fuzz --seeds N [--seed S] [--dump DIR]`: sample N random
-/// scenario specs, cross-check the three oracles on each, shrink any
+/// scenario specs, cross-check the four oracles on each, shrink any
 /// disagreement to a minimal repro, and (with `--dump`) write the repro
 /// source + oracle report per finding. Findings exit 1.
 fn cmd_fuzz(args: &[String]) -> Result<(), CliError> {
@@ -658,7 +658,7 @@ fn cmd_fuzz(args: &[String]) -> Result<(), CliError> {
             outcome.checked
         )));
     }
-    println!("fuzz: {} specs, three oracles agree on all", outcome.checked);
+    println!("fuzz: {} specs, four oracles agree on all", outcome.checked);
     Ok(())
 }
 

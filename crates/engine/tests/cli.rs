@@ -435,7 +435,7 @@ fn corpus_filter_runs_one_class_through_the_oracles() {
     let stdout = String::from_utf8_lossy(&out.stdout);
     assert!(stdout.contains("serial_chain_t16"), "{stdout}");
     assert!(!stdout.contains("doall_nest"), "filter must exclude other classes: {stdout}");
-    assert!(stdout.contains("three oracles agree"), "{stdout}");
+    assert!(stdout.contains("four oracles agree"), "{stdout}");
 }
 
 #[test]
@@ -490,7 +490,7 @@ fn fuzz_smoke_is_clean_and_reports_coverage() {
     let stderr = String::from_utf8_lossy(&out.stderr);
     assert!(stderr.contains("fuzzed 6 structure specs"), "{stderr}");
     assert!(stderr.contains("base seed 7"), "{stderr}");
-    assert!(String::from_utf8_lossy(&out.stdout).contains("three oracles agree"));
+    assert!(String::from_utf8_lossy(&out.stdout).contains("four oracles agree"));
 }
 
 #[test]

@@ -100,6 +100,22 @@ pub struct IndStep {
     pub trip: Option<i64>,
 }
 
+/// A value that is neither an induction of the analyzed loop nor
+/// loop-invariant, but provably sweeps a closed interval *within* each
+/// iteration of the analyzed loop (an inner-loop induction phi with
+/// constant bounds). The dependence tests treat each iteration's sweep as
+/// an independent copy of the interval.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct BoundedRange {
+    /// Inclusive lower bound of the swept values.
+    pub lo: i64,
+    /// Inclusive upper bound of the swept values.
+    pub hi: i64,
+    /// True when every integer in `[lo, hi]` is reached (|step| == 1),
+    /// which definite-dependence claims require.
+    pub unit: bool,
+}
+
 /// Per-loop context for subscript summarization: the loop's block set and
 /// its induction phis with their strides and (when derivable) ranges.
 #[derive(Debug)]
@@ -108,6 +124,10 @@ pub struct LoopCtx {
     pub blocks: HashSet<BlockId>,
     /// Induction phis of *this* loop, with stride/bound facts.
     pub inductions: HashMap<ValueId, IndStep>,
+    /// Bounded-sweep facts for inner-loop induction phis (filled by the
+    /// dependence pass from nested loops' metadata); [`summarize`] turns
+    /// these into bounded atoms instead of rejecting the subscript.
+    pub bounded: HashMap<ValueId, BoundedRange>,
 }
 
 impl LoopCtx {
@@ -123,24 +143,37 @@ impl LoopCtx {
         let blocks: HashSet<BlockId> = loop_blocks.iter().copied().collect();
         let mut inductions = HashMap::new();
         for &(phi, update) in induction_phis {
-            let mut ind = IndStep { step: step_of(f, phi, update), ..IndStep::default() };
-            ind.init = const_incoming(f, phi, &blocks);
-            if let (Some(step), Some(init)) = (ind.step, ind.init) {
-                if let Some((lo, hi)) = bound_range(f, meta, phi, init, step) {
-                    if lo <= hi {
-                        ind.range = Some((lo, hi));
-                        ind.trip = Some((hi - lo) / step.abs() + 1);
-                    } else {
-                        // The loop never runs; keep an empty range marker.
-                        ind.range = Some((lo, hi));
-                        ind.trip = Some(0);
-                    }
-                }
-            }
-            inductions.insert(phi, ind);
+            inductions.insert(phi, ind_step(f, meta, &blocks, phi, update));
         }
-        LoopCtx { blocks, inductions }
+        LoopCtx { blocks, inductions, bounded: HashMap::new() }
     }
+}
+
+/// Computes the stride/init/range/trip facts for one induction phi of the
+/// loop described by `meta` (`blocks` is that loop's natural block set).
+/// Also used by the dependence pass to bound *inner*-loop counters.
+pub fn ind_step(
+    f: &Function,
+    meta: &LoopMeta,
+    blocks: &HashSet<BlockId>,
+    phi: ValueId,
+    update: ValueId,
+) -> IndStep {
+    let mut ind = IndStep { step: step_of(f, phi, update), ..IndStep::default() };
+    ind.init = const_incoming(f, phi, blocks);
+    if let (Some(step), Some(init)) = (ind.step, ind.init) {
+        if let Some((lo, hi)) = bound_range(f, meta, phi, init, step) {
+            if lo <= hi {
+                ind.range = Some((lo, hi));
+                ind.trip = Some((hi - lo) / step.abs() + 1);
+            } else {
+                // The loop never runs; keep an empty range marker.
+                ind.range = Some((lo, hi));
+                ind.trip = Some(0);
+            }
+        }
+    }
+    ind
 }
 
 /// The constant stride of `update` relative to `phi` (`phi + c`, `c + phi`
@@ -263,16 +296,60 @@ fn last_above(init: i64, lo: i64, step: i64) -> i64 {
 }
 
 /// An affine expression over the analyzed loop's induction phis plus
-/// loop-invariant symbolic atoms. Term lists are sorted by value ID and
-/// contain no zero coefficients, so `==` is a canonical comparison.
-#[derive(Debug, Clone, PartialEq, Eq, Default)]
+/// loop-invariant symbolic atoms plus *bounded* atoms (inner-loop counters
+/// with known ranges, see [`BoundedRange`]) plus an anonymous bounded
+/// interval `xspan` (callee-loop sweeps folded in at call sites). Term
+/// lists are sorted by value ID and contain no zero coefficients, so `==`
+/// is a canonical comparison.
+#[derive(Debug, Clone, PartialEq, Eq)]
 pub struct AffineExpr {
     /// `(induction phi, coefficient)` terms.
     pub terms: Vec<(ValueId, i64)>,
     /// `(loop-invariant value, coefficient)` symbolic terms.
     pub syms: Vec<(ValueId, i64)>,
+    /// `(bounded value, coefficient)` terms — values sweeping a known
+    /// interval within one iteration of the analyzed loop.
+    pub bounded: Vec<(ValueId, i64)>,
+    /// Anonymous bounded contribution: an inclusive interval added to the
+    /// expression's value each iteration (e.g. a callee loop counter).
+    pub xspan: (i64, i64),
+    /// True when every integer in `xspan` is achievable; required for
+    /// definite-dependence claims, irrelevant for refutations.
+    pub xunit: bool,
     /// Constant part.
     pub cst: i64,
+}
+
+impl Default for AffineExpr {
+    fn default() -> Self {
+        AffineExpr {
+            terms: Vec::new(),
+            syms: Vec::new(),
+            bounded: Vec::new(),
+            xspan: (0, 0),
+            xunit: true,
+            cst: 0,
+        }
+    }
+}
+
+/// `(lo, hi) * k`, endpoints sorted, `None` on overflow.
+pub(crate) fn scale_interval((lo, hi): (i64, i64), k: i64) -> Option<(i64, i64)> {
+    let a = lo.checked_mul(k)?;
+    let b = hi.checked_mul(k)?;
+    Some((a.min(b), a.max(b)))
+}
+
+/// Unit flag of the sum of two independent intervals: degenerate
+/// intervals are neutral; two genuine intervals summed generally leave
+/// gaps we cannot rule out, so the conservative answer is "not unit".
+pub(crate) fn combine_unit(a: (i64, i64), a_unit: bool, b: (i64, i64), b_unit: bool) -> bool {
+    match (a.0 == a.1, b.0 == b.1) {
+        (true, true) => true,
+        (true, false) => b_unit,
+        (false, true) => a_unit,
+        (false, false) => false,
+    }
 }
 
 impl AffineExpr {
@@ -290,9 +367,23 @@ impl AffineExpr {
         e
     }
 
+    fn bounded_atom(v: ValueId) -> AffineExpr {
+        let mut e = AffineExpr::default();
+        e.bounded.push((v, 1));
+        e
+    }
+
+    /// An expression that is just an anonymous bounded interval.
+    pub fn interval(lo: i64, hi: i64, unit: bool) -> AffineExpr {
+        AffineExpr { xspan: (lo.min(hi), lo.max(hi)), xunit: unit, ..AffineExpr::default() }
+    }
+
     /// True when the expression is a plain integer constant.
     pub fn is_const(&self) -> bool {
-        self.terms.is_empty() && self.syms.is_empty()
+        self.terms.is_empty()
+            && self.syms.is_empty()
+            && self.bounded.is_empty()
+            && self.xspan == (0, 0)
     }
 
     fn add(mut self, other: &AffineExpr, sign: i64) -> Option<AffineExpr> {
@@ -302,6 +393,12 @@ impl AffineExpr {
         for &(v, c) in &other.syms {
             merge_term(&mut self.syms, v, c.checked_mul(sign)?)?;
         }
+        for &(v, c) in &other.bounded {
+            merge_term(&mut self.bounded, v, c.checked_mul(sign)?)?;
+        }
+        let o = scale_interval(other.xspan, sign)?;
+        self.xunit = combine_unit(self.xspan, self.xunit, o, other.xunit);
+        self.xspan = (self.xspan.0.checked_add(o.0)?, self.xspan.1.checked_add(o.1)?);
         self.cst = self.cst.checked_add(other.cst.checked_mul(sign)?)?;
         Some(self)
     }
@@ -317,6 +414,14 @@ impl AffineExpr {
         for t in &mut self.syms {
             t.1 = t.1.checked_mul(k)?;
         }
+        for t in &mut self.bounded {
+            t.1 = t.1.checked_mul(k)?;
+        }
+        self.xspan = scale_interval(self.xspan, k)?;
+        if k.abs() != 1 && self.xspan.0 != self.xspan.1 {
+            // Scaling a genuine interval by |k| > 1 leaves gaps.
+            self.xunit = false;
+        }
         self.cst = self.cst.checked_mul(k)?;
         Some(self)
     }
@@ -327,6 +432,13 @@ impl AffineExpr {
     }
 
     /// `self - other`, term lists kept canonical.
+    ///
+    /// Note for dependence testing: identical bounded atoms *cancel* here,
+    /// which models a single evaluation of both expressions. The
+    /// cross-iteration dependence equation must instead treat each side's
+    /// bounded sweep as an independent copy — the dependence tests in
+    /// [`crate::depend`] therefore combine per-side spans themselves and
+    /// only use `sub` for the term/sym/const parts.
     pub fn sub(&self, other: &AffineExpr) -> Option<AffineExpr> {
         self.clone().add(other, -1)
     }
@@ -382,6 +494,12 @@ fn summarize_uncached(
     }
     if ctx.inductions.contains_key(&v) {
         return Some(AffineExpr::atom(v, true));
+    }
+    // Inner-loop counters with known ranges become bounded atoms instead
+    // of poisoning the subscript (the MIV/delinearization tests consume
+    // their spans).
+    if ctx.bounded.contains_key(&v) {
+        return Some(AffineExpr::bounded_atom(v));
     }
     // Anything defined outside the loop (parameters included) is invariant
     // for this loop and becomes an opaque symbolic atom.

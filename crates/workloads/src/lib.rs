@@ -360,7 +360,7 @@ pub fn expected_verdicts(name: &str) -> Option<&'static [(&'static str, &'static
             ("kinetic_energy#L0", "doall-after-breaking"),
             ("potential_energy#L0", "doall-after-breaking"),
             ("bond_energy#L0", "doall-after-breaking"),
-            ("main#L0", "unknown"),
+            ("main#L0", "carried"),
         ],
         "art" => &[
             ("init_net#L0", "provably-doall"),
@@ -372,7 +372,7 @@ pub fn expected_verdicts(name: &str) -> Option<&'static [(&'static str, &'static
             ("normalize_y#L0", "provably-doall"),
             ("find_winner#L0", "unknown"),
             ("resonate#L0", "provably-doall"),
-            ("main#L0", "unknown"),
+            ("main#L0", "carried"),
         ],
         "equake" => &[
             ("init_mesh#L0", "provably-doall"),
@@ -385,7 +385,7 @@ pub fn expected_verdicts(name: &str) -> Option<&'static [(&'static str, &'static
             ("probe_history#L0", "provably-doall"),
             ("scale_stiffness#L0", "provably-doall"),
             ("seismic_energy#L0", "doall-after-breaking"),
-            ("main#L0", "unknown"),
+            ("main#L0", "carried"),
         ],
         "bt" => &[
             ("init_bt#L0", "provably-doall"),
@@ -407,7 +407,7 @@ pub fn expected_verdicts(name: &str) -> Option<&'static [(&'static str, &'static
             ("add_update#L1", "provably-doall"),
             ("residual#L0", "provably-doall"),
             ("residual#L1", "doall-after-breaking"),
-            ("main#L0", "unknown"),
+            ("main#L0", "carried"),
         ],
         "cg" => &[
             ("init_system#L0", "provably-doall"),
@@ -439,7 +439,7 @@ pub fn expected_verdicts(name: &str) -> Option<&'static [(&'static str, &'static
             ("evolve#L1", "provably-doall"),
             ("checksum_grid#L0", "provably-doall"),
             ("checksum_grid#L1", "doall-after-breaking"),
-            ("main#L0", "unknown"),
+            ("main#L0", "carried"),
         ],
         "is" => &[
             ("make_keys#L0", "carried"),
@@ -450,7 +450,7 @@ pub fn expected_verdicts(name: &str) -> Option<&'static [(&'static str, &'static
             ("blocked_rank#L2", "unknown"),
             ("blocked_rank#L3", "carried"),
             ("blocked_rank#L4", "unknown"),
-            ("main#L0", "unknown"),
+            ("main#L0", "carried"),
         ],
         "lu" => &[
             ("init_fields#L0", "provably-doall"),
@@ -459,9 +459,9 @@ pub fn expected_verdicts(name: &str) -> Option<&'static [(&'static str, &'static
             ("compute_rhs#L1", "provably-doall"),
             ("compute_flux#L0", "provably-doall"),
             ("compute_flux#L1", "provably-doall"),
-            ("lower_solve#L0", "unknown"),
+            ("lower_solve#L0", "carried"),
             ("lower_solve#L1", "provably-doall"),
-            ("upper_solve#L0", "unknown"),
+            ("upper_solve#L0", "carried"),
             ("upper_solve#L1", "provably-doall"),
             ("update_u#L0", "provably-doall"),
             ("update_u#L1", "provably-doall"),
@@ -472,7 +472,7 @@ pub fn expected_verdicts(name: &str) -> Option<&'static [(&'static str, &'static
             ("copy_edge#L0", "provably-doall"),
             ("norm_rsd#L0", "provably-doall"),
             ("norm_rsd#L1", "doall-after-breaking"),
-            ("main#L0", "unknown"),
+            ("main#L0", "carried"),
         ],
         "mg" => &[
             ("init_grid#L0", "provably-doall"),
@@ -488,7 +488,7 @@ pub fn expected_verdicts(name: &str) -> Option<&'static [(&'static str, &'static
             ("fix_boundary#L0", "provably-doall"),
             ("fix_boundary#L1", "provably-doall"),
             ("residual_norm#L0", "doall-after-breaking"),
-            ("main#L0", "unknown"),
+            ("main#L0", "carried"),
         ],
         "sp" => &[
             ("init_sp#L0", "provably-doall"),
@@ -503,7 +503,7 @@ pub fn expected_verdicts(name: &str) -> Option<&'static [(&'static str, &'static
             ("relax_serial#L0", "carried"),
             ("rms#L0", "provably-doall"),
             ("rms#L1", "doall-after-breaking"),
-            ("main#L0", "unknown"),
+            ("main#L0", "carried"),
         ],
         "tracking" => &[
             ("load_image#L0", "provably-doall"),
@@ -524,7 +524,7 @@ pub fn expected_verdicts(name: &str) -> Option<&'static [(&'static str, &'static
             ("fill_features#L1", "unknown"),
             ("fill_features#L2", "provably-doall"),
             ("main#L0", "provably-doall"),
-            ("main#L1", "unknown"),
+            ("main#L1", "carried"),
             ("main#L2", "doall-after-breaking"),
         ],
         _ => return None,

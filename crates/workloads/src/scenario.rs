@@ -21,7 +21,9 @@
 //!
 //! [`corpus`] enumerates the fixed parameter grid gated by
 //! `CORPUS_verdicts.json` in CI; [`ScenarioSpec::sample`] draws arbitrary
-//! specs for the structure fuzzer; [`ScenarioSpec::shrink_candidates`]
+//! specs for the structure fuzzer (including the `linearized` subscript
+//! shape knob, so MIV, multi-dimensional, and opposite-stride
+//! weak-crossing shapes are all sampled); [`ScenarioSpec::shrink_candidates`]
 //! proposes strictly smaller specs for minimizing a failing case.
 
 use crate::rng::XorShift;
@@ -50,8 +52,9 @@ pub enum ScenarioClass {
     /// each stage loop is itself DOALL.
     Pipeline,
     /// Task DAG: a driver loop invoking task functions that write
-    /// disjoint arrays. Calls widen to whole-object references, so the
-    /// driver is statically `unknown` while each task's loop is DOALL.
+    /// disjoint arrays. Interprocedural summaries resolve each task's
+    /// sweep, so the driver is statically `carried` (the same address
+    /// sets are rewritten every round) while each task's loop is DOALL.
     TaskDag,
     /// Irregular (data-dependent subscript) reduction into a small
     /// histogram: statically `unknown`, dynamically near-serial because
@@ -117,6 +120,14 @@ pub struct ScenarioSpec {
     /// Inner trip count for 2-D shapes (nests, wavefronts) and the
     /// per-element work multiplier elsewhere.
     pub inner: u32,
+    /// Subscript-shape knob for the nest classes. `true` is the canonical
+    /// flat lowering (`a[i*M + j]`) — the MIV shapes the dependence
+    /// ladder's delinearization rung decides. `false` lowers the
+    /// alternate shape: true multi-dimensional subscripts (`a[i][j]`)
+    /// for depth ≥ 2 nests and wavefronts, and a mirrored opposite-stride
+    /// read (`a[i] = a[2(t-1) - i]`, the weak-crossing shape) for depth-1
+    /// nests. Other classes ignore the knob (normalized to `true`).
+    pub linearized: bool,
 }
 
 /// What the oracles should observe for a spec.
@@ -140,7 +151,7 @@ impl ScenarioSpec {
     /// Canonical corpus/repro name, filesystem- and JSON-key-safe.
     pub fn name(&self) -> String {
         let base = self.class.name().replace('-', "_");
-        match self.class {
+        let mut name = match self.class {
             ScenarioClass::DoallNest => {
                 format!("{base}_d{}_t{}x{}", self.depth, self.trip, self.inner)
             }
@@ -151,7 +162,15 @@ impl ScenarioSpec {
             ScenarioClass::Pipeline => format!("{base}_s{}_t{}", self.stages, self.trip),
             ScenarioClass::TaskDag => format!("{base}_k{}_t{}", self.stages, self.trip),
             ScenarioClass::IrregularReduction => format!("{base}_b{}_t{}", self.stages, self.trip),
+        };
+        if !self.linearized {
+            name.push_str(if self.class == ScenarioClass::DoallNest && self.depth == 1 {
+                "_mirror"
+            } else {
+                "_md"
+            });
         }
+        name
     }
 
     /// Source file name for diagnostics and repro dumps.
@@ -189,6 +208,9 @@ impl ScenarioSpec {
         if self.class == ScenarioClass::CarriedDist {
             self.trip = self.trip.max(self.distance * 4);
         }
+        // The subscript-shape knob only exists for the nest classes.
+        self.linearized = self.linearized
+            || !matches!(self.class, ScenarioClass::DoallNest | ScenarioClass::Wavefront);
         self
     }
 
@@ -203,6 +225,7 @@ impl ScenarioSpec {
             distance: rng.range(2, 9) as u32,
             stages: rng.range(2, 9) as u32,
             inner: rng.range(4, 17) as u32,
+            linearized: rng.range(0, 2) == 0,
         }
         .normalized()
     }
@@ -235,6 +258,9 @@ impl ScenarioSpec {
         if self.inner > 4 {
             push(ScenarioSpec { inner: self.inner / 2, ..*self });
         }
+        if !self.linearized {
+            push(ScenarioSpec { linearized: true, ..*self });
+        }
         out
     }
 
@@ -245,6 +271,7 @@ impl ScenarioSpec {
             + u64::from(self.distance)
             + u64::from(self.stages)
             + u64::from(self.inner)
+            + u64::from(!self.linearized)
     }
 
     /// Lowers the spec to mini-C source. Pure: same spec, same source.
@@ -262,7 +289,7 @@ impl ScenarioSpec {
         }
     }
 
-    /// What the three oracles should observe for this spec.
+    /// What the corpus oracles should observe for this spec.
     ///
     /// Self-parallelism bands are deliberately generous (they must hold
     /// across the whole parameter range, under work-weighted averaging
@@ -274,13 +301,11 @@ impl ScenarioSpec {
         let t = f64::from(s.trip);
         match s.class {
             ScenarioClass::DoallNest => {
-                // The innermost level has a single-variable affine
-                // subscript the analyzer proves independent; the outer
-                // levels of a multi-level linearized nest are MIV
-                // subscripts, which `ir::depend` does not yet support
-                // (ROADMAP: weak-SIV/MIV follow-up), so they are pinned
-                // `unknown` — the golden flips to `provably-doall` the
-                // day MIV lands.
+                // Every level is independent, and since the MIV rungs
+                // landed the analyzer proves it at every level: the inner
+                // sweep's interval (e.g. j ∈ [0, M-1] inside `a[i*M + j]`)
+                // never folds back across the row stride. The outer-level
+                // pins were `unknown` before delinearization.
                 let trips = [s.trip, s.inner, 4u32];
                 let hot_level = s.depth - 1;
                 let ht = trips[hot_level as usize];
@@ -289,7 +314,9 @@ impl ScenarioSpec {
                     verdict: "provably-doall",
                     hot_trip: ht,
                     self_p: (0.5 * f64::from(ht), f64::from(ht) + 1.0),
-                    also: (0..hot_level).map(|l| (format!("main#L{l}"), "unknown")).collect(),
+                    also: (0..hot_level)
+                        .map(|l| (format!("main#L{l}"), "provably-doall"))
+                        .collect(),
                 }
             }
             ScenarioClass::SerialChain => Expectation {
@@ -320,18 +347,25 @@ impl ScenarioSpec {
                 self_p: (0.5 * t, t + 1.0),
                 also: vec![("main#L0".into(), "provably-doall")],
             },
-            ScenarioClass::Wavefront => Expectation {
-                // The outer loop's subscripts are MIV (`i*M + j`), so
-                // the analyzer reports `unknown`; the inner loop's
-                // `w[.. + j]` vs `w[.. + (j-1)]` pair is strong-SIV and
-                // proves carried(1). Rows overlap (DOACROSS), so SP
-                // sits strictly between serial and DOALL.
-                hot: "main#L1".into(),
-                verdict: "unknown",
-                hot_trip: s.trip,
-                self_p: (1.0, 0.9 * t.max(f64::from(s.inner))),
-                also: vec![("main#L2".into(), "carried")],
-            },
+            ScenarioClass::Wavefront => {
+                // The MIV bounds prove the outer loop carried(1): the
+                // inner sweep interval of `w[(i-1)*M + j]` sits exactly
+                // one row stride behind the store's (this row was pinned
+                // `unknown` before the interval tests). The inner loop's
+                // `w[.. + j]` vs `w[.. + (j-1)]` pair is strong-SIV
+                // carried(1). Rows overlap (DOACROSS), so SP sits
+                // strictly between serial and DOALL. The 2-D lowering
+                // (`linearized: false`) has no init nest, shifting the
+                // loop labels down by one.
+                let (hot, aux) = if s.linearized { (1, 2) } else { (0, 1) };
+                Expectation {
+                    hot: format!("main#L{hot}"),
+                    verdict: "carried",
+                    hot_trip: s.trip,
+                    self_p: (1.0, 0.9 * t.max(f64::from(s.inner))),
+                    also: vec![(format!("main#L{aux}"), "carried")],
+                }
+            }
             ScenarioClass::Pipeline => Expectation {
                 // L0 seeds stage 0; L1 is the first consuming stage.
                 hot: "main#L1".into(),
@@ -341,10 +375,13 @@ impl ScenarioSpec {
                 also: vec![("main#L0".into(), "provably-doall")],
             },
             ScenarioClass::TaskDag => Expectation {
-                // The driver's calls widen to whole-object refs; its
-                // trip count is the fixed 3 rounds of the lowering.
+                // Interprocedural summaries resolve each task's writes to
+                // `out{k}[0..t]` — the same address set every round, a
+                // definite carried WAW (widened whole-object refs made
+                // this `unknown` before). The driver's trip count is the
+                // fixed 3 rounds of the lowering.
                 hot: "main#L0".into(),
-                verdict: "unknown",
+                verdict: "carried",
                 hot_trip: 3,
                 self_p: (1.0, t + 1.0),
                 also: (0..s.stages).map(|k| (format!("task{k}#L0"), "provably-doall")).collect(),
@@ -375,7 +412,8 @@ impl fmt::Display for ScenarioSpec {
 /// A spec with every parameter at its class floor (shrinking's fixpoint
 /// when the disagreement persists all the way down).
 pub fn minimal(class: ScenarioClass) -> ScenarioSpec {
-    ScenarioSpec { class, trip: 4, depth: 1, distance: 2, stages: 2, inner: 4 }.normalized()
+    ScenarioSpec { class, trip: 4, depth: 1, distance: 2, stages: 2, inner: 4, linearized: true }
+        .normalized()
 }
 
 // ---------------------------------------------------------------------------
@@ -385,6 +423,9 @@ pub fn minimal(class: ScenarioClass) -> ScenarioSpec {
 // ---------------------------------------------------------------------------
 
 fn lower_doall_nest(s: &ScenarioSpec) -> String {
+    if !s.linearized {
+        return if s.depth == 1 { lower_doall_mirror(s) } else { lower_doall_multidim(s) };
+    }
     let (t, m, depth) = (s.trip, s.inner, s.depth);
     let vars = ["i", "j", "k"];
     let trips = [t, m, 4u32];
@@ -410,6 +451,49 @@ fn lower_doall_nest(s: &ScenarioSpec) -> String {
          float a[{size}];\n\
          int main() {{\n    {nest}\n    return (int) a[{}];\n}}\n",
         size - 1
+    )
+}
+
+/// Depth-1 alternate shape: a DOALL whose reads run with the opposite
+/// stride (`a[i] = a[2(t-1) - i]`). The streams meet only where
+/// `k1 + k2 = 2(t-1)`, i.e. both at the last iteration — the weak-crossing
+/// SIV test proves there is no *carried* dependence. Globals are
+/// zero-initialized, so the untouched upper half reads as 0.0.
+fn lower_doall_mirror(s: &ScenarioSpec) -> String {
+    let t = s.trip;
+    let size = 2 * t - 1;
+    format!(
+        "// scenario: doall-nest depth=1 mirrored reads (weak-crossing)\n\
+         float a[{size}];\n\
+         int main() {{\n\
+         \x20   for (int i = 0; i < {t}; i++) {{ a[i] = a[{} - i] * 1.5 + 0.5; }}\n\
+         \x20   return (int) a[{}];\n}}\n",
+        2 * (t - 1),
+        t - 1
+    )
+}
+
+/// Depth ≥ 2 alternate shape: true multi-dimensional subscripts
+/// (`a[i][j]`), exercising the per-dimension ladder instead of the
+/// linearized MIV path.
+fn lower_doall_multidim(s: &ScenarioSpec) -> String {
+    let (t, m, depth) = (s.trip, s.inner, s.depth);
+    let vars = ["i", "j", "k"];
+    let trips = [t, m, 4u32];
+    let dims: String = trips[..depth as usize].iter().map(|d| format!("[{d}]")).collect();
+    let subs: String = vars[..depth as usize].iter().map(|v| format!("[{v}]")).collect();
+    let sum = vars[..depth as usize].join(" + ");
+    let last: String = trips[..depth as usize].iter().map(|d| format!("[{}]", d - 1)).collect();
+    let mut nest = format!("a{subs} = (float) ({sum}) * 1.5 + 0.5;");
+    for lvl in (0..depth as usize).rev() {
+        let v = vars[lvl];
+        let bound = trips[lvl];
+        nest = format!("for (int {v} = 0; {v} < {bound}; {v}++) {{ {nest} }}");
+    }
+    format!(
+        "// scenario: doall-nest depth={depth} trips={t}x{m} multidim\n\
+         float a{dims};\n\
+         int main() {{\n    {nest}\n    return (int) a{last};\n}}\n"
     )
 }
 
@@ -457,6 +541,23 @@ fn lower_reduction(s: &ScenarioSpec) -> String {
 
 fn lower_wavefront(s: &ScenarioSpec) -> String {
     let (n, m) = (s.trip, s.inner);
+    if !s.linearized {
+        // 2-D subscripts; no init nest (globals zero-initialize), so the
+        // wavefront loops are main#L0/main#L1.
+        return format!(
+            "// scenario: wavefront {n}x{m} multidim\n\
+             float w[{n}][{m}];\n\
+             int main() {{\n\
+             \x20   for (int i = 1; i < {n}; i++) {{\n\
+             \x20       for (int j = 1; j < {m}; j++) {{\n\
+             \x20           w[i][j] = w[i - 1][j] * 0.5 + w[i][j - 1] * 0.5;\n\
+             \x20       }}\n\
+             \x20   }}\n\
+             \x20   return (int) w[{}][{}];\n}}\n",
+            n - 1,
+            m - 1
+        );
+    }
     let size = n * m;
     format!(
         "// scenario: wavefront {n}x{m}\n\
@@ -549,9 +650,22 @@ pub fn corpus() -> Vec<ScenarioSpec> {
         distance: 2,
         stages: 2,
         inner: 8,
+        linearized: true,
     };
     for (trip, depth, inner) in [(16, 1, 8), (8, 2, 8), (8, 3, 4), (48, 1, 8)] {
         specs.push(ScenarioSpec { class: ScenarioClass::DoallNest, trip, depth, inner, ..base });
+    }
+    // Alternate subscript shapes: mirrored weak-crossing reads and true
+    // multi-dimensional subscripts.
+    for (trip, depth, inner) in [(16, 1, 8), (8, 2, 8)] {
+        specs.push(ScenarioSpec {
+            class: ScenarioClass::DoallNest,
+            trip,
+            depth,
+            inner,
+            linearized: false,
+            ..base
+        });
     }
     for trip in [16, 48] {
         specs.push(ScenarioSpec { class: ScenarioClass::SerialChain, trip, ..base });
@@ -562,8 +676,14 @@ pub fn corpus() -> Vec<ScenarioSpec> {
     for trip in [16, 48] {
         specs.push(ScenarioSpec { class: ScenarioClass::Reduction, trip, ..base });
     }
-    for (trip, inner) in [(8, 8), (16, 12)] {
-        specs.push(ScenarioSpec { class: ScenarioClass::Wavefront, trip, inner, ..base });
+    for (trip, inner, linearized) in [(8, 8, true), (16, 12, true), (8, 8, false)] {
+        specs.push(ScenarioSpec {
+            class: ScenarioClass::Wavefront,
+            trip,
+            inner,
+            linearized,
+            ..base
+        });
     }
     for (stages, trip) in [(2, 16), (4, 24)] {
         specs.push(ScenarioSpec { class: ScenarioClass::Pipeline, stages, trip, ..base });
